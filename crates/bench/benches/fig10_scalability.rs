@@ -1,0 +1,31 @@
+//! Criterion bench behind Fig. 10: Q9 (`MOD(id,10) < 1`) over an
+//! increasing PPL dataset size with a fixed selection fraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use queryer_bench::scale::paper;
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let mut g = c.benchmark_group("fig10_ppl_q9");
+    g.sample_size(10);
+    for paper_size in [paper::PPL[0], paper::PPL[2], paper::PPL[4]] {
+        let ds = suite.ppl(paper_size).clone();
+        let engine = engine_with(&[("ppl", &ds)]);
+        let q = workload::q9("ppl");
+        g.bench_with_input(BenchmarkId::from_parameter(ds.len()), &q.sql, |b, sql| {
+            b.iter_batched(
+                || engine.clear_link_indices(),
+                |_| engine.execute_with(sql, ExecMode::Aes).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench behind Fig. 11: the four overlapping range queries
+//! Q10–Q13 executed as a sequence, with the Link Index warm (kept
+//! across the sequence) vs cold (cleared before every query).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_bench::scale::paper;
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let ds = suite.oagp(paper::OAGP[4]).clone();
+    let engine = engine_with(&[("oagp", &ds)]);
+    let queries = workload::overlapping_range_queries(&ds, "oagp");
+
+    let mut g = c.benchmark_group("fig11_overlapping_sequence");
+    g.sample_size(10);
+    g.bench_function("with_link_index", |b| {
+        b.iter_batched(
+            || engine.clear_link_indices(),
+            |_| {
+                for q in &queries {
+                    engine.execute_with(&q.sql, ExecMode::Aes).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("without_link_index", |b| {
+        b.iter(|| {
+            for q in &queries {
+                engine.clear_link_indices();
+                engine.execute_with(&q.sql, ExecMode::Aes).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig. 12: the SPJ query Q6a (PPL ⋈ OAO at 7%
+//! selectivity) under the Batch Approach, the Naïve ER Solution and the
+//! Advanced ER Solution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_bench::scale::paper;
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let oao = suite.oao().clone();
+    let ppl = suite.ppl(paper::PPL[4]).clone();
+    let engine = engine_with(&[("ppl", &ppl), ("oao", &oao)]);
+    let q = workload::spj_query("Q6a", &ppl, "ppl", "org", "oao", "name", 0.07);
+
+    let mut g = c.benchmark_group("fig12_q6a");
+    g.sample_size(10);
+    for mode in [ExecMode::Batch, ExecMode::Nes, ExecMode::Aes] {
+        g.bench_function(mode.label(), |b| {
+            b.iter_batched(
+                || engine.clear_link_indices(),
+                |_| engine.execute_with(&q.sql, mode).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Fig. 13: NES vs AES on Q8b (OAGP ⋈ OAGV,
+//! S=15%) at increasing OAGP sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use queryer_bench::scale::paper;
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let oagv = suite.oagv().clone();
+    let mut g = c.benchmark_group("fig13_q8b");
+    g.sample_size(10);
+    for paper_size in [paper::OAGP[0], paper::OAGP[4]] {
+        let oagp = suite.oagp(paper_size).clone();
+        let engine = engine_with(&[("oagp", &oagp), ("oagv", &oagv)]);
+        let q = workload::spj_query("Q8b", &oagp, "oagp", "venue", "oagv", "title", 0.15);
+        for mode in [ExecMode::Nes, ExecMode::Aes] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.label(), oagp.len()),
+                &q.sql,
+                |b, sql| {
+                    b.iter_batched(
+                        || engine.clear_link_indices(),
+                        |_| engine.execute_with(sql, mode).unwrap(),
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Fig. 9: QueryER (AES, cold Link Index) vs the
+//! Batch Approach for the Q1–Q5 selectivity ladder on DSD.
+//!
+//! Criterion measures wall time of the query path; for BA the cleaning is
+//! cached across iterations, so use `run_experiments fig9` for the
+//! paper-style TT that charges cleaning to every BA query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let ds = suite.dsd().clone();
+    let engine = engine_with(&[("dsd", &ds)]);
+    let queries = workload::sp_queries(&ds, "dsd", "year");
+
+    let mut g = c.benchmark_group("fig9_dsd");
+    g.sample_size(10);
+    for q in &queries {
+        g.bench_function(format!("queryer_{}", q.name), |b| {
+            b.iter_batched(
+                || engine.clear_link_indices(),
+                |_| engine.execute_with(&q.sql, ExecMode::Aes).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_function(format!("ba_{}", q.name), |b| {
+            b.iter(|| engine.execute_with(&q.sql, ExecMode::Batch).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Component micro-benchmarks (not in the paper): similarity functions,
+//! token blocking, purging threshold and end-to-end resolution on a
+//! small collection — useful for tracking regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_datagen::scholarly;
+use queryer_er::similarity::{jaccard_sorted, jaro_winkler, levenshtein};
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("jaro_winkler_short", |b| {
+        b.iter(|| jaro_winkler(black_box("jonathan smith"), black_box("jonathon smyth")))
+    });
+    c.bench_function("jaro_winkler_long", |b| {
+        b.iter(|| {
+            jaro_winkler(
+                black_box("international conference on extending database technology"),
+                black_box("intl conference on extending data base technologies"),
+            )
+        })
+    });
+    c.bench_function("levenshtein_short", |b| {
+        b.iter(|| levenshtein(black_box("kitten"), black_box("sitting")))
+    });
+    c.bench_function("jaccard_tokens", |b| {
+        let x = ["alpha", "beta", "delta", "gamma"];
+        let y = ["beta", "epsilon", "gamma"];
+        b.iter(|| jaccard_sorted(black_box(&x), black_box(&y)))
+    });
+
+    let ds = scholarly::dblp_scholar(2000, 99);
+    c.bench_function("token_blocking_build_2k", |b| {
+        b.iter(|| TableErIndex::build(black_box(&ds.table), &ErConfig::default()))
+    });
+
+    let er = TableErIndex::build(&ds.table, &ErConfig::default());
+    c.bench_function("resolve_100_entities", |b| {
+        let qe: Vec<u32> = (0..100).collect();
+        b.iter_batched(
+            || LinkIndex::new(ds.table.len()),
+            |mut li| {
+                let mut m = DedupMetrics::default();
+                er.resolve(&ds.table, &qe, &mut li, &mut m)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind Table 6: the highest-selectivity SP query Q5
+//! on DSD under AES (the run whose stage breakdown Table 6 reports).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_bench::suite::engine_with;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let ds = suite.dsd().clone();
+    let engine = engine_with(&[("dsd", &ds)]);
+    let q5 = workload::sp_queries(&ds, "dsd", "year")
+        .pop()
+        .expect("Q5 exists");
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("dsd_q5_aes", |b| {
+        b.iter_batched(
+            || engine.clear_link_indices(),
+            |_| engine.execute_with(&q5.sql, ExecMode::Aes).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Table 8: the meta-blocking configuration sweep
+//! (ALL vs BP+BF vs BP+EP) on the low-selectivity query Q1 over PPL.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use queryer_bench::scale::paper;
+use queryer_bench::suite::engine_with_config;
+use queryer_bench::{Sizes, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+use queryer_er::{ErConfig, MetaBlockingConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut suite = Suite::new(Sizes::with_divisor(2000));
+    let ds = suite.ppl(paper::PPL[2]).clone();
+    let q1 = workload::sp_queries(&ds, "ppl", "age")
+        .into_iter()
+        .next()
+        .expect("Q1 exists");
+
+    let mut g = c.benchmark_group("table8_ppl_q1");
+    g.sample_size(10);
+    for meta in [
+        MetaBlockingConfig::All,
+        MetaBlockingConfig::BpBf,
+        MetaBlockingConfig::BpEp,
+    ] {
+        let engine = engine_with_config(&[("ppl", &ds)], ErConfig::default().with_meta(meta));
+        g.bench_function(meta.label(), |b| {
+            b.iter_batched(
+                || engine.clear_link_indices(),
+                |_| engine.execute_with(&q1.sql, ExecMode::Aes).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates every table and figure of the QueryER evaluation.
+//!
+//! ```text
+//! cargo run -p queryer-bench --release --bin run_experiments            # all
+//! cargo run -p queryer-bench --release --bin run_experiments -- fig9   # one
+//! QUERYER_SCALE=100 cargo run … # larger datasets (paper size ÷ 100)
+//! ```
+//!
+//! Markdown goes to stdout; CSVs to `target/experiments/`.
+
+use queryer_bench::experiments;
+use queryer_bench::Suite;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut suite = Suite::from_env();
+    let out_dir = std::path::Path::new("target/experiments");
+
+    let selected: Vec<_> = experiments::all()
+        .into_iter()
+        .filter(|e| args.is_empty() || args.iter().any(|a| a == e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment id(s): {args:?}");
+        eprintln!("available:");
+        for e in experiments::all() {
+            eprintln!("  {:8} — {}", e.id, e.description);
+        }
+        std::process::exit(2);
+    }
+
+    println!(
+        "# QueryER evaluation reproduction (scale: paper sizes ÷ {})\n",
+        suite.sizes.divisor()
+    );
+    for exp in selected {
+        eprintln!(">> running {} — {}", exp.id, exp.description);
+        let t0 = Instant::now();
+        let reports = (exp.run)(&mut suite);
+        eprintln!("   done in {:.1}s", t0.elapsed().as_secs_f64());
+        for rep in reports {
+            println!("{}", rep.to_markdown());
+            if let Err(e) = rep.write_csv(out_dir) {
+                eprintln!("   (csv write failed: {e})");
+            }
+        }
+    }
+    println!("\nCSV copies written to {}", out_dir.display());
+}

@@ -1,0 +1,56 @@
+//! Fig. 10 (a, b): scalability over increasing |E| with fixed-fraction
+//! random selection — Q9 = `MOD(id, 10) < 1` over PPL200K–2M and
+//! OAGP200K–2M. The paper's claim: comparisons stay in the same order of
+//! magnitude while |E| grows 10× (sub-linear scaling).
+
+use crate::report::{secs, Report};
+use crate::scale::paper;
+use crate::suite::{engine_with, run as run_query, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
+    let mut rep = Report::new(
+        "fig10",
+        "Fig. 10 — TT & comparisons for Q9 over increasing |E| (fixed |QE| fraction)",
+        &[
+            "Series",
+            "|E|",
+            "QueryER TT (s)",
+            "BA TT (s)",
+            "QueryER Comp.",
+        ],
+    );
+    for (series, ladder) in [("PPL", paper::PPL), ("OAGP", paper::OAGP)] {
+        let mut seen = Vec::new();
+        for paper_size in ladder {
+            let n = suite.sizes.of(paper_size);
+            if seen.contains(&n) {
+                continue; // the size floor can collapse ladder steps
+            }
+            seen.push(n);
+            let ds = match series {
+                "PPL" => suite.ppl(paper_size).clone(),
+                _ => suite.oagp(paper_size).clone(),
+            };
+            let name = ds.table.name().to_string();
+            let engine = engine_with(&[(&name, &ds)]);
+            let q = workload::q9(&name);
+            engine.clear_link_indices();
+            let dq = run_query(&engine, &q.sql, ExecMode::Aes);
+            let ba = run_query(&engine, &q.sql, ExecMode::Batch);
+            rep.push_row(vec![
+                series.to_string(),
+                ds.len().to_string(),
+                secs(dq.metrics.total),
+                secs(ba.metrics.total),
+                dq.metrics.comparisons().to_string(),
+            ]);
+        }
+    }
+    rep.note(
+        "Sub-linear scaling: comparisons should stay within one order of \
+         magnitude across each 10× size ladder.",
+    );
+    vec![rep]
+}

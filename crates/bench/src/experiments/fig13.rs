@@ -1,0 +1,67 @@
+//! Fig. 13 (a–d): NES vs AES scaling — Q8a (PPL200K–2M ⋈ OAO) and Q8b
+//! (OAGP200K–2M ⋈ OAGV) with left selectivity fixed at 15%, right at
+//! 100%. Both approaches should scale sub-linearly; AES should win
+//! throughout.
+
+use crate::report::{secs, Report};
+use crate::scale::paper;
+use crate::suite::{engine_with, run as run_query, Suite};
+use queryer_core::engine::ExecMode;
+use queryer_datagen::workload;
+
+pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
+    let mut rep = Report::new(
+        "fig13",
+        "Fig. 13 — NES vs AES scaling on SPJ joins (S_left = 15%, S_right = 100%)",
+        &[
+            "Join",
+            "|E_left|",
+            "NES TT (s)",
+            "AES TT (s)",
+            "NES Comp.",
+            "AES Comp.",
+        ],
+    );
+    let oao = suite.oao().clone();
+    let oagv = suite.oagv().clone();
+    for (series, ladder) in [("PPL ⋈ OAO", paper::PPL), ("OAGP ⋈ OAGV", paper::OAGP)] {
+        let mut seen = Vec::new();
+        for paper_size in ladder {
+            let n = suite.sizes.of(paper_size);
+            if seen.contains(&n) {
+                continue; // the size floor can collapse ladder steps
+            }
+            seen.push(n);
+            let (left, left_name, left_col, right, right_name, right_col) = if series
+                .starts_with("PPL")
+            {
+                (suite.ppl(paper_size).clone(), "ppl", "org", &oao, "oao", "name")
+            } else {
+                (suite.oagp(paper_size).clone(), "oagp", "venue", &oagv, "oagv", "title")
+            };
+            let engine = engine_with(&[(left_name, &left), (right_name, right)]);
+            let q = workload::spj_query(
+                "Q8", &left, left_name, left_col, right_name, right_col, 0.15,
+            );
+            engine.clear_link_indices();
+            let nes = run_query(&engine, &q.sql, ExecMode::Nes);
+            engine.clear_link_indices();
+            let aes = run_query(&engine, &q.sql, ExecMode::Aes);
+            assert_eq!(
+                nes.canonical_rows(),
+                aes.canonical_rows(),
+                "{series} {paper_size}: NES ≡ AES"
+            );
+            rep.push_row(vec![
+                series.to_string(),
+                left.len().to_string(),
+                secs(nes.metrics.total),
+                secs(aes.metrics.total),
+                nes.metrics.comparisons().to_string(),
+                aes.metrics.comparisons().to_string(),
+            ]);
+        }
+    }
+    rep.note("Result sets verified identical between NES and AES at every size.");
+    vec![rep]
+}

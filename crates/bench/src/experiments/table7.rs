@@ -1,0 +1,46 @@
+//! Table 7: technical characteristics of every dataset — |E| (records),
+//! |L_E| (true duplicate pairs), |A| (attribute names) and |TBI| (blocks
+//! in the Table Block Index).
+
+use crate::report::Report;
+use crate::scale::paper;
+use crate::suite::Suite;
+use queryer_er::{ErConfig, TableErIndex};
+use queryer_datagen::Dataset;
+
+fn row(label: &str, ds: &Dataset) -> Vec<String> {
+    let er = TableErIndex::build(&ds.table, &ErConfig::default());
+    vec![
+        label.to_string(),
+        ds.len().to_string(),
+        ds.truth.pair_count().to_string(),
+        (ds.table.schema().len() - 1).to_string(), // id column excluded
+        er.n_blocks().to_string(),
+    ]
+}
+
+pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
+    let mut rep = Report::new(
+        "table7",
+        "Table 7 — dataset characteristics (|E|, |L_E|, |A|, |TBI|)",
+        &["E", "|E|", "|L_E|", "|A|", "|TBI|"],
+    );
+    rep.push_row(row("DSD", &suite.dsd().clone()));
+    rep.push_row(row("OAO", &suite.oao().clone()));
+    rep.push_row(row("OAP", &suite.oap().clone()));
+    for (i, size) in paper::PPL.iter().enumerate() {
+        let label = format!("PPL{}", ["200K", "500K", "1M", "1.5M", "2M"][i]);
+        rep.push_row(row(&label, &suite.ppl(*size).clone()));
+    }
+    for (i, size) in paper::OAGP.iter().enumerate() {
+        let label = format!("OAGP{}", ["200K", "500K", "1M", "1.5M", "2M"][i]);
+        rep.push_row(row(&label, &suite.oagp(*size).clone()));
+    }
+    rep.push_row(row("OAGV", &suite.oagv().clone()));
+    rep.note(format!(
+        "All sizes are paper sizes ÷ {} (floor 250). |L_E| counts ground-truth \
+         duplicate pairs; |A| counts non-id attributes, matching the paper's column.",
+        suite.sizes.divisor()
+    ));
+    vec![rep]
+}

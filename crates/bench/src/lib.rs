@@ -1,0 +1,21 @@
+//! Benchmark harness for the QueryER evaluation (Sec. 9).
+//!
+//! Every table and figure of the paper's evaluation has a runner in
+//! [`experiments`]; the `run_experiments` binary prints each as a
+//! markdown table (the same rows/series the paper reports) and writes a
+//! CSV next to it under `target/experiments/`.
+//!
+//! Dataset sizes are the paper's sizes divided by a scale factor
+//! (default 400, so OAGP2M → 5 000 records) — set `QUERYER_SCALE=100`
+//! for larger runs or `QUERYER_SCALE=full` for paper-size datasets.
+//! Shapes (who wins, where crossovers fall) are preserved; absolute
+//! numbers are not comparable to the paper's testbed.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod suite;
+
+pub use report::Report;
+pub use scale::Sizes;
+pub use suite::Suite;

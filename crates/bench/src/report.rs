@@ -1,0 +1,126 @@
+//! Experiment reports: markdown to stdout, CSV to `target/experiments/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One reproduced table/figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("fig9", "table6", …).
+    pub id: String,
+    /// Human title, including the paper artifact it regenerates.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already rendered).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.headers.len());
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.as_ref().join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let mut r = Report::new("t", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "x,y".into()]);
+        r.note("a note");
+        let md = r.to_markdown();
+        assert!(md.contains("| 1 | x,y |"));
+        assert!(md.contains("> a note"));
+        let csv = r.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+}

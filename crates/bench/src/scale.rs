@@ -1,0 +1,79 @@
+//! Scale-factor handling: paper dataset sizes divided by `QUERYER_SCALE`.
+
+/// Paper dataset sizes (Table 7).
+pub mod paper {
+    /// DBLP-Scholar.
+    pub const DSD: usize = 66_879;
+    /// OpenAIRE organisations.
+    pub const OAO: usize = 55_464;
+    /// OpenAIRE projects.
+    pub const OAP: usize = 500_000;
+    /// People scalability ladder.
+    pub const PPL: [usize; 5] = [200_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
+    /// OAG papers scalability ladder.
+    pub const OAGP: [usize; 5] = [200_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
+    /// OAG venues.
+    pub const OAGV: usize = 130_000;
+}
+
+/// Minimum records per dataset regardless of scale.
+const FLOOR: usize = 250;
+
+/// Resolves paper sizes to run sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    divisor: usize,
+}
+
+impl Sizes {
+    /// Reads `QUERYER_SCALE` (`full` → 1, integer → divisor; default 400).
+    pub fn from_env() -> Self {
+        let divisor = match std::env::var("QUERYER_SCALE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => 1,
+            Ok(v) => v.parse().unwrap_or(400),
+            Err(_) => 400,
+        };
+        Self::with_divisor(divisor)
+    }
+
+    /// Explicit divisor (tests/benches).
+    pub fn with_divisor(divisor: usize) -> Self {
+        Self {
+            divisor: divisor.max(1),
+        }
+    }
+
+    /// The divisor in effect.
+    pub fn divisor(&self) -> usize {
+        self.divisor
+    }
+
+    /// Run size for a paper size.
+    pub fn of(&self, paper_size: usize) -> usize {
+        (paper_size / self.divisor).max(FLOOR)
+    }
+
+    /// The scaled PPL/OAGP ladder.
+    pub fn ladder(&self, paper: [usize; 5]) -> [usize; 5] {
+        paper.map(|n| self.of(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_with_floor() {
+        let s = Sizes::with_divisor(400);
+        assert_eq!(s.of(2_000_000), 5_000);
+        assert_eq!(s.of(66_879), FLOOR.max(66_879 / 400));
+        assert_eq!(Sizes::with_divisor(1).of(500), 500);
+    }
+
+    #[test]
+    fn ladder_preserves_monotonicity() {
+        let l = Sizes::with_divisor(400).ladder(paper::PPL);
+        assert!(l.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

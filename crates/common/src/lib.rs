@@ -1,0 +1,15 @@
+//! Shared primitives used across the QueryER workspace.
+//!
+//! This crate deliberately has no dependencies: it provides the small,
+//! hot-path utilities every other crate needs — a fast non-cryptographic
+//! hasher (the offline crate set has no `rustc-hash`, and the algorithm is
+//! tiny), canonical packing of unordered record-id pairs into `u64` keys,
+//! and a stopwatch for per-stage operator timing.
+
+pub mod fxhash;
+pub mod pairkey;
+pub mod timing;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pairkey::{pack_pair, unpack_pair, PairSet};
+pub use timing::Stopwatch;

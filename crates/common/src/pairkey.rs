@@ -1,0 +1,118 @@
+//! Canonical packing of unordered record-id pairs.
+//!
+//! The Comparison-Execution step of the Deduplicate operator must never
+//! execute the same entity pair twice even when the pair co-occurs in many
+//! blocks (Sec. 6.1 of the paper). Packing the unordered `(u32, u32)` pair
+//! into a single `u64` lets the executed-pair set live in a flat hash set
+//! with no per-entry allocation.
+
+use crate::fxhash::FxHashSet;
+
+/// Packs an unordered pair of record ids into a canonical `u64`
+/// (smaller id in the high bits).
+#[inline]
+pub fn pack_pair(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack_pair`]; returns `(min, max)`.
+#[inline]
+pub fn unpack_pair(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// A set of unordered record-id pairs, used to guarantee each comparison is
+/// executed at most once per query.
+#[derive(Default, Debug, Clone)]
+pub struct PairSet {
+    set: FxHashSet<u64>,
+}
+
+impl PairSet {
+    /// Creates an empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty pair set with room for `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            set: FxHashSet::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Inserts the unordered pair; returns `true` if it was not present.
+    #[inline]
+    pub fn insert(&mut self, a: u32, b: u32) -> bool {
+        self.set.insert(pack_pair(a, b))
+    }
+
+    /// Returns `true` if the unordered pair is present.
+    #[inline]
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.set.contains(&pack_pair(a, b))
+    }
+
+    /// Number of distinct pairs recorded.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates the packed pairs (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.set.iter().map(|&k| unpack_pair(k))
+    }
+
+    /// Removes all pairs, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_order_insensitive() {
+        assert_eq!(pack_pair(3, 9), pack_pair(9, 3));
+        assert_ne!(pack_pair(3, 9), pack_pair(3, 10));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (a, b) = unpack_pair(pack_pair(77, 5));
+        assert_eq!((a, b), (5, 77));
+    }
+
+    #[test]
+    fn self_pair_roundtrip() {
+        let (a, b) = unpack_pair(pack_pair(4, 4));
+        assert_eq!((a, b), (4, 4));
+    }
+
+    #[test]
+    fn set_dedups_unordered() {
+        let mut s = PairSet::new();
+        assert!(s.insert(1, 2));
+        assert!(!s.insert(2, 1));
+        assert!(s.contains(2, 1));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extreme_ids() {
+        let k = pack_pair(u32::MAX, 0);
+        assert_eq!(unpack_pair(k), (0, u32::MAX));
+        let k = pack_pair(u32::MAX, u32::MAX - 1);
+        assert_eq!(unpack_pair(k), (u32::MAX - 1, u32::MAX));
+    }
+}

@@ -1,0 +1,103 @@
+//! A tiny stopwatch used for the per-stage time breakdown of the
+//! Deduplicate operator (Table 6 of the paper) and the total-time
+//! measurements behind Figs. 9–13.
+
+use std::time::{Duration, Instant};
+
+/// Accumulating stopwatch: can be started and stopped repeatedly, summing
+/// the elapsed time of every lap.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    total: Duration,
+    started: Option<Instant>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Creates a stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Self {
+            total: Duration::ZERO,
+            started: None,
+        }
+    }
+
+    /// Starts (or restarts) the current lap. Starting a running stopwatch
+    /// is a no-op.
+    #[inline]
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops the current lap, folding it into the accumulated total.
+    /// Stopping a stopped stopwatch is a no-op.
+    #[inline]
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.total += t0.elapsed();
+        }
+    }
+
+    /// Runs `f` while timing it, accumulating the elapsed time.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.total += t0.elapsed();
+        r
+    }
+
+    /// Accumulated time across all completed laps (a running lap is not
+    /// included until stopped).
+    pub fn elapsed(&self) -> Duration {
+        self.total
+    }
+
+    /// Resets to zero and stops.
+    pub fn reset(&mut self) {
+        self.total = Duration::ZERO;
+        self.started = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_laps() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(2)));
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(2));
+        sw.time(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(sw.elapsed() > first);
+    }
+
+    #[test]
+    fn start_stop_idempotent() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        sw.stop();
+        sw.stop();
+        let t = sw.elapsed();
+        sw.stop();
+        assert_eq!(sw.elapsed(), t);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| 1 + 1);
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,50 @@
+//! Property-based tests for the shared primitives.
+
+use proptest::prelude::*;
+use queryer_common::{pack_pair, unpack_pair, FxBuildHasher, PairSet};
+use std::hash::BuildHasher;
+
+proptest! {
+    #[test]
+    fn pair_packing_roundtrips(a in any::<u32>(), b in any::<u32>()) {
+        let key = pack_pair(a, b);
+        let (lo, hi) = unpack_pair(key);
+        prop_assert_eq!(lo, a.min(b));
+        prop_assert_eq!(hi, a.max(b));
+        prop_assert_eq!(key, pack_pair(b, a), "order-insensitive");
+    }
+
+    #[test]
+    fn distinct_pairs_never_collide(
+        a in any::<u32>(), b in any::<u32>(),
+        c in any::<u32>(), d in any::<u32>(),
+    ) {
+        let k1 = pack_pair(a, b);
+        let k2 = pack_pair(c, d);
+        let same_pair = (a.min(b), a.max(b)) == (c.min(d), c.max(d));
+        prop_assert_eq!(k1 == k2, same_pair);
+    }
+
+    #[test]
+    fn pairset_counts_distinct_unordered_pairs(
+        pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..100),
+    ) {
+        let mut set = PairSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for &(a, b) in &pairs {
+            let fresh = set.insert(a, b);
+            let ref_fresh = reference.insert((a.min(b), a.max(b)));
+            prop_assert_eq!(fresh, ref_fresh);
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for &(a, b) in &pairs {
+            prop_assert!(set.contains(b, a));
+        }
+    }
+
+    #[test]
+    fn fxhash_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let h = FxBuildHasher::default();
+        prop_assert_eq!(h.hash_one(&data), h.hash_one(&data));
+    }
+}

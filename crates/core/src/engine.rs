@@ -1,0 +1,407 @@
+//! The QueryER engine facade (Fig. 2): Query Parser → Query Planner →
+//! Query Executor, with per-table ER indices built once-off at
+//! registration and a Link Index amended by every query.
+
+use crate::error::{CoreError, Result};
+use crate::metrics::QueryMetrics;
+use crate::operators::{drain, ExecContext};
+use crate::planner::stats::{compute_table_stats, join_percentage, TableStats};
+use crate::planner::{PlanOutput, Planner};
+use crate::result::QueryResult;
+use parking_lot::{Mutex, RwLock};
+use queryer_common::FxHashMap;
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_sql::{parse_select, plan_select, LogicalPlan, SchemaProvider, SelectStatement};
+use queryer_storage::{RecordId, Table};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution strategy for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// `DEDUP` queries run under AES, everything else as plain SQL.
+    #[default]
+    Auto,
+    /// Plain SQL over the dirty data — no ER operators.
+    Plain,
+    /// Naïve ER Solution (Fig. 6): Deduplicate above each branch filter.
+    Nes,
+    /// Naïve ER plan 1 (Fig. 5): Deduplicate directly above each scan.
+    NesEager,
+    /// Advanced ER Solution (Figs. 7–8): cost-based operator placement.
+    Aes,
+    /// AES with the dirty join side forced to the left branch — used by
+    /// the cleaning-order ablation (Table 5).
+    AesDirtyLeft,
+    /// AES with the dirty join side forced to the right branch.
+    AesDirtyRight,
+    /// Batch Approach baseline: clean everything first, then query.
+    Batch,
+}
+
+impl ExecMode {
+    /// Display label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Auto => "AUTO",
+            ExecMode::Plain => "SQL",
+            ExecMode::Nes => "NES",
+            ExecMode::NesEager => "NES-eager",
+            ExecMode::Aes => "AES",
+            ExecMode::AesDirtyLeft => "AES[dirty-left]",
+            ExecMode::AesDirtyRight => "AES[dirty-right]",
+            ExecMode::Batch => "BA",
+        }
+    }
+}
+
+/// Execution context plus the Batch-mode preparation artifacts:
+/// `(context, batch cluster maps, total cleaning time, merged cleaning
+/// metrics)`.
+type ContextSetup = (
+    Arc<ExecContext>,
+    FxHashMap<usize, Arc<Vec<RecordId>>>,
+    Duration,
+    DedupMetrics,
+);
+
+/// Result of batch-cleaning one table (the paper's D′ = {E_G}).
+pub(crate) struct BatchClean {
+    pub li: Arc<RwLock<LinkIndex>>,
+    pub cluster_of: Arc<Vec<RecordId>>,
+    pub duration: Duration,
+    pub metrics: DedupMetrics,
+}
+
+pub(crate) struct RegisteredTable {
+    pub table: Arc<Table>,
+    pub er: Arc<TableErIndex>,
+    pub li: Arc<RwLock<LinkIndex>>,
+    pub stats: TableStats,
+    pub batch: Mutex<Option<Arc<BatchClean>>>,
+}
+
+/// The QueryER engine: register dirty tables, then issue
+/// `SELECT [DEDUP] …` queries against them.
+pub struct QueryEngine {
+    cfg: ErConfig,
+    tables: Vec<RegisteredTable>,
+    by_name: FxHashMap<String, usize>,
+    join_pct_cache: Mutex<FxHashMap<(usize, usize, usize, usize), f64>>,
+}
+
+impl QueryEngine {
+    /// Creates an engine with the given ER configuration.
+    pub fn new(cfg: ErConfig) -> Self {
+        Self {
+            cfg,
+            tables: Vec::new(),
+            by_name: FxHashMap::default(),
+            join_pct_cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The ER configuration.
+    pub fn config(&self) -> &ErConfig {
+        &self.cfg
+    }
+
+    /// Registers a table: builds its TBI/ITBI (once-off, Sec. 3), an
+    /// empty Link Index, and eagerly cleans a sample for the duplication
+    /// factor statistic. Returns the catalog index.
+    pub fn register_table(&mut self, table: Table) -> Result<usize> {
+        let name = table.name().to_lowercase();
+        if self.by_name.contains_key(&name) {
+            return Err(CoreError::Plan(format!(
+                "table '{}' is already registered",
+                table.name()
+            )));
+        }
+        let er = TableErIndex::build(&table, &self.cfg);
+        let stats = compute_table_stats(&table, &er);
+        let li = LinkIndex::new(table.len());
+        let idx = self.tables.len();
+        self.tables.push(RegisteredTable {
+            table: Arc::new(table),
+            er: Arc::new(er),
+            li: Arc::new(RwLock::new(li)),
+            stats,
+            batch: Mutex::new(None),
+        });
+        self.by_name.insert(name, idx);
+        Ok(idx)
+    }
+
+    /// Registers a table parsed from CSV text (header row, inferred
+    /// all-string schema).
+    pub fn register_csv_str(&mut self, name: &str, csv: &str) -> Result<usize> {
+        let table = queryer_storage::csv::table_from_csv_str_infer(name, csv)?;
+        self.register_table(table)
+    }
+
+    /// Registers a table loaded from a CSV file.
+    pub fn register_csv_path(&mut self, name: &str, path: impl AsRef<std::path::Path>) -> Result<usize> {
+        let table = queryer_storage::csv::table_from_csv_path(
+            name,
+            queryer_storage::Schema::of_strings(&[]),
+            path.as_ref(),
+        );
+        // Schema inference needs the raw text; fall back to the infer API.
+        match table {
+            Ok(t) => self.register_table(t),
+            Err(_) => {
+                let text = std::fs::read_to_string(path.as_ref()).map_err(|source| {
+                    queryer_storage::StorageError::Io {
+                        context: format!("reading {}", path.as_ref().display()),
+                        source,
+                    }
+                })?;
+                self.register_csv_str(name, &text)
+            }
+        }
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.table.name()).collect()
+    }
+
+    /// Shared handle to a registered table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.tables[self.table_idx(name)?].table.clone())
+    }
+
+    pub(crate) fn table_idx(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(&name.to_lowercase())
+            .copied()
+            .ok_or_else(|| CoreError::Plan(format!("unknown table '{name}'")))
+    }
+
+    pub(crate) fn table_by_idx(&self, idx: usize) -> Arc<Table> {
+        self.tables[idx].table.clone()
+    }
+
+    /// The eagerly-sampled duplication factor of a table (Sec. 7.2.1).
+    pub fn duplication_factor(&self, name: &str) -> Result<f64> {
+        Ok(self.tables[self.table_idx(name)?].stats.duplication_factor)
+    }
+
+    /// The ER index of a table (for inspection/benchmarks).
+    pub fn er_index(&self, name: &str) -> Result<Arc<TableErIndex>> {
+        Ok(self.tables[self.table_idx(name)?].er.clone())
+    }
+
+    /// `(resolved entities, links)` currently in a table's Link Index.
+    pub fn link_index_stats(&self, name: &str) -> Result<(usize, usize)> {
+        let rt = &self.tables[self.table_idx(name)?];
+        let li = rt.li.read();
+        Ok((li.resolved_count(), li.link_count()))
+    }
+
+    /// Runs `f` with read access to a table's Link Index (benchmarks use
+    /// this to measure Pair Completeness against ground truth).
+    pub fn with_link_index<R>(&self, name: &str, f: impl FnOnce(&LinkIndex) -> R) -> Result<R> {
+        let rt = &self.tables[self.table_idx(name)?];
+        let li = rt.li.read();
+        Ok(f(&li))
+    }
+
+    /// Runs `f` with read access to the batch-cleaned Link Index of a
+    /// table (building the batch cleaning if needed).
+    pub fn with_batch_link_index<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&LinkIndex) -> R,
+    ) -> Result<R> {
+        let idx = self.table_idx(name)?;
+        let batch = self.ensure_batch(idx);
+        let li = batch.li.read();
+        Ok(f(&li))
+    }
+
+    /// Forgets all per-query resolution state (the "Without LI" ablation
+    /// of Fig. 11).
+    pub fn clear_link_indices(&self) {
+        for rt in &self.tables {
+            rt.li.write().clear();
+        }
+    }
+
+    /// Pre-computed percentage of `left` entities that join `right` on
+    /// the given columns (cached).
+    pub fn join_pct(&self, left: &str, left_col: &str, right: &str, right_col: &str) -> Result<f64> {
+        let li = self.table_idx(left)?;
+        let ri = self.table_idx(right)?;
+        let lt = &self.tables[li].table;
+        let rt = &self.tables[ri].table;
+        let lc = lt.schema().try_index_of(left_col)?;
+        let rc = rt.schema().try_index_of(right_col)?;
+        let key = (li, lc, ri, rc);
+        if let Some(&pct) = self.join_pct_cache.lock().get(&key) {
+            return Ok(pct);
+        }
+        let pct = join_percentage(lt, lc, rt, rc);
+        self.join_pct_cache.lock().insert(key, pct);
+        Ok(pct)
+    }
+
+    /// Batch-cleans a table (cached): the offline ER pass of the Batch
+    /// Approach, producing complete links and cluster assignments.
+    pub(crate) fn ensure_batch(&self, idx: usize) -> Arc<BatchClean> {
+        let rt = &self.tables[idx];
+        let mut guard = rt.batch.lock();
+        if let Some(b) = guard.as_ref() {
+            return b.clone();
+        }
+        let t0 = Instant::now();
+        let mut li = LinkIndex::new(rt.table.len());
+        let mut metrics = DedupMetrics::default();
+        rt.er.resolve_all(&rt.table, &mut li, &mut metrics);
+        let all: Vec<RecordId> = (0..rt.table.len() as RecordId).collect();
+        let cluster_map = rt.er.cluster_map(&li, &all);
+        let cluster_of: Vec<RecordId> = all
+            .iter()
+            .map(|id| *cluster_map.get(id).unwrap_or(id))
+            .collect();
+        let batch = Arc::new(BatchClean {
+            li: Arc::new(RwLock::new(li)),
+            cluster_of: Arc::new(cluster_of),
+            duration: t0.elapsed(),
+            metrics,
+        });
+        *guard = Some(batch.clone());
+        batch
+    }
+
+    /// Drops cached batch cleanings (to re-measure cleaning time).
+    pub fn clear_batch_cache(&self) {
+        for rt in &self.tables {
+            *rt.batch.lock() = None;
+        }
+    }
+
+    fn resolve_mode(stmt: &SelectStatement, mode: ExecMode) -> ExecMode {
+        match mode {
+            ExecMode::Auto => {
+                if stmt.dedup {
+                    ExecMode::Aes
+                } else {
+                    ExecMode::Plain
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn logical_plan(&self, stmt: &SelectStatement) -> Result<LogicalPlan> {
+        Ok(plan_select(stmt, &EngineSchemas(self))?)
+    }
+
+    fn make_context(&self, mode: ExecMode) -> ContextSetup {
+        let mut batch_clusters = FxHashMap::default();
+        let mut batch_duration = Duration::ZERO;
+        let mut batch_metrics = DedupMetrics::default();
+        let li: Vec<Arc<RwLock<LinkIndex>>> = if mode == ExecMode::Batch {
+            (0..self.tables.len())
+                .map(|i| {
+                    let b = self.ensure_batch(i);
+                    batch_clusters.insert(i, b.cluster_of.clone());
+                    batch_duration += b.duration;
+                    batch_metrics.merge(&b.metrics);
+                    b.li.clone()
+                })
+                .collect()
+        } else {
+            self.tables.iter().map(|t| t.li.clone()).collect()
+        };
+        let ctx = Arc::new(ExecContext {
+            tables: self.tables.iter().map(|t| t.table.clone()).collect(),
+            er: self.tables.iter().map(|t| t.er.clone()).collect(),
+            li,
+            metrics: Mutex::new(QueryMetrics::default()),
+        });
+        (ctx, batch_clusters, batch_duration, batch_metrics)
+    }
+
+    /// Parses, plans and executes a query with automatic strategy choice
+    /// (`DEDUP` → AES, plain SQL otherwise).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with(sql, ExecMode::Auto)
+    }
+
+    /// Parses, plans and executes a query under an explicit strategy.
+    pub fn execute_with(&self, sql: &str, mode: ExecMode) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let stmt = parse_select(sql)?;
+        let mode = Self::resolve_mode(&stmt, mode);
+        let logical = self.logical_plan(&stmt)?;
+        let (ctx, batch_clusters, batch_duration, batch_metrics) = self.make_context(mode);
+        let mut planner = Planner {
+            engine: self,
+            ctx: &ctx,
+            mode,
+            batch_clusters,
+            estimated: None,
+            out_columns: Vec::new(),
+        };
+        let PlanOutput {
+            mut root,
+            columns,
+            explain,
+            estimated,
+        } = planner.build(&logical)?;
+
+        let tuples = drain(root.as_mut());
+        let rows: Vec<Vec<queryer_storage::Value>> =
+            tuples.into_iter().map(|t| t.values).collect();
+        drop(root);
+
+        let mut metrics = ctx.metrics.lock().clone();
+        metrics.total = t0.elapsed() + batch_duration;
+        metrics.batch_clean = batch_duration;
+        metrics.er.merge(&batch_metrics);
+        metrics.rows_out = rows.len();
+        metrics.estimated_comparisons = estimated;
+        metrics.plan = explain;
+        Ok(QueryResult {
+            columns,
+            rows,
+            metrics,
+        })
+    }
+
+    /// Renders the physical plan a query would execute under a strategy.
+    pub fn explain(&self, sql: &str, mode: ExecMode) -> Result<String> {
+        let stmt = parse_select(sql)?;
+        let mode = Self::resolve_mode(&stmt, mode);
+        let logical = self.logical_plan(&stmt)?;
+        let (ctx, batch_clusters, _, _) = self.make_context(mode);
+        let mut planner = Planner {
+            engine: self,
+            ctx: &ctx,
+            mode,
+            batch_clusters,
+            estimated: None,
+            out_columns: Vec::new(),
+        };
+        Ok(planner.build(&logical)?.explain)
+    }
+}
+
+struct EngineSchemas<'a>(&'a QueryEngine);
+
+impl SchemaProvider for EngineSchemas<'_> {
+    fn table_columns(&self, table: &str) -> Option<Vec<String>> {
+        let idx = self.0.by_name.get(&table.to_lowercase())?;
+        Some(
+            self.0.tables[*idx]
+                .table
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,22 @@
+//! QueryER core: the paper's contribution.
+//!
+//! Implements the three novel query operators of Sec. 6 — **Deduplicate**,
+//! **Deduplicate-Join** and **Group-Entities** — as Volcano-style physical
+//! operators, the two planning strategies of Sec. 7 (the Naïve ER Solution
+//! and the cost-based Advanced ER Solution), the Batch Approach baseline of
+//! Sec. 5, and the [`engine::QueryEngine`] facade that ties parsing,
+//! planning, execution and metrics together (Fig. 2).
+
+pub mod binding;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod operators;
+pub mod planner;
+pub mod result;
+pub mod tuple;
+
+pub use engine::{ExecMode, QueryEngine};
+pub use error::{CoreError, Result};
+pub use metrics::QueryMetrics;
+pub use result::QueryResult;

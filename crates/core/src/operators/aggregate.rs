@@ -1,0 +1,240 @@
+//! Aggregation over the (possibly deduplicated and grouped) result
+//! stream — the aggregation-query extension listed as future work in
+//! Sec. 10. In a Dedupe query the aggregate runs **after**
+//! Group-Entities, so `COUNT(*)` counts real-world entities rather than
+//! dirty records.
+
+use crate::operators::{drain, Operator};
+use crate::tuple::Tuple;
+use queryer_sql::BoundExpr;
+use queryer_storage::Value;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Parses an upper-cased function name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate to compute; `arg` is `None` for `COUNT(*)`.
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Bound argument expression.
+    pub arg: Option<BoundExpr>,
+}
+
+/// Computes all aggregates in one pass, emitting a single tuple.
+pub struct AggregateOp {
+    input: Option<Box<dyn Operator>>,
+    specs: Vec<AggSpec>,
+    done: bool,
+}
+
+impl AggregateOp {
+    /// Creates the aggregate operator.
+    pub fn new(input: Box<dyn Operator>, specs: Vec<AggSpec>) -> Self {
+        Self {
+            input: Some(input),
+            specs,
+            done: false,
+        }
+    }
+}
+
+struct Accumulator {
+    count: u64,
+    sum: f64,
+    saw_numeric: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            saw_numeric: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn push(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_f64() {
+            self.sum += f;
+            self.saw_numeric = true;
+        }
+        let replace_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.cmp_sql(m) == std::cmp::Ordering::Less);
+        if replace_min {
+            self.min = Some(v.clone());
+        }
+        let replace_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.cmp_sql(m) == std::cmp::Ordering::Greater);
+        if replace_max {
+            self.max = Some(v);
+        }
+    }
+}
+
+impl Operator for AggregateOp {
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let mut input = self.input.take()?;
+        let tuples = drain(input.as_mut());
+        let mut star_count = 0u64;
+        let mut accs: Vec<Accumulator> = self.specs.iter().map(|_| Accumulator::new()).collect();
+        for t in &tuples {
+            star_count += 1;
+            for (spec, acc) in self.specs.iter().zip(accs.iter_mut()) {
+                if let Some(arg) = &spec.arg {
+                    acc.push(arg.eval(&t.values));
+                }
+            }
+        }
+        let values = self
+            .specs
+            .iter()
+            .zip(accs)
+            .map(|(spec, acc)| match (spec.func, &spec.arg) {
+                (AggFunc::Count, None) => Value::Int(star_count as i64),
+                (AggFunc::Count, Some(_)) => Value::Int(acc.count as i64),
+                (AggFunc::Sum, _) => {
+                    if acc.saw_numeric {
+                        Value::Float(acc.sum)
+                    } else {
+                        Value::Null
+                    }
+                }
+                (AggFunc::Avg, _) => {
+                    if acc.saw_numeric && acc.count > 0 {
+                        Value::Float(acc.sum / acc.count as f64)
+                    } else {
+                        Value::Null
+                    }
+                }
+                (AggFunc::Min, _) => acc.min.unwrap_or(Value::Null),
+                (AggFunc::Max, _) => acc.max.unwrap_or(Value::Null),
+            })
+            .collect();
+        Some(Tuple {
+            values,
+            entities: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::VecOperator;
+
+    fn tuples() -> Vec<Tuple> {
+        [1i64, 5, 3]
+            .iter()
+            .map(|&v| Tuple {
+                values: vec![Value::Int(v)],
+                entities: vec![],
+            })
+            .chain(std::iter::once(Tuple {
+                values: vec![Value::Null],
+                entities: vec![],
+            }))
+            .collect()
+    }
+
+    fn run(specs: Vec<AggSpec>) -> Vec<Value> {
+        let mut op = AggregateOp::new(Box::new(VecOperator::new(tuples())), specs);
+        let out = drain(&mut op);
+        assert_eq!(out.len(), 1);
+        out.into_iter().next().unwrap().values
+    }
+
+    #[test]
+    fn count_star_counts_rows_including_null() {
+        let v = run(vec![AggSpec {
+            func: AggFunc::Count,
+            arg: None,
+        }]);
+        assert_eq!(v, vec![Value::Int(4)]);
+    }
+
+    #[test]
+    fn count_col_skips_nulls() {
+        let v = run(vec![AggSpec {
+            func: AggFunc::Count,
+            arg: Some(BoundExpr::Column(0)),
+        }]);
+        assert_eq!(v, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let specs = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
+            .into_iter()
+            .map(|f| AggSpec {
+                func: f,
+                arg: Some(BoundExpr::Column(0)),
+            })
+            .collect();
+        let v = run(specs);
+        assert_eq!(v[0], Value::Float(9.0));
+        assert_eq!(v[1], Value::Float(3.0));
+        assert_eq!(v[2], Value::Int(1));
+        assert_eq!(v[3], Value::Int(5));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut op = AggregateOp::new(
+            Box::new(VecOperator::new(vec![])),
+            vec![
+                AggSpec {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    arg: Some(BoundExpr::Column(0)),
+                },
+            ],
+        );
+        let out = drain(&mut op);
+        assert_eq!(out[0].values, vec![Value::Int(0), Value::Null]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Row filters: the plain relational filter plus the cluster-aware
+//! variant needed when a filter is evaluated over already-deduplicated
+//! (or batch-cleaned) data.
+
+use crate::operators::{drain, Operator};
+use crate::tuple::Tuple;
+use queryer_common::FxHashSet;
+use queryer_sql::BoundExpr;
+use queryer_storage::RecordId;
+
+/// Plain relational filter (tuple-at-a-time).
+pub struct FilterOp {
+    input: Box<dyn Operator>,
+    predicate: BoundExpr,
+}
+
+impl FilterOp {
+    /// Creates a filter over `input`.
+    pub fn new(input: Box<dyn Operator>, predicate: BoundExpr) -> Self {
+        Self { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            let t = self.input.next()?;
+            if self.predicate.eval_bool(&t.values) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Cluster-aware filter over resolved/cluster-annotated single-table
+/// streams: keeps **every member** of a cluster in which at least one
+/// member satisfies the predicate. This is the filter semantics a query
+/// over deduplicated grouped entities has — a hyper-entity matches when
+/// any of its fused values matches — used by the Batch Approach plans and
+/// by the Fig. 5 naive plan where Deduplicate sits below the filter.
+pub struct ClusterFilterOp {
+    input: Option<Box<dyn Operator>>,
+    predicate: BoundExpr,
+    buffered: std::vec::IntoIter<Tuple>,
+}
+
+impl ClusterFilterOp {
+    /// Creates a cluster-aware filter over `input`.
+    pub fn new(input: Box<dyn Operator>, predicate: BoundExpr) -> Self {
+        Self {
+            input: Some(input),
+            predicate,
+            buffered: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for ClusterFilterOp {
+    fn next(&mut self) -> Option<Tuple> {
+        if let Some(mut input) = self.input.take() {
+            let tuples = drain(input.as_mut());
+            let mut passing_clusters: FxHashSet<(usize, RecordId)> = FxHashSet::default();
+            for t in &tuples {
+                if self.predicate.eval_bool(&t.values) {
+                    for e in &t.entities {
+                        passing_clusters.insert((e.table, e.cluster));
+                    }
+                }
+            }
+            let kept: Vec<Tuple> = tuples
+                .into_iter()
+                .filter(|t| {
+                    t.entities
+                        .iter()
+                        .all(|e| passing_clusters.contains(&(e.table, e.cluster)))
+                })
+                .collect();
+            self.buffered = kept.into_iter();
+        }
+        self.buffered.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::VecOperator;
+    use crate::tuple::EntityRef;
+    use queryer_sql::{bind, parse_select, ColumnBinder, ColumnRef};
+    use queryer_storage::Value;
+
+    struct OneCol;
+    impl ColumnBinder for OneCol {
+        fn resolve(&self, c: &ColumnRef) -> queryer_sql::Result<usize> {
+            if c.column == "a" {
+                Ok(0)
+            } else {
+                Err(queryer_sql::SqlError::Bind {
+                    message: "no".into(),
+                })
+            }
+        }
+    }
+
+    fn pred(s: &str) -> BoundExpr {
+        let stmt = parse_select(&format!("SELECT * FROM t WHERE {s}")).unwrap();
+        bind(&stmt.where_clause.unwrap(), &OneCol).unwrap()
+    }
+
+    fn tup(v: i64, cluster: RecordId) -> Tuple {
+        Tuple {
+            values: vec![Value::Int(v)],
+            entities: vec![EntityRef {
+                table: 0,
+                record: v as RecordId,
+                cluster,
+            }],
+        }
+    }
+
+    #[test]
+    fn plain_filter_drops_rows() {
+        let mut f = FilterOp::new(
+            Box::new(VecOperator::new(vec![tup(1, 1), tup(5, 5)])),
+            pred("a >= 3"),
+        );
+        let out = drain(&mut f);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values[0], Value::Int(5));
+    }
+
+    #[test]
+    fn cluster_filter_keeps_whole_cluster() {
+        // Records 1 and 2 share cluster 1; only record 2 passes.
+        let mut f = ClusterFilterOp::new(
+            Box::new(VecOperator::new(vec![tup(1, 1), tup(2, 1), tup(9, 9)])),
+            pred("a = 2"),
+        );
+        let out = drain(&mut f);
+        assert_eq!(out.len(), 2, "both members of cluster 1 survive");
+        assert!(out.iter().all(|t| t.entities[0].cluster == 1));
+    }
+
+    #[test]
+    fn cluster_filter_drops_fully_failing_cluster() {
+        let mut f = ClusterFilterOp::new(
+            Box::new(VecOperator::new(vec![tup(1, 1), tup(2, 1)])),
+            pred("a = 99"),
+        );
+        assert!(drain(&mut f).is_empty());
+    }
+}

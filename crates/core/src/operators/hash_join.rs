@@ -1,0 +1,164 @@
+//! Record-level hash equijoin.
+//!
+//! Used both as the plain SQL join and as the Deduplicate-Join Operation
+//! of Alg. 2 once both sides are resolved: joining the *member records*
+//! of two resolved sets produces a witnessing pair for every cluster pair
+//! whose members join, and the downstream Group-Entities operator expands
+//! each witnessed cluster pair to its full membership — equivalent to
+//! Alg. 2's `E_left × E_right` Cartesian products after grouping.
+
+use crate::operators::{drain, ExecContext, Operator};
+use crate::tuple::{join_key, Tuple};
+use queryer_common::{FxHashMap, Stopwatch};
+use queryer_storage::Value;
+use std::sync::Arc;
+
+/// Hash join: builds on the right input, probes with the left.
+pub struct HashJoinOp {
+    ctx: Arc<ExecContext>,
+    left: Box<dyn Operator>,
+    right: Option<Box<dyn Operator>>,
+    left_key: usize,
+    right_key: usize,
+    table: FxHashMap<Value, Vec<Tuple>>,
+    pending: Vec<Tuple>,
+}
+
+impl HashJoinOp {
+    /// Creates a join on `left.values[left_key] = right.values[right_key]`.
+    pub fn new(
+        ctx: Arc<ExecContext>,
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        left_key: usize,
+        right_key: usize,
+    ) -> Self {
+        Self {
+            ctx,
+            left,
+            right: Some(right),
+            left_key,
+            right_key,
+            table: FxHashMap::default(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn next(&mut self) -> Option<Tuple> {
+        // Build phase on first call.
+        if let Some(mut right) = self.right.take() {
+            let mut sw = Stopwatch::new();
+            sw.start();
+            for t in drain(right.as_mut()) {
+                let key = join_key(&t.values[self.right_key]);
+                if key.is_null() {
+                    continue;
+                }
+                self.table.entry(key).or_default().push(t);
+            }
+            sw.stop();
+            self.ctx.metrics.lock().join += sw.elapsed();
+        }
+        loop {
+            if let Some(t) = self.pending.pop() {
+                return Some(t);
+            }
+            let left = self.left.next()?;
+            let key = join_key(&left.values[self.left_key]);
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.table.get(&key) {
+                for r in matches {
+                    self.pending.push(left.clone().concat(r.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::VecOperator;
+    use crate::tuple::EntityRef;
+    use parking_lot::Mutex;
+
+    fn ctx() -> Arc<ExecContext> {
+        Arc::new(ExecContext {
+            tables: vec![],
+            er: vec![],
+            li: vec![],
+            metrics: Mutex::new(Default::default()),
+        })
+    }
+
+    fn tup(table: usize, id: u32, key: &str) -> Tuple {
+        Tuple {
+            values: vec![Value::str(key)],
+            entities: vec![EntityRef {
+                table,
+                record: id,
+                cluster: id,
+            }],
+        }
+    }
+
+    #[test]
+    fn joins_matching_keys() {
+        let left = vec![tup(0, 0, "edbt"), tup(0, 1, "vldb"), tup(0, 2, "none")];
+        let right = vec![tup(1, 0, "edbt"), tup(1, 1, "edbt"), tup(1, 2, "vldb")];
+        let mut j = HashJoinOp::new(
+            ctx(),
+            Box::new(VecOperator::new(left)),
+            Box::new(VecOperator::new(right)),
+            0,
+            0,
+        );
+        let out = drain(&mut j);
+        assert_eq!(out.len(), 3); // edbt×2 + vldb×1
+        for t in &out {
+            assert_eq!(t.values.len(), 2);
+            assert_eq!(t.entities.len(), 2);
+            assert_eq!(t.values[0], t.values[1]);
+        }
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let null_tup = Tuple {
+            values: vec![Value::Null],
+            entities: vec![],
+        };
+        let mut j = HashJoinOp::new(
+            ctx(),
+            Box::new(VecOperator::new(vec![null_tup.clone()])),
+            Box::new(VecOperator::new(vec![null_tup])),
+            0,
+            0,
+        );
+        assert!(drain(&mut j).is_empty());
+    }
+
+    #[test]
+    fn numeric_cross_type_join() {
+        let l = Tuple {
+            values: vec![Value::Int(3)],
+            entities: vec![],
+        };
+        let r = Tuple {
+            values: vec![Value::Float(3.0)],
+            entities: vec![],
+        };
+        let mut j = HashJoinOp::new(
+            ctx(),
+            Box::new(VecOperator::new(vec![l])),
+            Box::new(VecOperator::new(vec![r])),
+            0,
+            0,
+        );
+        assert_eq!(drain(&mut j).len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Row-count limit.
+
+use crate::operators::Operator;
+use crate::tuple::Tuple;
+
+/// Stops the stream after `n` tuples.
+pub struct LimitOp {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl LimitOp {
+    /// Creates a limit.
+    pub fn new(input: Box<dyn Operator>, n: usize) -> Self {
+        Self {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn next(&mut self) -> Option<Tuple> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let t = self.input.next()?;
+        self.remaining -= 1;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{drain, VecOperator};
+    use queryer_storage::Value;
+
+    fn tup(v: i64) -> Tuple {
+        Tuple {
+            values: vec![Value::Int(v)],
+            entities: vec![],
+        }
+    }
+
+    #[test]
+    fn truncates_stream() {
+        let mut l = LimitOp::new(Box::new(VecOperator::new(vec![tup(1), tup(2), tup(3)])), 2);
+        assert_eq!(drain(&mut l).len(), 2);
+    }
+
+    #[test]
+    fn zero_limit_empty() {
+        let mut l = LimitOp::new(Box::new(VecOperator::new(vec![tup(1)])), 0);
+        assert!(drain(&mut l).is_empty());
+    }
+}

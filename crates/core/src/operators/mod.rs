@@ -1,0 +1,75 @@
+//! Physical operators.
+//!
+//! QueryER "utilizes the established database pipelining architecture
+//! where the output of an operator is passed to its parent by
+//! implementing the Iterator Interface" (Sec. 7.2.2). Streaming operators
+//! (scan, filter, project) pipeline tuple-at-a-time; the ER operators are
+//! pipeline breakers that materialise their input on first `next`, like
+//! sorts in a classical engine.
+
+pub mod aggregate;
+pub mod dedup_join;
+pub mod deduplicate;
+pub mod filter;
+pub mod group_entities;
+pub mod hash_join;
+pub mod limit;
+pub mod project;
+pub mod scan;
+
+use crate::metrics::QueryMetrics;
+use crate::tuple::Tuple;
+use parking_lot::{Mutex, RwLock};
+use queryer_er::{LinkIndex, TableErIndex};
+use queryer_storage::Table;
+use std::sync::Arc;
+
+/// The Volcano iterator interface.
+pub trait Operator {
+    /// Produces the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<Tuple>;
+}
+
+/// Shared execution state: the catalog slice visible to this query plus
+/// the metrics sink. The link indices are the live per-table LIs for
+/// Dedupe queries, or the batch-cleaned LIs when running the Batch
+/// Approach baseline.
+pub struct ExecContext {
+    /// Tables by catalog index.
+    pub tables: Vec<Arc<Table>>,
+    /// ER index per table.
+    pub er: Vec<Arc<TableErIndex>>,
+    /// Link index per table.
+    pub li: Vec<Arc<RwLock<LinkIndex>>>,
+    /// Metrics accumulated by the operators.
+    pub metrics: Mutex<QueryMetrics>,
+}
+
+/// Drains an operator into a vector.
+pub fn drain(op: &mut dyn Operator) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    while let Some(t) = op.next() {
+        out.push(t);
+    }
+    out
+}
+
+/// A pre-materialised operator (test helper and plan glue).
+pub struct VecOperator {
+    tuples: std::vec::IntoIter<Tuple>,
+}
+
+impl VecOperator {
+    /// Wraps a tuple vector as an operator.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        Self {
+            tuples: tuples.into_iter(),
+        }
+    }
+}
+
+impl Operator for VecOperator {
+    fn next(&mut self) -> Option<Tuple> {
+        self.tuples.next()
+    }
+}

@@ -1,0 +1,55 @@
+//! Projection.
+
+use crate::operators::Operator;
+use crate::tuple::Tuple;
+use queryer_sql::BoundExpr;
+
+/// Projects bound expressions over input tuples. `Star` items are
+/// expanded to plain column expressions at planning time.
+pub struct ProjectOp {
+    input: Box<dyn Operator>,
+    exprs: Vec<BoundExpr>,
+}
+
+impl ProjectOp {
+    /// Creates a projection.
+    pub fn new(input: Box<dyn Operator>, exprs: Vec<BoundExpr>) -> Self {
+        Self { input, exprs }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn next(&mut self) -> Option<Tuple> {
+        let t = self.input.next()?;
+        Some(Tuple {
+            values: self.exprs.iter().map(|e| e.eval(&t.values)).collect(),
+            entities: t.entities,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{drain, VecOperator};
+    use crate::tuple::EntityRef;
+    use queryer_storage::Value;
+
+    #[test]
+    fn projects_selected_columns() {
+        let t = Tuple {
+            values: vec![Value::Int(1), Value::str("x"), Value::Int(9)],
+            entities: vec![EntityRef {
+                table: 0,
+                record: 0,
+                cluster: 0,
+            }],
+        };
+        let mut p = ProjectOp::new(
+            Box::new(VecOperator::new(vec![t])),
+            vec![BoundExpr::Column(2), BoundExpr::Column(1)],
+        );
+        let out = drain(&mut p);
+        assert_eq!(out[0].values, vec![Value::Int(9), Value::str("x")]);
+    }
+}

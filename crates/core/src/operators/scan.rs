@@ -1,0 +1,54 @@
+//! Table scan.
+
+use crate::operators::{ExecContext, Operator};
+use crate::tuple::{EntityRef, Tuple};
+use queryer_storage::RecordId;
+use std::sync::Arc;
+
+/// Scans a base table, emitting one tuple per record. In Batch mode the
+/// scan annotates each record with its batch-computed cluster; otherwise
+/// every record starts as its own cluster.
+pub struct TableScanOp {
+    ctx: Arc<ExecContext>,
+    table_idx: usize,
+    cluster_of: Option<Arc<Vec<RecordId>>>,
+    pos: usize,
+}
+
+impl TableScanOp {
+    /// Creates a scan over `table_idx`, optionally with a precomputed
+    /// record → cluster map (Batch Approach).
+    pub fn new(
+        ctx: Arc<ExecContext>,
+        table_idx: usize,
+        cluster_of: Option<Arc<Vec<RecordId>>>,
+    ) -> Self {
+        Self {
+            ctx,
+            table_idx,
+            cluster_of,
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for TableScanOp {
+    fn next(&mut self) -> Option<Tuple> {
+        let table = &self.ctx.tables[self.table_idx];
+        let record = table.record(self.pos as RecordId)?;
+        let id = record.id;
+        self.pos += 1;
+        let cluster = match &self.cluster_of {
+            Some(map) => map[id as usize],
+            None => id,
+        };
+        Some(Tuple {
+            values: record.values.clone(),
+            entities: vec![EntityRef {
+                table: self.table_idx,
+                record: id,
+                cluster,
+            }],
+        })
+    }
+}

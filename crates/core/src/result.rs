@@ -1,0 +1,98 @@
+//! Query results.
+
+use crate::metrics::QueryMetrics;
+use queryer_storage::Value;
+
+/// The materialized result of a query: column labels, rows, and the
+/// execution metrics used throughout the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Execution metrics.
+    pub metrics: QueryMetrics,
+}
+
+impl QueryResult {
+    /// Renders every row as strings (nulls → empty), sorted — a canonical
+    /// form for set-equality assertions between execution strategies
+    /// (DQ ≡ BAQ, Problem Statement condition 2).
+    pub fn canonical_rows(&self) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.render().into_owned()).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Pretty-prints the result as an aligned text table (examples/demos).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.render().into_owned()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryResult {
+        QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec![Value::str("z"), Value::Int(1)],
+                vec![Value::str("a"), Value::Null],
+            ],
+            metrics: QueryMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn canonical_rows_sorted_and_rendered() {
+        let r = sample();
+        assert_eq!(
+            r.canonical_rows(),
+            vec![vec!["a".to_string(), "".to_string()], vec!["z".to_string(), "1".to_string()]]
+        );
+    }
+
+    #[test]
+    fn table_rendering_contains_cells() {
+        let t = sample().to_table_string();
+        assert!(t.contains("| a"));
+        assert!(t.contains("| z"));
+        assert!(t.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end engine tests: every execution strategy over a small dirty
+//! catalog, checking the Problem Statement invariants (DQ correctness:
+//! DR_G ≡ R_G) at engine level.
+
+use queryer_core::engine::{ExecMode, QueryEngine};
+use queryer_er::ErConfig;
+
+/// Dirty publications: three duplicate clusters {0,1}, {2,3}, {5,6} and
+/// two singletons.
+const PUBS: &str = "\
+id,title,authors,venue,year
+0,collective entity resolution,allan blake,edbt,2008
+1,collective entity resolution,a. blake,extending database technology,2008
+2,entity resolution on big data,jane davids,sigmod,2017
+3,entity resolution on big data,j. davids,sigmod,2017
+4,query optimization survey,maria lopez,vldb,2015
+5,consumer data matching,lisa davidson,edbt,2015
+6,consumer data matching,l. davidson,edbt,2015
+7,streaming joins at scale,omar haddad,vldb,2019
+";
+
+/// Dirty venues: duplicate cluster {0,1} (abbreviation bridged by the
+/// description attribute) and singletons.
+const VENUES: &str = "\
+id,title,descr,rank
+0,edbt,extending database technology,1
+1,extending database technology,edbt,
+2,sigmod,acm conference management of data,1
+3,vldb,very large data bases,2
+";
+
+fn engine() -> QueryEngine {
+    let mut e = QueryEngine::new(ErConfig::default());
+    e.register_csv_str("P", PUBS).unwrap();
+    e.register_csv_str("V", VENUES).unwrap();
+    e
+}
+
+#[test]
+fn plain_sql_sees_dirty_rows() {
+    let e = engine();
+    let r = e
+        .execute_with("SELECT title FROM P WHERE venue = 'edbt'", ExecMode::Plain)
+        .unwrap();
+    // Records 0, 5, 6 match literally; duplicates are NOT merged.
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn dedup_sp_query_groups_duplicates() {
+    let e = engine();
+    let r = e
+        .execute("SELECT DEDUP title, year FROM P WHERE venue = 'edbt'")
+        .unwrap();
+    // Clusters {0,1} and {5,6}: two grouped rows, each fusing values.
+    assert_eq!(r.rows.len(), 2, "{:?}", r.rows);
+    assert_eq!(r.columns, vec!["title", "year"]);
+    let rendered = r.canonical_rows();
+    assert!(rendered.iter().any(|row| row[0].contains("collective")));
+    assert!(rendered.iter().any(|row| row[0].contains("consumer")));
+}
+
+#[test]
+fn all_er_strategies_agree_with_batch_on_sp() {
+    let e = engine();
+    let sql = "SELECT DEDUP title, year FROM P WHERE venue = 'edbt'";
+    let batch = e.execute_with(sql, ExecMode::Batch).unwrap().canonical_rows();
+    for mode in [ExecMode::Nes, ExecMode::NesEager, ExecMode::Aes] {
+        let r = e.execute_with(sql, mode).unwrap().canonical_rows();
+        assert_eq!(r, batch, "{mode:?} must equal the batch approach");
+    }
+}
+
+#[test]
+fn all_er_strategies_agree_with_batch_on_spj() {
+    let e = engine();
+    let sql = "SELECT DEDUP P.title, P.year, V.rank FROM P INNER JOIN V ON P.venue = V.title \
+               WHERE P.venue = 'edbt'";
+    let batch = e.execute_with(sql, ExecMode::Batch).unwrap().canonical_rows();
+    assert!(!batch.is_empty());
+    for mode in [ExecMode::Nes, ExecMode::Aes] {
+        let r = e.execute_with(sql, mode).unwrap().canonical_rows();
+        assert_eq!(r, batch, "{mode:?} must equal the batch approach");
+    }
+}
+
+#[test]
+fn spj_dedup_recovers_duplicate_joins() {
+    let e = engine();
+    // Plain SQL: only exact-text joins survive.
+    let sql_plain = "SELECT P.title, V.rank FROM P INNER JOIN V ON P.venue = V.title \
+                     WHERE P.venue = 'edbt'";
+    let plain = e.execute_with(sql_plain, ExecMode::Plain).unwrap();
+    // Dedup: cluster {0,1} joins V through both spellings, grouped as one.
+    let dedup = e
+        .execute_with(
+            "SELECT DEDUP P.title, V.rank FROM P INNER JOIN V ON P.venue = V.title \
+             WHERE P.venue = 'edbt'",
+            ExecMode::Aes,
+        )
+        .unwrap();
+    assert_eq!(dedup.rows.len(), 2, "{:?}", dedup.rows);
+    // The grouped result carries V's rank ("1") even though record 1's
+    // venue text only matches the duplicate venue record.
+    assert!(dedup
+        .canonical_rows()
+        .iter()
+        .any(|row| row[0].contains("collective") && row[1] == "1"));
+    // Plain returns record-level rows, none grouped.
+    assert!(plain.rows.len() >= 2);
+}
+
+#[test]
+fn link_index_makes_repeat_queries_cheaper() {
+    let e = engine();
+    let sql = "SELECT DEDUP title FROM P WHERE venue = 'edbt'";
+    let first = e.execute_with(sql, ExecMode::Aes).unwrap();
+    let second = e.execute_with(sql, ExecMode::Aes).unwrap();
+    assert!(first.metrics.comparisons() > 0);
+    assert_eq!(second.metrics.comparisons(), 0, "LI must serve repeats");
+    assert_eq!(first.canonical_rows(), second.canonical_rows());
+    // Clearing the LI restores the work.
+    e.clear_link_indices();
+    let third = e.execute_with(sql, ExecMode::Aes).unwrap();
+    assert_eq!(third.metrics.comparisons(), first.metrics.comparisons());
+}
+
+#[test]
+fn aes_estimates_branches_and_plans_dirty_join() {
+    let e = engine();
+    let sql = "SELECT DEDUP P.title FROM P INNER JOIN V ON P.venue = V.title \
+               WHERE P.venue = 'edbt'";
+    let r = e.execute_with(sql, ExecMode::Aes).unwrap();
+    assert!(r.metrics.estimated_comparisons.is_some());
+    assert!(r.metrics.plan.contains("DedupJoin"));
+    let explain = e.explain(sql, ExecMode::Aes).unwrap();
+    assert!(explain.contains("GroupEntities"));
+    assert!(explain.contains("Deduplicate"));
+}
+
+#[test]
+fn nes_plan_deduplicates_both_branches() {
+    let e = engine();
+    let explain = e
+        .explain(
+            "SELECT DEDUP P.title FROM P INNER JOIN V ON P.venue = V.title",
+            ExecMode::Nes,
+        )
+        .unwrap();
+    assert_eq!(explain.matches("Deduplicate").count(), 2, "{explain}");
+    assert!(explain.contains("DedupJoinOperation"));
+}
+
+#[test]
+fn aggregates_over_dedup_results() {
+    let e = engine();
+    let plain = e
+        .execute_with("SELECT COUNT(*) FROM P WHERE venue = 'edbt'", ExecMode::Plain)
+        .unwrap();
+    assert_eq!(plain.rows[0][0].as_int(), Some(3));
+    let dedup = e
+        .execute_with(
+            "SELECT DEDUP COUNT(*) FROM P WHERE venue = 'edbt'",
+            ExecMode::Aes,
+        )
+        .unwrap();
+    assert_eq!(
+        dedup.rows[0][0].as_int(),
+        Some(2),
+        "COUNT(*) over DEDUP counts real-world entities"
+    );
+}
+
+#[test]
+fn metrics_account_batch_cleaning() {
+    let e = engine();
+    let r = e
+        .execute_with("SELECT DEDUP title FROM P WHERE venue = 'edbt'", ExecMode::Batch)
+        .unwrap();
+    assert!(r.metrics.batch_clean > std::time::Duration::ZERO);
+    assert!(r.metrics.comparisons() > 0, "BA pays full-table comparisons");
+}
+
+#[test]
+fn duplication_factor_reflects_dirtiness() {
+    let e = engine();
+    let df = e.duplication_factor("P").unwrap();
+    assert!(df > 1.0, "P has duplicate clusters, df = {df}");
+}
+
+#[test]
+fn join_pct_statistic() {
+    let e = engine();
+    let pct = e.join_pct("P", "venue", "V", "title").unwrap();
+    assert!(pct > 0.5, "most publications reference a known venue: {pct}");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let e = engine();
+    assert!(e.execute("SELECT * FROM missing").is_err());
+    assert!(e.execute("SELECT nope FROM P").is_err());
+    assert!(e.execute("not sql at all").is_err());
+    assert!(e
+        .execute("SELECT COUNT(*), title FROM P") // mixed agg + column
+        .is_err());
+}
+
+#[test]
+fn limit_and_star() {
+    let e = engine();
+    let r = e.execute_with("SELECT * FROM P LIMIT 3", ExecMode::Plain).unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.columns.len(), 5);
+}

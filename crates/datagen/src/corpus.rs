@@ -1,0 +1,204 @@
+//! Static vocabulary used by the generators (the "frequency tables of
+//! real-world data" febrl seeds its records from).
+
+/// Common given names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
+    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "margaret",
+    "anthony", "betty", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin", "carol",
+    "brian", "amanda", "george", "melissa", "edward", "deborah", "ronald", "stephanie",
+    "timothy", "rebecca", "jason", "sharon", "jeffrey", "laura", "ryan", "cynthia", "jacob",
+    "kathleen", "gary", "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+    "stephen", "brenda", "larry", "pamela", "justin", "emma", "scott", "nicole", "brandon",
+    "helen", "benjamin", "samantha", "samuel", "katherine", "gregory", "christine", "frank",
+    "debra", "alexander", "rachel", "raymond", "carolyn", "patrick", "janet", "jack", "catherine",
+    "dennis", "maria", "jerry", "heather", "tyler", "diane", "aaron", "ruth", "jose", "julie",
+    "adam", "olivia", "nathan", "joyce", "henry", "virginia", "douglas", "victoria", "zachary",
+    "kelly", "peter", "lauren", "kyle", "christina", "ethan", "joan", "walter", "evelyn",
+    "noah", "judith", "jeremy", "megan", "christian", "andrea", "keith", "cheryl", "roger",
+    "hannah", "terry", "jacqueline", "gerald", "martha", "harold", "gloria", "sean", "teresa",
+    "austin", "ann", "carl", "sara", "arthur", "madison", "lawrence", "frances", "dylan",
+    "kathryn", "jesse", "janice", "jordan", "jean", "bryan", "abigail", "billy", "alice",
+    "joe", "julia", "bruce", "judy", "gabriel", "sophia", "logan", "grace", "albert", "denise",
+    "willie", "amber", "alan", "doris", "juan", "marilyn", "wayne", "danielle", "elijah",
+    "beverly", "randy", "isabella", "roy", "theresa", "vincent", "diana", "ralph", "natalie",
+];
+
+/// Common surnames.
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts", "gomez", "phillips", "evans",
+    "turner", "diaz", "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan", "cooper", "peterson",
+    "bailey", "reed", "kelly", "howard", "ramos", "kim", "cox", "ward", "richardson", "watson",
+    "brooks", "chavez", "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long", "ross", "foster",
+    "jimenez", "powell", "jenkins", "perry", "russell", "sullivan", "bell", "coleman", "butler",
+    "henderson", "barnes", "gonzales", "fisher", "vasquez", "simmons", "romero", "jordan",
+    "patterson", "alexander", "hamilton", "graham", "reynolds", "griffin", "wallace", "moreno",
+    "west", "cole", "hayes", "bryant", "herrera", "gibson", "ellis", "tran", "medina", "aguilar",
+    "stevens", "murray", "ford", "castro", "marshall", "owens", "harrison", "fernandez",
+    "mcdonald", "woods", "washington", "kennedy", "wells", "vargas", "henry", "chen", "freeman",
+    "webb", "tucker", "guzman", "burns", "crawford", "olson", "simpson", "porter", "hunter",
+    "gordon", "mendez", "silva", "shaw", "snyder", "mason", "dixon", "munoz", "hunt", "hicks",
+];
+
+/// Street names.
+pub const STREET_NAMES: &[&str] = &[
+    "baker", "high", "station", "church", "park", "victoria", "green", "main", "manor", "kings",
+    "queens", "new", "grange", "north", "south", "west", "east", "mill", "school", "richmond",
+    "york", "windsor", "alexandra", "stanley", "george", "albert", "chestnut", "cedar", "elm",
+    "maple", "oak", "willow", "poplar", "birch", "laurel", "magnolia", "juniper", "sycamore",
+    "highland", "sunset", "lake", "river", "hill", "valley", "meadow", "forest", "spring",
+    "garden", "orchard", "franklin", "jefferson", "lincoln", "madison", "monroe", "harrison",
+];
+
+/// Street types.
+pub const STREET_TYPES: &[&str] = &[
+    "street", "road", "avenue", "lane", "drive", "close", "crescent", "place", "court", "way",
+];
+
+/// Suburbs / towns.
+pub const SUBURBS: &[&str] = &[
+    "richmond", "fitzroy", "carlton", "brunswick", "northcote", "thornbury", "preston",
+    "coburg", "kensington", "footscray", "yarraville", "newport", "williamstown", "altona",
+    "sunshine", "st albans", "glenroy", "fawkner", "reservoir", "heidelberg", "ivanhoe",
+    "bulleen", "doncaster", "box hill", "burwood", "camberwell", "hawthorn", "kew", "toorak",
+    "prahran", "windsor", "st kilda", "elwood", "brighton", "sandringham", "mentone",
+    "mordialloc", "frankston", "dandenong", "springvale", "clayton", "oakleigh", "caulfield",
+    "malvern", "armadale", "ashburton", "glen iris", "balwyn", "montmorency", "eltham",
+];
+
+/// State / region codes.
+pub const STATES: &[&str] = &["vic", "nsw", "qld", "wa", "sa", "tas", "act", "nt"];
+
+/// Research terms for paper titles, keywords, fields.
+pub const RESEARCH_TERMS: &[&str] = &[
+    "entity", "resolution", "deduplication", "blocking", "meta-blocking", "matching", "linkage",
+    "record", "schema", "agnostic", "query", "processing", "optimization", "planning", "join",
+    "selection", "projection", "relational", "database", "databases", "distributed", "parallel",
+    "streaming", "incremental", "progressive", "adaptive", "scalable", "efficient", "fast",
+    "approximate", "exact", "similarity", "distance", "metric", "learning", "neural", "graph",
+    "graphs", "knowledge", "semantic", "ontology", "integration", "cleaning", "wrangling",
+    "profiling", "quality", "provenance", "lineage", "indexing", "hashing", "partitioning",
+    "sampling", "sketching", "summarization", "compression", "storage", "transactions",
+    "concurrency", "recovery", "replication", "consensus", "consistency", "availability",
+    "analytics", "warehouse", "olap", "oltp", "columnar", "vectorized", "compilation",
+    "benchmark", "evaluation", "survey", "framework", "system", "engine", "architecture",
+    "crowdsourcing", "provenance", "privacy", "security", "federated", "cloud", "serverless",
+    "workload", "cardinality", "estimation", "cost", "model", "tuning", "autonomous", "search",
+    "retrieval", "ranking", "recommendation", "mining", "clustering", "classification",
+    "detection", "extraction", "annotation", "curation", "visualization", "exploration",
+];
+
+/// Venue pool: `(abbreviation, full name)` pairs.
+pub const VENUES: &[(&str, &str)] = &[
+    ("edbt", "international conference on extending database technology"),
+    ("sigmod", "acm sigmod international conference on management of data"),
+    ("vldb", "international conference on very large data bases"),
+    ("icde", "ieee international conference on data engineering"),
+    ("cidr", "conference on innovative data systems research"),
+    ("kdd", "acm sigkdd conference on knowledge discovery and data mining"),
+    ("www", "the web conference"),
+    ("cikm", "acm international conference on information and knowledge management"),
+    ("icdm", "ieee international conference on data mining"),
+    ("sdm", "siam international conference on data mining"),
+    ("wsdm", "acm international conference on web search and data mining"),
+    ("pods", "acm symposium on principles of database systems"),
+    ("socc", "acm symposium on cloud computing"),
+    ("sigir", "acm sigir conference on research and development in information retrieval"),
+    ("ecir", "european conference on information retrieval"),
+    ("emnlp", "conference on empirical methods in natural language processing"),
+    ("acl", "annual meeting of the association for computational linguistics"),
+    ("neurips", "conference on neural information processing systems"),
+    ("icml", "international conference on machine learning"),
+    ("aaai", "aaai conference on artificial intelligence"),
+    ("ijcai", "international joint conference on artificial intelligence"),
+    ("dasfaa", "international conference on database systems for advanced applications"),
+    ("ssdbm", "international conference on scientific and statistical database management"),
+    ("bigdata", "ieee international conference on big data"),
+    ("icdt", "international conference on database theory"),
+    ("damon", "international workshop on data management on new hardware"),
+    ("tods", "acm transactions on database systems"),
+    ("tkde", "ieee transactions on knowledge and data engineering"),
+    ("pvldb", "proceedings of the vldb endowment"),
+    ("jdiq", "acm journal of data and information quality"),
+];
+
+/// Publisher names.
+pub const PUBLISHERS: &[&str] = &[
+    "acm", "ieee", "springer", "elsevier", "wiley", "morgan kaufmann", "mit press",
+    "cambridge university press", "oxford university press", "vldb endowment", "openproceedings",
+];
+
+/// Languages.
+pub const LANGUAGES: &[&str] = &["en", "de", "fr", "es", "it", "pt", "zh", "ja", "el", "nl"];
+
+/// Countries.
+pub const COUNTRIES: &[&str] = &[
+    "greece", "germany", "france", "italy", "spain", "portugal", "netherlands", "belgium",
+    "austria", "switzerland", "sweden", "norway", "denmark", "finland", "ireland", "poland",
+    "czechia", "hungary", "romania", "bulgaria", "croatia", "slovenia", "estonia", "latvia",
+    "lithuania", "cyprus", "malta", "luxembourg", "united kingdom", "united states",
+];
+
+/// Organisation kind words.
+pub const ORG_KINDS: &[&str] = &[
+    "university", "institute", "laboratory", "research center", "polytechnic", "academy",
+    "foundation", "college", "observatory", "consortium",
+];
+
+/// Organisation field words.
+pub const ORG_FIELDS: &[&str] = &[
+    "technology", "science", "informatics", "computing", "engineering", "mathematics",
+    "physics", "data science", "artificial intelligence", "biotechnology", "astronomy",
+    "economics", "medicine", "energy", "materials", "robotics",
+];
+
+/// City names for organisations.
+pub const CITIES: &[&str] = &[
+    "athens", "berlin", "paris", "rome", "madrid", "lisbon", "amsterdam", "brussels", "vienna",
+    "zurich", "stockholm", "oslo", "copenhagen", "helsinki", "dublin", "warsaw", "prague",
+    "budapest", "bucharest", "sofia", "zagreb", "ljubljana", "tallinn", "riga", "vilnius",
+    "nicosia", "valletta", "luxembourg", "london", "edinburgh", "manchester", "munich",
+    "hamburg", "cologne", "lyon", "marseille", "milan", "naples", "turin", "barcelona",
+    "valencia", "seville", "porto", "rotterdam", "antwerp", "graz", "geneva", "basel",
+    "gothenburg", "bergen", "aarhus", "tampere", "cork", "krakow", "brno", "debrecen",
+];
+
+/// Project funders.
+pub const FUNDERS: &[&str] = &[
+    "ec h2020", "ec fp7", "horizon europe", "nsf", "erc", "dfg", "anr", "epsrc", "elidek",
+    "gsrt", "snsf", "fwf", "nwo", "vr", "aka",
+];
+
+/// Venue meeting frequencies (Table 2's Frequency attribute).
+pub const FREQUENCIES: &[&str] = &["annual", "yearly", "biennial", "biyearly", "quarterly"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_reasonably_sized() {
+        assert!(FIRST_NAMES.len() >= 100);
+        assert!(SURNAMES.len() >= 100);
+        assert!(RESEARCH_TERMS.len() >= 80);
+        assert!(VENUES.len() >= 25);
+        assert!(CITIES.len() >= 40);
+    }
+
+    #[test]
+    fn venue_pairs_distinct() {
+        for (abbr, full) in VENUES {
+            assert_ne!(abbr, full);
+            assert!(!abbr.is_empty() && !full.is_empty());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! febrl-style record corruption (Sec. 9.1): "duplicates of these records
+//! were randomly generated based on real-world error characteristics …
+//! no more than 2 modifications/attribute, and up to 4
+//! modifications/record".
+
+use queryer_storage::Value;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Corruption model parameters.
+#[derive(Debug, Clone)]
+pub struct CorruptionConfig {
+    /// Maximum edits applied to a single attribute.
+    pub max_mods_per_attr: usize,
+    /// Maximum edits applied to a record.
+    pub max_mods_per_record: usize,
+    /// Probability an edit blanks the value entirely (missing value).
+    pub p_missing: f64,
+    /// Probability an edit abbreviates a token ("jonathan" → "j.").
+    pub p_abbrev: f64,
+    /// Probability an edit swaps two tokens.
+    pub p_token_swap: f64,
+    // Remaining probability mass applies a character-level typo.
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self {
+            max_mods_per_attr: 2,
+            max_mods_per_record: 4,
+            p_missing: 0.08,
+            p_abbrev: 0.18,
+            p_token_swap: 0.12,
+        }
+    }
+}
+
+/// Applies the corruption model with a caller-provided RNG.
+pub struct Corruptor {
+    cfg: CorruptionConfig,
+}
+
+impl Corruptor {
+    /// Creates a corruptor.
+    pub fn new(cfg: CorruptionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Corrupts a record in place. Only the columns in `corruptible` are
+    /// touched; between 1 and `max_mods_per_record` edits are applied.
+    pub fn corrupt_record(&self, rng: &mut StdRng, values: &mut [Value], corruptible: &[usize]) {
+        if corruptible.is_empty() {
+            return;
+        }
+        let n_mods = rng.random_range(1..=self.cfg.max_mods_per_record);
+        let mut per_attr = vec![0usize; values.len()];
+        for _ in 0..n_mods {
+            let col = corruptible[rng.random_range(0..corruptible.len())];
+            if per_attr[col] >= self.cfg.max_mods_per_attr {
+                continue;
+            }
+            per_attr[col] += 1;
+            values[col] = self.corrupt_value(rng, &values[col]);
+        }
+    }
+
+    /// Applies one edit to a value.
+    pub fn corrupt_value(&self, rng: &mut StdRng, v: &Value) -> Value {
+        let roll: f64 = rng.random();
+        match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => {
+                if roll < self.cfg.p_missing * 2.0 {
+                    Value::Null
+                } else if roll < self.cfg.p_missing * 2.0 + 0.3 {
+                    // Off-by-small numeric error (wrong year, wrong count).
+                    Value::Int(i + rng.random_range(-2i64..=2))
+                } else {
+                    Value::Int(*i)
+                }
+            }
+            Value::Float(f) => Value::Float(*f),
+            Value::Str(s) => {
+                if roll < self.cfg.p_missing {
+                    Value::Null
+                } else if roll < self.cfg.p_missing + self.cfg.p_abbrev {
+                    Value::str(abbreviate(rng, s))
+                } else if roll < self.cfg.p_missing + self.cfg.p_abbrev + self.cfg.p_token_swap {
+                    Value::str(swap_tokens(rng, s))
+                } else {
+                    Value::str(typo(rng, s))
+                }
+            }
+        }
+    }
+}
+
+/// Abbreviates one randomly chosen multi-char token to its initial + '.'.
+fn abbreviate(rng: &mut StdRng, s: &str) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.is_empty() {
+        return s.to_string();
+    }
+    let idx = rng.random_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i == idx && t.chars().count() > 2 {
+                let first = t.chars().next().expect("non-empty token");
+                format!("{first}.")
+            } else {
+                (*t).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Swaps two adjacent tokens (e.g. "davidson lisa" for "lisa davidson").
+fn swap_tokens(rng: &mut StdRng, s: &str) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return typo(rng, s);
+    }
+    let i = rng.random_range(0..tokens.len() - 1);
+    tokens.swap(i, i + 1);
+    tokens.join(" ")
+}
+
+/// One keyboard-style character edit: insert, delete, substitute or
+/// transpose.
+fn typo(rng: &mut StdRng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return s.to_string();
+    }
+    let pos = rng.random_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        0 => {
+            // Insert a random lowercase letter.
+            let c = (b'a' + rng.random_range(0..26u8)) as char;
+            out.insert(pos, c);
+        }
+        1 => {
+            if out.len() > 1 {
+                out.remove(pos);
+            }
+        }
+        2 => {
+            let c = (b'a' + rng.random_range(0..26u8)) as char;
+            out[pos] = c;
+        }
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else if out.len() > 1 {
+                out.swap(pos, pos - 1);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn respects_per_record_budget() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut r = rng();
+        for _ in 0..100 {
+            let original: Vec<Value> = (0..6).map(|i| Value::str(format!("value number {i}"))).collect();
+            let mut copy = original.clone();
+            c.corrupt_record(&mut r, &mut copy, &[0, 1, 2, 3, 4, 5]);
+            let changed = original
+                .iter()
+                .zip(&copy)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(changed <= 4, "at most 4 attributes touched");
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let run = || {
+            let mut r = rng();
+            let mut v = vec![Value::str("jonathan smith"), Value::str("23 baker street")];
+            c.corrupt_record(&mut r, &mut v, &[0, 1]);
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn typos_stay_close() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = typo(&mut r, "jonathan");
+            let diff = (t.len() as i64 - 8).abs();
+            assert!(diff <= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn abbreviate_shortens_a_token() {
+        let mut r = rng();
+        let a = abbreviate(&mut r, "jonathan smith");
+        assert!(a.contains('.'), "{a}");
+        assert!(a.split_whitespace().count() == 2);
+    }
+
+    #[test]
+    fn swap_keeps_tokens() {
+        let mut r = rng();
+        let s = swap_tokens(&mut r, "lisa davidson");
+        assert_eq!(s, "davidson lisa");
+    }
+
+    #[test]
+    fn null_and_numeric_handling() {
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut r = rng();
+        assert_eq!(c.corrupt_value(&mut r, &Value::Null), Value::Null);
+        for _ in 0..50 {
+            match c.corrupt_value(&mut r, &Value::Int(2008)) {
+                Value::Int(i) => assert!((2006..=2010).contains(&i)),
+                Value::Null => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_strings_survive() {
+        let mut r = rng();
+        assert_eq!(typo(&mut r, ""), "");
+        let c = Corruptor::new(CorruptionConfig::default());
+        let mut vals = [Value::str("")];
+        c.corrupt_record(&mut r, &mut vals, &[0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Dataset assembly: originals + corrupted duplicates → shuffled table
+//! with dense ids and exact ground truth.
+
+use crate::corrupt::{CorruptionConfig, Corruptor};
+use crate::groundtruth::GroundTruth;
+use queryer_storage::{DataType, Field, RecordId, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A generated table with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The dirty table. Column 0 is always `id: Int` (assigned after
+    /// shuffling, so ids are uncorrelated with clusters — the property
+    /// the paper's Q9 `MOD(id, 10) < 1` predicate relies on for a random
+    /// selection).
+    pub table: Table,
+    /// True duplicate clusters.
+    pub truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Records in the table (|E|, Table 7).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Parameters shared by every generator.
+#[derive(Debug, Clone)]
+pub struct DirtySpec {
+    /// Target total record count (originals + duplicates).
+    pub n_records: usize,
+    /// Fraction of records that are duplicates (PPL: 0.40, OpenAIRE: 0.10).
+    pub dup_ratio: f64,
+    /// Maximum duplicates generated per original (paper: 3).
+    pub max_dups_per_record: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Corruption model.
+    pub corruption: CorruptionConfig,
+}
+
+impl DirtySpec {
+    /// Standard spec with the paper's febrl parameters.
+    pub fn new(n_records: usize, dup_ratio: f64, seed: u64) -> Self {
+        Self {
+            n_records,
+            dup_ratio,
+            max_dups_per_record: 3,
+            seed,
+            corruption: CorruptionConfig::default(),
+        }
+    }
+
+    /// Number of original (duplicate-free) records to generate.
+    pub fn n_originals(&self) -> usize {
+        ((self.n_records as f64) * (1.0 - self.dup_ratio)).round() as usize
+    }
+}
+
+/// Builds a schema whose first column is `id: Int`.
+pub fn schema_with_id(fields: &[(&str, DataType)]) -> Schema {
+    let mut all = vec![Field::new("id", DataType::Int)];
+    all.extend(fields.iter().map(|(n, t)| Field::new(*n, *t)));
+    Schema::new(all)
+}
+
+/// Assembles a dirty dataset: takes the original rows (WITHOUT the id
+/// column), generates corrupted duplicates per the spec, shuffles
+/// everything, assigns dense ids, and records the ground truth.
+/// `corruptible` lists the column indices (in the id-less row layout)
+/// the corruptor may touch.
+pub fn assemble(
+    name: &str,
+    schema: Schema,
+    originals: Vec<Vec<Value>>,
+    spec: &DirtySpec,
+    corruptible: &[usize],
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let corruptor = Corruptor::new(spec.corruption.clone());
+    let n_orig = originals.len();
+    let dup_budget = spec.n_records.saturating_sub(n_orig);
+
+    // (origin index, row values without id).
+    let mut items: Vec<(usize, Vec<Value>)> = originals
+        .into_iter()
+        .enumerate()
+        .collect();
+    let mut dups_of = vec![0usize; n_orig];
+    let mut made = 0usize;
+    let mut attempts = 0usize;
+    while made < dup_budget && attempts < dup_budget * 20 {
+        attempts += 1;
+        let origin = rng.random_range(0..n_orig);
+        if dups_of[origin] >= spec.max_dups_per_record {
+            continue;
+        }
+        dups_of[origin] += 1;
+        let mut copy = items[origin].1.clone();
+        corruptor.corrupt_record(&mut rng, &mut copy, corruptible);
+        items.push((origin, copy));
+        made += 1;
+    }
+
+    // Fisher-Yates shuffle so duplicates are scattered through the table.
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+
+    let mut table = Table::new(name, schema);
+    table.reserve(items.len());
+    let mut cluster_members: Vec<Vec<RecordId>> = vec![Vec::new(); n_orig];
+    for (pos, (origin, row)) in items.into_iter().enumerate() {
+        let mut values = Vec::with_capacity(row.len() + 1);
+        values.push(Value::Int(pos as i64));
+        values.extend(row);
+        let id = table.push_row(values).expect("schema arity");
+        cluster_members[origin].push(id);
+    }
+    let clusters: Vec<Vec<RecordId>> = cluster_members
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .collect();
+    Dataset {
+        table,
+        truth: GroundTruth::from_clusters(clusters),
+    }
+}
+
+/// Deterministic pick helper shared by the generators.
+pub(crate) fn pick<'a, T: ?Sized>(rng: &mut StdRng, pool: &'a [&'a T]) -> &'a T {
+    pool[rng.random_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(spec: &DirtySpec) -> Dataset {
+        let schema = schema_with_id(&[("name", DataType::Str), ("city", DataType::Str)]);
+        let originals: Vec<Vec<Value>> = (0..spec.n_originals())
+            .map(|i| {
+                vec![
+                    Value::str(format!("person number {i}")),
+                    Value::str(format!("city{}", i % 7)),
+                ]
+            })
+            .collect();
+        assemble("t", schema, originals, spec, &[0, 1])
+    }
+
+    #[test]
+    fn reaches_target_size_and_dup_ratio() {
+        let spec = DirtySpec::new(1000, 0.4, 42);
+        let d = tiny(&spec);
+        assert_eq!(d.len(), 1000);
+        let dup_records: usize = d.truth.clusters().iter().map(|c| c.len() - 1).sum();
+        let ratio = dup_records as f64 / d.len() as f64;
+        assert!((ratio - 0.4).abs() < 0.02, "dup ratio {ratio}");
+    }
+
+    #[test]
+    fn cluster_size_capped() {
+        let spec = DirtySpec::new(500, 0.4, 1);
+        let d = tiny(&spec);
+        assert!(d.truth.clusters().iter().all(|c| c.len() <= 4));
+    }
+
+    #[test]
+    fn ids_are_dense_and_shuffled() {
+        let spec = DirtySpec::new(300, 0.4, 9);
+        let d = tiny(&spec);
+        for (i, r) in d.table.records().iter().enumerate() {
+            assert_eq!(r.value(0), &Value::Int(i as i64));
+        }
+        // Clusters must not be contiguous runs (shuffling worked).
+        let adjacent = d
+            .truth
+            .clusters()
+            .iter()
+            .flat_map(|c| c.windows(2))
+            .filter(|w| w[1] == w[0] + 1)
+            .count();
+        let total_pairs: usize = d.truth.clusters().iter().map(|c| c.len() - 1).sum();
+        assert!(adjacent * 5 < total_pairs.max(1) * 4, "{adjacent}/{total_pairs}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = DirtySpec::new(200, 0.3, 5);
+        let a = tiny(&spec);
+        let b = tiny(&spec);
+        assert_eq!(a.table.records(), b.table.records());
+        let spec2 = DirtySpec::new(200, 0.3, 6);
+        let c = tiny(&spec2);
+        assert_ne!(a.table.records(), c.table.records());
+    }
+}

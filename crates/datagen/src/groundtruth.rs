@@ -1,0 +1,136 @@
+//! Ground truth for generated datasets and the Pair Completeness measure
+//! (Sec. 9.1: "PC estimates the effectiveness (recall) … the portion of
+//! duplicates from the input QE_E that co-occur in at least one block").
+
+use queryer_common::{FxHashSet, PairSet};
+use queryer_storage::RecordId;
+
+/// The true duplicate clusters of a generated dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    clusters: Vec<Vec<RecordId>>,
+    pairs: PairSet,
+}
+
+impl GroundTruth {
+    /// Builds the ground truth from duplicate clusters (singletons may be
+    /// omitted — they carry no pairs).
+    pub fn from_clusters(clusters: Vec<Vec<RecordId>>) -> Self {
+        let mut pairs = PairSet::new();
+        for c in &clusters {
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    pairs.insert(c[i], c[j]);
+                }
+            }
+        }
+        Self { clusters, pairs }
+    }
+
+    /// The duplicate clusters (size ≥ 2 only are meaningful).
+    pub fn clusters(&self) -> &[Vec<RecordId>] {
+        &self.clusters
+    }
+
+    /// Total number of true duplicate pairs — the paper's |L_E| (Table 7).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether `(a, b)` is a true duplicate pair.
+    pub fn is_duplicate(&self, a: RecordId, b: RecordId) -> bool {
+        self.pairs.contains(a, b)
+    }
+
+    /// Iterates all true pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (RecordId, RecordId)> + '_ {
+        self.pairs.iter()
+    }
+
+    /// Pair Completeness of a resolution outcome restricted to a query:
+    /// the fraction of true pairs touching `qe` that the system linked
+    /// (`linked` is typically "same cluster in the Link Index").
+    /// Returns 1.0 when the query touches no true pair.
+    pub fn pc_for_qe(
+        &self,
+        qe: &FxHashSet<RecordId>,
+        linked: impl Fn(RecordId, RecordId) -> bool,
+    ) -> f64 {
+        let mut relevant = 0usize;
+        let mut found = 0usize;
+        for (a, b) in self.pairs.iter() {
+            if qe.contains(&a) || qe.contains(&b) {
+                relevant += 1;
+                if linked(a, b) {
+                    found += 1;
+                }
+            }
+        }
+        if relevant == 0 {
+            1.0
+        } else {
+            found as f64 / relevant as f64
+        }
+    }
+
+    /// Precision/recall of a full set of predicted links.
+    pub fn precision_recall(
+        &self,
+        predicted: impl Iterator<Item = (RecordId, RecordId)>,
+    ) -> (f64, f64) {
+        let mut tp = 0usize;
+        let mut n_pred = 0usize;
+        for (a, b) in predicted {
+            n_pred += 1;
+            if self.is_duplicate(a, b) {
+                tp += 1;
+            }
+        }
+        let precision = if n_pred == 0 { 1.0 } else { tp as f64 / n_pred as f64 };
+        let recall = if self.pair_count() == 0 {
+            1.0
+        } else {
+            tp as f64 / self.pair_count() as f64
+        };
+        (precision, recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt() -> GroundTruth {
+        GroundTruth::from_clusters(vec![vec![0, 1, 2], vec![5, 6]])
+    }
+
+    #[test]
+    fn pair_expansion() {
+        let g = gt();
+        assert_eq!(g.pair_count(), 4); // 3 from the triple + 1
+        assert!(g.is_duplicate(0, 2));
+        assert!(g.is_duplicate(6, 5));
+        assert!(!g.is_duplicate(0, 5));
+    }
+
+    #[test]
+    fn pc_restricted_to_qe() {
+        let g = gt();
+        let qe: FxHashSet<RecordId> = [0].into_iter().collect();
+        // Pairs touching 0: (0,1), (0,2). Pretend we only linked (0,1).
+        let pc = g.pc_for_qe(&qe, |a, b| (a, b) == (0, 1) || (a, b) == (1, 0));
+        assert!((pc - 0.5).abs() < 1e-9);
+        // No relevant pairs → perfect PC by convention.
+        let qe_empty: FxHashSet<RecordId> = [9].into_iter().collect();
+        assert_eq!(g.pc_for_qe(&qe_empty, |_, _| false), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_counts() {
+        let g = gt();
+        let predicted = vec![(0, 1), (5, 6), (0, 9)];
+        let (p, r) = g.precision_recall(predicted.into_iter());
+        assert!((p - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic dirty-data generators for the QueryER evaluation.
+//!
+//! The paper's datasets (Sec. 9.1) are either unavailable or require
+//! multi-GB downloads, so this crate rebuilds their *shapes*: schema
+//! widths, duplication factors and token-overlap structure per Table 7,
+//! with febrl-style duplicate corruption ("up to 3 duplicates per record,
+//! no more than 2 modifications/attribute, and up to 4
+//! modifications/record"). Every dataset carries its ground truth so Pair
+//! Completeness (PC) can be measured exactly.
+//!
+//! Generators are deterministic per seed.
+
+pub mod corpus;
+pub mod corrupt;
+pub mod dataset;
+pub mod groundtruth;
+pub mod openaire;
+pub mod person;
+pub mod scholarly;
+pub mod workload;
+
+pub use corrupt::{CorruptionConfig, Corruptor};
+pub use dataset::Dataset;
+pub use groundtruth::GroundTruth;

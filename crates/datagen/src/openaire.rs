@@ -1,0 +1,150 @@
+//! OpenAIRE-shaped datasets: Organisations (OAO, |A|=3) and Projects
+//! (OAP, |A|=8), "modified using febrl to include 10% duplicate records"
+//! (Sec. 9.1).
+
+use crate::corpus::*;
+use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
+use queryer_storage::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fraction of projects whose organisation exists in OAO.
+const OAP_ORG_FRACTION: f64 = 0.9;
+
+/// Generates the Organisations dataset (3 attributes: name, country,
+/// city) with 10% duplicates.
+pub fn organizations(n: usize, seed: u64) -> Dataset {
+    let spec = DirtySpec::new(n, 0.10, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let originals: Vec<Vec<Value>> = (0..spec.n_originals())
+        .map(|i| {
+            let city = pick(&mut rng, CITIES);
+            let name = match rng.random_range(0..3u8) {
+                0 => format!("{} of {}", pick(&mut rng, ORG_KINDS), city),
+                1 => format!(
+                    "{} {} of {}",
+                    city,
+                    pick(&mut rng, ORG_KINDS),
+                    pick(&mut rng, ORG_FIELDS)
+                ),
+                _ => format!(
+                    "{} for {} research {}",
+                    pick(&mut rng, ORG_KINDS),
+                    pick(&mut rng, ORG_FIELDS),
+                    i
+                ),
+            };
+            vec![
+                Value::str(name),
+                Value::str(pick(&mut rng, COUNTRIES)),
+                Value::str(city),
+            ]
+        })
+        .collect();
+    let schema = schema_with_id(&[
+        ("name", DataType::Str),
+        ("country", DataType::Str),
+        ("city", DataType::Str),
+    ]);
+    assemble("oao", schema, originals, &spec, &[0, 1, 2])
+}
+
+/// Generates the Projects dataset (8 attributes) with 10% duplicates;
+/// `orgs` provides the organisation names the `org` column joins on.
+pub fn projects(n: usize, seed: u64, orgs: &Dataset) -> Dataset {
+    let spec = DirtySpec::new(n, 0.10, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(101));
+    let org_name_col = orgs.table.schema().index_of("name").expect("orgs schema");
+    let originals: Vec<Vec<Value>> = (0..spec.n_originals())
+        .map(|i| {
+            let t1 = pick(&mut rng, RESEARCH_TERMS);
+            let t2 = pick(&mut rng, RESEARCH_TERMS);
+            let t3 = pick(&mut rng, RESEARCH_TERMS);
+            let title = format!("{t1} {t2} for {t3} applications");
+            let acronym = format!(
+                "{}{}{}",
+                t1.chars().next().unwrap_or('x'),
+                t2.chars().next().unwrap_or('y'),
+                i % 997
+            );
+            let start = rng.random_range(2004..=2022i64);
+            let org = if rng.random_range(0.0..1.0) < OAP_ORG_FRACTION && !orgs.table.is_empty() {
+                let pos = rng.random_range(0..orgs.table.len());
+                orgs.table
+                    .record_unchecked(pos as u32)
+                    .value(org_name_col)
+                    .clone()
+            } else {
+                Value::str(format!("independent partnership {i}"))
+            };
+            vec![
+                Value::str(title),
+                Value::str(acronym),
+                Value::str(pick(&mut rng, FUNDERS)),
+                Value::Int(start),
+                Value::Int(start + rng.random_range(2..=5i64)),
+                Value::Int(rng.random_range(50_000..=5_000_000i64)),
+                org,
+                Value::str(pick(&mut rng, COUNTRIES)),
+            ]
+        })
+        .collect();
+    let schema = schema_with_id(&[
+        ("title", DataType::Str),
+        ("acronym", DataType::Str),
+        ("funder", DataType::Str),
+        ("start_year", DataType::Int),
+        ("end_year", DataType::Int),
+        ("budget", DataType::Int),
+        ("org", DataType::Str),
+        ("country", DataType::Str),
+    ]);
+    // The org column (index 6) is not corrupted so the join relationship
+    // survives; real aggregators key these references too.
+    assemble("oap", schema, originals, &spec, &[0, 1, 2, 3, 4, 7])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn org_shape() {
+        let d = organizations(500, 3);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.table.schema().len(), 4); // id + 3 attrs (Table 7: |A|=3)
+        let dup_records: usize = d.truth.clusters().iter().map(|c| c.len() - 1).sum();
+        let ratio = dup_records as f64 / d.len() as f64;
+        assert!((ratio - 0.10).abs() < 0.03, "{ratio}");
+    }
+
+    #[test]
+    fn project_shape_and_join() {
+        let orgs = organizations(300, 3);
+        let d = projects(800, 4, &orgs);
+        assert_eq!(d.table.schema().len(), 9); // id + 8 attrs (Table 7: |A|=8)
+        let org_col = d.table.schema().index_of("org").unwrap();
+        let org_name_col = orgs.table.schema().index_of("name").unwrap();
+        let org_names: std::collections::HashSet<String> = orgs
+            .table
+            .records()
+            .iter()
+            .map(|r| r.value(org_name_col).render().into_owned())
+            .collect();
+        let joining = d
+            .table
+            .records()
+            .iter()
+            .filter(|r| org_names.contains(r.value(org_col).render().as_ref()))
+            .count();
+        let pct = joining as f64 / d.len() as f64;
+        assert!(pct > 0.7, "most projects must reference a known org: {pct}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = organizations(100, 7);
+        let b = organizations(100, 7);
+        assert_eq!(a.table.records(), b.table.records());
+    }
+}

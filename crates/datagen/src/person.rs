@@ -1,0 +1,130 @@
+//! The synthetic People datasets PPL200K–2M (Sec. 9.1): 12 attributes,
+//! 40% duplicates, up to 3 duplicates per record, with "an extra
+//! attribute … to assign an organisation to each person (from OAO) to
+//! create a relationship between them".
+
+use crate::corpus::*;
+use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
+use queryer_storage::{DataType, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fraction of people whose `org` value exists in OAO.
+const PPL_ORG_FRACTION: f64 = 0.85;
+
+/// Generates a People dataset of `n` records referencing `orgs`.
+pub fn people(n: usize, seed: u64, orgs: &Dataset) -> Dataset {
+    let spec = DirtySpec::new(n, 0.40, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7777));
+    let org_name_col = orgs.table.schema().index_of("name").expect("orgs schema");
+    let originals: Vec<Vec<Value>> = (0..spec.n_originals())
+        .map(|i| {
+            let given = pick(&mut rng, FIRST_NAMES);
+            let surname = pick(&mut rng, SURNAMES);
+            let birth_year = rng.random_range(1940..=2003i64);
+            let dob = format!(
+                "{birth_year}-{:02}-{:02}",
+                rng.random_range(1..=12u32),
+                rng.random_range(1..=28u32)
+            );
+            let org = if rng.random_range(0.0..1.0) < PPL_ORG_FRACTION && !orgs.table.is_empty() {
+                let pos = rng.random_range(0..orgs.table.len());
+                orgs.table
+                    .record_unchecked(pos as u32)
+                    .value(org_name_col)
+                    .clone()
+            } else {
+                Value::Null
+            };
+            vec![
+                Value::str(given),
+                Value::str(surname),
+                Value::Int(rng.random_range(1..=999i64)),
+                Value::str(format!(
+                    "{} {}",
+                    pick(&mut rng, STREET_NAMES),
+                    pick(&mut rng, STREET_TYPES)
+                )),
+                if rng.random_range(0.0..1.0) < 0.3 {
+                    Value::str(format!("unit {}", rng.random_range(1..=40u32)))
+                } else {
+                    Value::Null
+                },
+                Value::str(pick(&mut rng, SUBURBS)),
+                Value::str(format!("{}", rng.random_range(2000..=7999u32))),
+                Value::str(pick(&mut rng, STATES)),
+                Value::str(dob),
+                Value::Int(2024 - birth_year),
+                Value::str(format!(
+                    "0{}-{:04}-{:04}",
+                    rng.random_range(2..=8u32),
+                    rng.random_range(1000..=9999u32),
+                    (i as u32) % 10000
+                )),
+                org,
+            ]
+        })
+        .collect();
+    let schema = schema_with_id(&[
+        ("given_name", DataType::Str),
+        ("surname", DataType::Str),
+        ("street_number", DataType::Int),
+        ("address_1", DataType::Str),
+        ("address_2", DataType::Str),
+        ("suburb", DataType::Str),
+        ("postcode", DataType::Str),
+        ("state", DataType::Str),
+        ("date_of_birth", DataType::Str),
+        ("age", DataType::Int),
+        ("phone", DataType::Str),
+        ("org", DataType::Str),
+    ]);
+    // Everything except the org reference (index 11) may be corrupted.
+    assemble(
+        "ppl",
+        schema,
+        originals,
+        &spec,
+        &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openaire::organizations;
+
+    #[test]
+    fn shape_matches_table7() {
+        let orgs = organizations(100, 1);
+        let d = people(1000, 2, &orgs);
+        assert_eq!(d.len(), 1000);
+        assert_eq!(d.table.schema().len(), 13); // id + 12 attrs (|A|=12)
+        let dup_records: usize = d.truth.clusters().iter().map(|c| c.len() - 1).sum();
+        let ratio = dup_records as f64 / d.len() as f64;
+        assert!((ratio - 0.40).abs() < 0.03, "{ratio}");
+        assert!(d.truth.clusters().iter().all(|c| c.len() <= 4));
+    }
+
+    #[test]
+    fn duplicates_share_most_attributes() {
+        let orgs = organizations(50, 1);
+        let d = people(400, 3, &orgs);
+        let c = d
+            .truth
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 2)
+            .expect("some duplicates");
+        let a = d.table.record_unchecked(c[0]);
+        let b = d.table.record_unchecked(c[1]);
+        let same = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .skip(1) // id always differs
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(same >= 7, "duplicates keep most attributes: {same}/12");
+    }
+}

@@ -1,0 +1,194 @@
+//! The 13-query evaluation workload of Sec. 9.1: SP queries Q1–Q5 with
+//! selectivity ranging ≈5%→80%, the random-selection scalability query
+//! Q9 = `MOD(id,10) < 1`, the overlapping range queries Q10–Q13, and the
+//! SPJ queries Q6a/b–Q8a/b.
+
+use crate::dataset::Dataset;
+use queryer_storage::Value;
+
+/// One workload query.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Paper-style name ("Q1", "Q6a", …).
+    pub name: String,
+    /// The SQL text (includes DEDUP).
+    pub sql: String,
+    /// Target selectivity of the selection side.
+    pub selectivity: f64,
+}
+
+/// The Q1–Q5 selectivity ladder: "ranging from ≈5% to ≈80% with an
+/// approximate step 15%".
+pub const SP_SELECTIVITIES: [f64; 5] = [0.05, 0.2375, 0.425, 0.6125, 0.80];
+
+/// Value `v` of the integer column such that `col <= v` selects
+/// approximately `fraction` of the records (nulls never pass).
+pub fn selectivity_threshold(ds: &Dataset, column: &str, fraction: f64) -> i64 {
+    let col = ds
+        .table
+        .schema()
+        .index_of(column)
+        .unwrap_or_else(|| panic!("column {column} missing"));
+    let mut values: Vec<i64> = ds
+        .table
+        .records()
+        .iter()
+        .filter_map(|r| r.value(col).as_int())
+        .collect();
+    values.sort_unstable();
+    if values.is_empty() {
+        return 0;
+    }
+    let idx = ((values.len() as f64 * fraction) as usize).min(values.len() - 1);
+    values[idx]
+}
+
+/// Builds Q1–Q5 over `column` (an integer attribute such as `year`).
+pub fn sp_queries(ds: &Dataset, table: &str, column: &str) -> Vec<WorkloadQuery> {
+    SP_SELECTIVITIES
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let v = selectivity_threshold(ds, column, s);
+            WorkloadQuery {
+                name: format!("Q{}", i + 1),
+                sql: format!("SELECT DEDUP * FROM {table} WHERE {column} <= {v}"),
+                selectivity: s,
+            }
+        })
+        .collect()
+}
+
+/// Q9: the fixed-|QE| random selection used by the scalability
+/// experiment (Fig. 10): `MOD(id, 10) < 1`.
+pub fn q9(table: &str) -> WorkloadQuery {
+    WorkloadQuery {
+        name: "Q9".into(),
+        sql: format!("SELECT DEDUP * FROM {table} WHERE MOD(id, 10) < 1"),
+        selectivity: 0.10,
+    }
+}
+
+/// Q10–Q13: overlapping range queries for the Link-Index experiment
+/// (Fig. 11): "each query contains the QE_E of the previous plus 30%
+/// more entities, starting with Q10 which has |QE| = 760000" (38% of
+/// OAGP2M).
+pub fn overlapping_range_queries(ds: &Dataset, table: &str) -> Vec<WorkloadQuery> {
+    let fractions = [0.38, 0.494, 0.6422, 0.8349];
+    fractions
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let cutoff = (ds.len() as f64 * f).round() as i64;
+            WorkloadQuery {
+                name: format!("Q{}", 10 + i),
+                sql: format!("SELECT DEDUP * FROM {table} WHERE id < {cutoff}"),
+                selectivity: f,
+            }
+        })
+        .collect()
+}
+
+/// An SPJ workload query: selection on the left table (fractional
+/// selectivity via an id range, 1.0 = no predicate), full right table
+/// (Sec. 9.1(f): "joins between two tables while keeping the selectivity
+/// of the one side fixed (100%)").
+pub fn spj_query(
+    name: &str,
+    left: &Dataset,
+    left_table: &str,
+    left_col: &str,
+    right_table: &str,
+    right_col: &str,
+    selectivity: f64,
+) -> WorkloadQuery {
+    let pred = if selectivity >= 1.0 {
+        String::new()
+    } else {
+        let cutoff = (left.len() as f64 * selectivity).round() as i64;
+        format!(" WHERE {left_table}.id < {cutoff}")
+    };
+    WorkloadQuery {
+        name: name.into(),
+        sql: format!(
+            "SELECT DEDUP * FROM {left_table} INNER JOIN {right_table} \
+             ON {left_table}.{left_col} = {right_table}.{right_col}{pred}"
+        ),
+        selectivity,
+    }
+}
+
+/// Measured selectivity of an integer-threshold predicate (test helper).
+pub fn measured_selectivity(ds: &Dataset, column: &str, threshold: i64) -> f64 {
+    let col = ds.table.schema().index_of(column).expect("column");
+    let hits = ds
+        .table
+        .records()
+        .iter()
+        .filter(|r| r.value(col).as_int().is_some_and(|v| v <= threshold))
+        .count();
+    hits as f64 / ds.len().max(1) as f64
+}
+
+/// Convenience: the fraction of records whose value in `column` is null.
+pub fn null_fraction(ds: &Dataset, column: &str) -> f64 {
+    let col = ds.table.schema().index_of(column).expect("column");
+    let nulls = ds
+        .table
+        .records()
+        .iter()
+        .filter(|r| matches!(r.value(col), Value::Null))
+        .count();
+    nulls as f64 / ds.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scholarly::dblp_scholar;
+
+    #[test]
+    fn sp_queries_hit_target_selectivities() {
+        let ds = dblp_scholar(2000, 5);
+        let qs = sp_queries(&ds, "dsd", "year");
+        assert_eq!(qs.len(), 5);
+        for q in &qs {
+            // Extract the threshold back out of the SQL.
+            let v: i64 = q.sql.rsplit(' ').next().unwrap().parse().unwrap();
+            let measured = measured_selectivity(&ds, "year", v);
+            assert!(
+                (measured - q.selectivity).abs() < 0.08,
+                "{}: target {} measured {measured}",
+                q.name,
+                q.selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_overlap_increasingly() {
+        let ds = dblp_scholar(1000, 6);
+        let qs = overlapping_range_queries(&ds, "oagp");
+        assert_eq!(qs.len(), 4);
+        let cutoffs: Vec<i64> = qs
+            .iter()
+            .map(|q| q.sql.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cutoffs.windows(2).all(|w| w[0] < w[1]));
+        // Each ≈30% bigger than the previous.
+        for w in cutoffs.windows(2) {
+            let growth = w[1] as f64 / w[0] as f64;
+            assert!((growth - 1.3).abs() < 0.01, "{growth}");
+        }
+    }
+
+    #[test]
+    fn spj_query_text() {
+        let ds = dblp_scholar(100, 7);
+        let q = spj_query("Q6a", &ds, "ppl", "org", "oao", "name", 0.07);
+        assert!(q.sql.contains("INNER JOIN oao"));
+        assert!(q.sql.contains("WHERE ppl.id < 7"));
+        let q_full = spj_query("Q7a", &ds, "oap", "org", "oao", "name", 1.0);
+        assert!(!q_full.sql.contains("WHERE"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Token Blocking (Sec. 6.1(i)): schema-agnostic block construction.
+//!
+//! "Every token from every value of every entity is treated as blocking
+//! key" — blocks group the record ids of entities sharing a token.
+
+use crate::config::BlockingKind;
+use crate::tokenizer::record_keys;
+use queryer_common::FxHashMap;
+use queryer_storage::{RecordId, Table};
+
+/// Raw token blocks of a table, before any meta-blocking.
+#[derive(Debug, Clone)]
+pub struct RawBlocks {
+    /// Block key (token) per block id.
+    pub keys: Vec<String>,
+    /// Block contents per block id (record ids, ascending).
+    pub blocks: Vec<Vec<RecordId>>,
+    /// Token → block id.
+    pub key_to_block: FxHashMap<String, u32>,
+}
+
+impl RawBlocks {
+    /// Number of blocks (the paper's |TBI|).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when no blocks exist.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Builds the Table Block Index contents by applying the configured
+/// blocking function over all records of `table`.
+pub fn build_blocks(
+    table: &Table,
+    kind: BlockingKind,
+    min_token_len: usize,
+    skip_col: Option<usize>,
+) -> RawBlocks {
+    let mut key_to_block: FxHashMap<String, u32> = FxHashMap::default();
+    let mut blocks: Vec<Vec<RecordId>> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for record in table.records() {
+        for token in record_keys(record, kind, min_token_len, skip_col) {
+            let bid = *key_to_block.entry(token.clone()).or_insert_with(|| {
+                keys.push(token);
+                blocks.push(Vec::new());
+                (blocks.len() - 1) as u32
+            });
+            blocks[bid as usize].push(record.id);
+        }
+    }
+    // record_keys deduplicates per record and records are visited in id
+    // order, so block contents are already sorted and unique.
+    RawBlocks {
+        keys,
+        blocks,
+        key_to_block,
+    }
+}
+
+/// Query Blocking: builds the Query Block Index (QBI) for the entities of
+/// `qe` "by invoking the same blocking function that was used for the
+/// construction of the TBI". Maps token → query-entity ids.
+pub fn build_query_blocks(
+    table: &Table,
+    qe: &[RecordId],
+    kind: BlockingKind,
+    min_token_len: usize,
+    skip_col: Option<usize>,
+) -> FxHashMap<String, Vec<RecordId>> {
+    let mut qbi: FxHashMap<String, Vec<RecordId>> = FxHashMap::default();
+    for &id in qe {
+        let record = table.record_unchecked(id);
+        for token in record_keys(record, kind, min_token_len, skip_col) {
+            qbi.entry(token).or_default().push(id);
+        }
+    }
+    qbi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryer_storage::{Schema, Table};
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("p", Schema::of_strings(&["title"]));
+        t.push_row(vec!["collective entity resolution".into()]).unwrap();
+        t.push_row(vec!["collective e.r".into()]).unwrap();
+        t.push_row(vec!["big data".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn blocks_group_by_token() {
+        let rb = build_blocks(&sample_table(), BlockingKind::Token, 1, None);
+        let collective = rb.key_to_block["collective"];
+        assert_eq!(rb.blocks[collective as usize], vec![0, 1]);
+        let entity = rb.key_to_block["entity"];
+        assert_eq!(rb.blocks[entity as usize], vec![0]);
+        assert!(rb.key_to_block.contains_key("e.r"));
+        assert_eq!(rb.len(), 6); // collective, entity, resolution, e.r, big, data
+    }
+
+    #[test]
+    fn block_contents_sorted_unique() {
+        let rb = build_blocks(&sample_table(), BlockingKind::Token, 1, None);
+        for b in &rb.blocks {
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn query_blocks_subset_of_table_blocks() {
+        let t = sample_table();
+        let rb = build_blocks(&t, BlockingKind::Token, 1, None);
+        let qbi = build_query_blocks(&t, &[1], BlockingKind::Token, 1, None);
+        assert!(qbi.len() <= rb.len());
+        assert_eq!(qbi["collective"], vec![1]);
+        assert!(!qbi.contains_key("entity"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Edge Pruning (EP) — the comparison-refinement half of Meta-Blocking
+//! (Sec. 4): build a blocking graph with one node per entity, one edge
+//! per co-occurring pair, weight each edge with the likelihood that the
+//! incident entities match, and discard low-weight edges.
+//!
+//! Two threshold scopes are provided (see [`crate::config::EdgePruningScope`]):
+//! node-centric (WNP-style, the default — deterministic per table, hence
+//! query-stable) and global (WEP-style over the examined subgraph).
+
+use crate::config::WeightScheme;
+use crate::index::TableErIndex;
+use queryer_storage::RecordId;
+
+/// Edge-weight and pruning computations over a table's blocking graph.
+pub struct EdgePruner<'a> {
+    idx: &'a TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+}
+
+impl<'a> EdgePruner<'a> {
+    /// Creates a pruner bound to a table index.
+    pub fn new(idx: &'a TableErIndex) -> Self {
+        Self {
+            idx,
+            scheme: idx.config().weight_scheme,
+            n_blocks: idx.n_unpurged_blocks().max(1) as f64,
+        }
+    }
+
+    /// Weight of the edge `(a, b)` given their common-block count `cbs`.
+    #[inline]
+    pub fn weight(&self, a: RecordId, b: RecordId, cbs: u32) -> f64 {
+        match self.scheme {
+            WeightScheme::Cbs => cbs as f64,
+            WeightScheme::Ecbs => {
+                let ba = self.idx.retained_blocks(a).len().max(1) as f64;
+                let bb = self.idx.retained_blocks(b).len().max(1) as f64;
+                cbs as f64 * (self.n_blocks / ba).ln().max(0.0) * (self.n_blocks / bb).ln().max(0.0)
+            }
+            WeightScheme::Js => {
+                let ba = self.idx.retained_blocks(a).len() as f64;
+                let bb = self.idx.retained_blocks(b).len() as f64;
+                let denom = ba + bb - cbs as f64;
+                if denom <= 0.0 {
+                    1.0
+                } else {
+                    cbs as f64 / denom
+                }
+            }
+        }
+    }
+
+    /// The weighted neighbourhood of `e`: every distinct co-occurring
+    /// entity in `e`'s retained blocks with its edge weight.
+    pub fn neighborhood(&self, e: RecordId) -> Vec<(RecordId, f64)> {
+        self.idx
+            .cooccurrences(e)
+            .into_iter()
+            .map(|(other, cbs)| (other, self.weight(e, other, cbs)))
+            .collect()
+    }
+
+    /// Node-centric EP threshold of `e`: the mean weight over its
+    /// table-level neighbourhood (0 when isolated). Cached per entity on
+    /// the index — the cost the paper observes dominating small-|QE|
+    /// queries (Sec. 9.3) is exactly these neighbourhood scans.
+    pub fn node_threshold(&self, e: RecordId) -> f64 {
+        self.idx.ep_threshold_cached(e, || {
+            let nbh = self.neighborhood(e);
+            if nbh.is_empty() {
+                0.0
+            } else {
+                nbh.iter().map(|(_, w)| w).sum::<f64>() / nbh.len() as f64
+            }
+        })
+    }
+
+    /// Node-centric pair survival: the edge is kept when either incident
+    /// node keeps it (weight ≥ that node's mean) — the redefined-WNP
+    /// union semantics of the meta-blocking literature.
+    pub fn survives_node_centric(&self, a: RecordId, b: RecordId, w: f64) -> bool {
+        const EPS: f64 = 1e-12;
+        w + EPS >= self.node_threshold(a) || w + EPS >= self.node_threshold(b)
+    }
+}
+
+/// Global (WEP-style) pruning over an explicit edge list: keeps edges
+/// whose weight is at least the mean weight of the list.
+pub fn prune_global(edges: &[(RecordId, RecordId, f64)]) -> Vec<(RecordId, RecordId)> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    const EPS: f64 = 1e-12;
+    let mean = edges.iter().map(|(_, _, w)| w).sum::<f64>() / edges.len() as f64;
+    edges
+        .iter()
+        .filter(|(_, _, w)| *w + EPS >= mean)
+        .map(|&(a, b, _)| (a, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ErConfig, MetaBlockingConfig};
+    use queryer_storage::{Schema, Table};
+
+    fn table() -> Table {
+        let mut t = Table::new("p", Schema::of_strings(&["title"]));
+        t.push_row(vec!["collective entity resolution edbt".into()]).unwrap();
+        t.push_row(vec!["collective entity resolution edbt".into()]).unwrap();
+        t.push_row(vec!["entity matching survey".into()]).unwrap();
+        t.push_row(vec!["deep learning".into()]).unwrap();
+        t
+    }
+
+    fn idx() -> TableErIndex {
+        // No BP/BF: keep EP weight assertions independent of the other
+        // meta-blocking stages (tiny fixtures trip the purging heuristic).
+        TableErIndex::build(&table(), &ErConfig::default().with_meta(MetaBlockingConfig::None))
+    }
+
+    #[test]
+    fn cbs_weights_count_common_blocks() {
+        let idx = idx();
+        let ep = EdgePruner::new(&idx);
+        let nbh = ep.neighborhood(0);
+        let w1 = nbh.iter().find(|(e, _)| *e == 1).unwrap().1;
+        let w2 = nbh.iter().find(|(e, _)| *e == 2).unwrap().1;
+        assert_eq!(w1, 4.0); // shares all four tokens with record 1
+        assert_eq!(w2, 1.0); // shares only "entity" with record 2
+        assert!(nbh.iter().all(|(e, _)| *e != 3));
+    }
+
+    #[test]
+    fn strong_edges_survive_weak_edges_pruned() {
+        let idx = idx();
+        let ep = EdgePruner::new(&idx);
+        // Node 0's mean weight is (4 + 1)/2 = 2.5.
+        let w_strong = 4.0;
+        let w_weak = 1.0;
+        assert!(ep.survives_node_centric(0, 1, w_strong));
+        // Weak edge (0,2): below 0's mean; node 2's mean is (1+1)/2 = 1,
+        // so node 2 keeps it — union semantics retains the pair.
+        assert!(ep.survives_node_centric(0, 2, w_weak));
+    }
+
+    #[test]
+    fn isolated_node_threshold_zero() {
+        let idx = idx();
+        let ep = EdgePruner::new(&idx);
+        assert_eq!(ep.node_threshold(3), 0.0);
+    }
+
+    #[test]
+    fn thresholds_cached_consistently() {
+        let idx = idx();
+        let ep = EdgePruner::new(&idx);
+        let t1 = ep.node_threshold(0);
+        let t2 = ep.node_threshold(0);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn global_pruning_keeps_at_least_mean() {
+        let edges = vec![(0, 1, 4.0), (0, 2, 1.0), (1, 2, 1.0)];
+        let kept = prune_global(&edges);
+        assert_eq!(kept, vec![(0, 1)]);
+        assert!(prune_global(&[]).is_empty());
+        // Uniform weights: everything survives.
+        let uniform = vec![(0, 1, 2.0), (1, 2, 2.0)];
+        assert_eq!(prune_global(&uniform).len(), 2);
+    }
+
+    #[test]
+    fn ecbs_and_js_schemes_bounded() {
+        let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+        cfg.weight_scheme = WeightScheme::Ecbs;
+        let i = TableErIndex::build(&table(), &cfg);
+        let ep = EdgePruner::new(&i);
+        for (_, w) in ep.neighborhood(0) {
+            assert!(w >= 0.0);
+        }
+        cfg.weight_scheme = WeightScheme::Js;
+        let i = TableErIndex::build(&table(), &cfg);
+        let ep = EdgePruner::new(&i);
+        for (_, w) in ep.neighborhood(0) {
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+}

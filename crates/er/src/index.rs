@@ -1,0 +1,340 @@
+//! The per-table ER index: TBI + ITBI with table-level meta-blocking
+//! decisions baked in at build time.
+//!
+//! Sec. 3: "All indexes are built once-off during initialization of each
+//! table and are stored in memory." The Inverse Table Block Index is
+//! "sorted in ascending order by their block size", which is exactly what
+//! Block Filtering needs.
+
+use crate::blocking::{build_blocks, RawBlocks};
+use crate::config::ErConfig;
+use crate::purging::purge_threshold;
+use parking_lot::Mutex;
+use queryer_common::{FxHashMap, FxHashSet};
+use queryer_storage::{RecordId, Table};
+
+/// Identifier of a block within a table's TBI.
+pub type BlockId = u32;
+
+/// Immutable per-table ER index. Build once, share freely (`Sync`).
+#[derive(Debug)]
+pub struct TableErIndex {
+    cfg: ErConfig,
+    skip_col: Option<usize>,
+    n_records: usize,
+    /// Block key (token) per block.
+    keys: Vec<String>,
+    /// Token → block id (the TBI hash index).
+    key_to_block: FxHashMap<String, BlockId>,
+    /// Full block contents (pre meta-blocking), ids ascending.
+    raw_blocks: Vec<Vec<RecordId>>,
+    /// Table-level Block Purging decision per block.
+    purged: Vec<bool>,
+    /// The BP cardinality threshold (`u64::MAX` = nothing purged).
+    purge_threshold: u64,
+    /// Block contents after BP + BF: the entities that *retain* the block.
+    /// Empty for purged blocks. Ids ascending.
+    filtered_blocks: Vec<Vec<RecordId>>,
+    /// ITBI: per record, its blocks sorted ascending by (size, id).
+    entity_blocks: Vec<Vec<BlockId>>,
+    /// Per record, the retained (post BP+BF) prefix of `entity_blocks`.
+    entity_retained: Vec<Vec<BlockId>>,
+    /// Lazy cache of node-centric Edge Pruning thresholds.
+    ep_thresholds: Mutex<FxHashMap<RecordId, f64>>,
+}
+
+impl TableErIndex {
+    /// Builds the index for `table` under `cfg`. The id column (named
+    /// "id", case-insensitive) is excluded from blocking when
+    /// `cfg.skip_id_column` is set.
+    pub fn build(table: &Table, cfg: &ErConfig) -> Self {
+        let skip_col = if cfg.skip_id_column {
+            table
+                .schema()
+                .fields()
+                .iter()
+                .position(|f| f.name.eq_ignore_ascii_case("id"))
+        } else {
+            None
+        };
+        let RawBlocks {
+            keys,
+            blocks: raw_blocks,
+            key_to_block,
+        } = build_blocks(table, cfg.blocking, cfg.min_token_len, skip_col);
+
+        // Block Purging: one table-level threshold (query-stable).
+        let (purge_thr, purged) = if cfg.meta.purging() {
+            let cards: Vec<u64> = raw_blocks.iter().map(|b| cardinality(b.len())).collect();
+            let thr = purge_threshold(&cards, cfg.purging_smooth_factor);
+            let flags = cards.iter().map(|&c| c > thr).collect();
+            (thr, flags)
+        } else {
+            (u64::MAX, vec![false; raw_blocks.len()])
+        };
+
+        // ITBI: per-entity block lists sorted ascending by (size, id).
+        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); table.len()];
+        for (bid, block) in raw_blocks.iter().enumerate() {
+            for &rid in block {
+                entity_blocks[rid as usize].push(bid as BlockId);
+            }
+        }
+        for list in &mut entity_blocks {
+            list.sort_unstable_by_key(|&b| (raw_blocks[b as usize].len(), b));
+        }
+
+        // Block Filtering: per entity, retain the first ⌈p·m⌉ of its m
+        // unpurged blocks (smallest first) — also table-level.
+        let mut entity_retained: Vec<Vec<BlockId>> = Vec::with_capacity(table.len());
+        for list in &entity_blocks {
+            let unpurged: Vec<BlockId> = list
+                .iter()
+                .copied()
+                .filter(|&b| !purged[b as usize])
+                .collect();
+            let keep = if cfg.meta.filtering() {
+                ((cfg.filtering_ratio * unpurged.len() as f64).ceil() as usize).min(unpurged.len())
+            } else {
+                unpurged.len()
+            };
+            entity_retained.push(unpurged[..keep].to_vec());
+        }
+
+        // Invert retention: per block, the entities that retain it.
+        let mut filtered_blocks: Vec<Vec<RecordId>> = vec![Vec::new(); raw_blocks.len()];
+        for (rid, retained) in entity_retained.iter().enumerate() {
+            for &b in retained {
+                filtered_blocks[b as usize].push(rid as RecordId);
+            }
+        }
+        for fb in &mut filtered_blocks {
+            fb.sort_unstable();
+        }
+
+        Self {
+            cfg: cfg.clone(),
+            skip_col,
+            n_records: table.len(),
+            keys,
+            key_to_block,
+            raw_blocks,
+            purged,
+            purge_threshold: purge_thr,
+            filtered_blocks,
+            entity_blocks,
+            entity_retained,
+            ep_thresholds: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &ErConfig {
+        &self.cfg
+    }
+
+    /// Index of the skipped id column, if any.
+    pub fn skip_col(&self) -> Option<usize> {
+        self.skip_col
+    }
+
+    /// Number of records in the indexed table.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Number of blocks — the paper's |TBI| (Table 7).
+    pub fn n_blocks(&self) -> usize {
+        self.raw_blocks.len()
+    }
+
+    /// Number of blocks that survive Block Purging.
+    pub fn n_unpurged_blocks(&self) -> usize {
+        self.purged.iter().filter(|&&p| !p).count()
+    }
+
+    /// The table-level BP threshold.
+    pub fn purge_threshold(&self) -> u64 {
+        self.purge_threshold
+    }
+
+    /// Block id for a token, if the token occurs in the table.
+    pub fn block_of_key(&self, token: &str) -> Option<BlockId> {
+        self.key_to_block.get(token).copied()
+    }
+
+    /// The token of a block.
+    pub fn block_key(&self, b: BlockId) -> &str {
+        &self.keys[b as usize]
+    }
+
+    /// Full (pre meta-blocking) contents of a block.
+    pub fn raw_block(&self, b: BlockId) -> &[RecordId] {
+        &self.raw_blocks[b as usize]
+    }
+
+    /// Post BP+BF contents of a block (empty when purged).
+    pub fn filtered_block(&self, b: BlockId) -> &[RecordId] {
+        &self.filtered_blocks[b as usize]
+    }
+
+    /// Whether BP removed this block.
+    pub fn is_purged(&self, b: BlockId) -> bool {
+        self.purged[b as usize]
+    }
+
+    /// ITBI lookup: all blocks of a record, ascending by size.
+    pub fn blocks_of(&self, id: RecordId) -> &[BlockId] {
+        &self.entity_blocks[id as usize]
+    }
+
+    /// Blocks the record retains after BP+BF (prefix of `blocks_of`).
+    pub fn retained_blocks(&self, id: RecordId) -> &[BlockId] {
+        &self.entity_retained[id as usize]
+    }
+
+    /// Whether `id` retains block `b` (binary search on the filtered
+    /// contents, which are sorted by record id).
+    pub fn retains(&self, id: RecordId, b: BlockId) -> bool {
+        self.filtered_blocks[b as usize].binary_search(&id).is_ok()
+    }
+
+    /// Total block assignments Σ|b| over raw blocks.
+    pub fn total_assignments(&self) -> u64 {
+        self.raw_blocks.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Total comparisons ‖B‖ = Σ‖b‖ over raw blocks.
+    pub fn total_comparisons(&self) -> u64 {
+        self.raw_blocks.iter().map(|b| cardinality(b.len())).sum()
+    }
+
+    /// Distinct co-occurring entities of `id` in its retained blocks,
+    /// with the number of shared retained blocks (the CBS count).
+    pub fn cooccurrences(&self, id: RecordId) -> FxHashMap<RecordId, u32> {
+        let mut counts: FxHashMap<RecordId, u32> = FxHashMap::default();
+        for &b in self.retained_blocks(id) {
+            for &other in self.filtered_block(b) {
+                if other != id {
+                    *counts.entry(other).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Cached node-centric EP threshold accessor; computes via `f` on miss.
+    pub(crate) fn ep_threshold_cached(&self, id: RecordId, f: impl FnOnce() -> f64) -> f64 {
+        if let Some(&t) = self.ep_thresholds.lock().get(&id) {
+            return t;
+        }
+        let t = f();
+        self.ep_thresholds.lock().insert(id, t);
+        t
+    }
+
+    /// Drops all cached EP thresholds (test/ablation helper).
+    pub fn clear_ep_cache(&self) {
+        self.ep_thresholds.lock().clear();
+    }
+
+    /// The set of distinct entities appearing in a set of blocks
+    /// (raw contents) — used by the planner's comparison estimation.
+    pub fn entities_of_blocks(&self, blocks: impl IntoIterator<Item = BlockId>) -> FxHashSet<RecordId> {
+        let mut out = FxHashSet::default();
+        for b in blocks {
+            out.extend(self.raw_block(b).iter().copied());
+        }
+        out
+    }
+}
+
+/// `n(n-1)/2`.
+#[inline]
+pub fn cardinality(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+mod tests {
+    use super::*;
+    use crate::config::MetaBlockingConfig;
+    use queryer_storage::Schema;
+
+    fn table() -> Table {
+        let mut t = Table::new("p", Schema::of_strings(&["id", "title"]));
+        t.push_row(vec!["0".into(), "collective entity resolution".into()])
+            .unwrap();
+        t.push_row(vec!["1".into(), "collective e.r".into()]).unwrap();
+        t.push_row(vec!["2".into(), "entity resolution on big data".into()])
+            .unwrap();
+        t.push_row(vec!["3".into(), "big data".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn itbi_sorted_by_block_size() {
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        for rid in 0..idx.n_records() as u32 {
+            let sizes: Vec<usize> = idx
+                .blocks_of(rid)
+                .iter()
+                .map(|&b| idx.raw_block(b).len())
+                .collect();
+            assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "ITBI must be size-sorted");
+        }
+    }
+
+    #[test]
+    fn id_column_not_blocked() {
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        assert!(idx.block_of_key("0").is_none());
+        assert!(idx.block_of_key("collective").is_some());
+    }
+
+    #[test]
+    fn filtering_retains_prefix() {
+        let mut cfg = ErConfig::default();
+        cfg.filtering_ratio = 0.5;
+        let idx = TableErIndex::build(&table(), &cfg);
+        for rid in 0..idx.n_records() as u32 {
+            let all = idx.blocks_of(rid).len();
+            let kept = idx.retained_blocks(rid).len();
+            assert!(kept <= all);
+            assert!(kept >= 1 || all == 0);
+        }
+    }
+
+    #[test]
+    fn no_meta_blocking_keeps_everything() {
+        let cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+        let idx = TableErIndex::build(&table(), &cfg);
+        assert_eq!(idx.purge_threshold(), u64::MAX);
+        for b in 0..idx.n_blocks() as u32 {
+            assert_eq!(idx.raw_block(b), idx.filtered_block(b));
+        }
+    }
+
+    #[test]
+    fn retains_matches_filtered_contents() {
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        for rid in 0..idx.n_records() as u32 {
+            for &b in idx.retained_blocks(rid) {
+                assert!(idx.retains(rid, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cooccurrence_counts() {
+        let cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+        let idx = TableErIndex::build(&table(), &cfg);
+        let co = idx.cooccurrences(0);
+        // record 0 shares "collective" with 1, "entity"+"resolution" with 2.
+        assert_eq!(co.get(&1), Some(&1));
+        assert_eq!(co.get(&2), Some(&2));
+        assert_eq!(co.get(&3), None);
+    }
+}

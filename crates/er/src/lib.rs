@@ -1,0 +1,42 @@
+//! Entity-resolution substrate for QueryER.
+//!
+//! Implements every ER building block the paper's Deduplicate operator
+//! pipeline needs (Sec. 6.1, Fig. 3):
+//!
+//! * schema-agnostic **Token Blocking** and the three per-table indices —
+//!   Table Block Index (TBI), Inverse Table Block Index (ITBI) and Link
+//!   Index (LI) described in Sec. 3;
+//! * **Meta-Blocking**: Block Purging (BP), Block Filtering (BF) and Edge
+//!   Pruning (EP) applied in that strict order (Sec. 6.1(iii));
+//! * string **similarity functions** (Jaro-Winkler, Jaro, Levenshtein,
+//!   Jaccard, overlap) and a schema-agnostic profile **matcher**;
+//! * the **resolver**, i.e. the ER half of the Deduplicate operator:
+//!   Query Blocking → Block-Join → Meta-Blocking → Comparison-Execution.
+//!
+//! All purging/filtering/pruning decisions are *table-level* (computed on
+//! the TBI/ITBI at build time), which makes them identical between a
+//! query-restricted run and a whole-table run — the determinism the
+//! paper's DQ-correctness argument relies on (see DESIGN.md).
+
+pub mod blocking;
+pub mod config;
+pub mod edge_pruning;
+pub mod index;
+pub mod link_index;
+pub mod matching;
+pub mod metrics;
+pub mod purging;
+pub mod resolver;
+pub mod similarity;
+pub mod tokenizer;
+pub mod union_find;
+
+pub use config::{
+    BlockingKind, EdgePruningScope, ErConfig, MetaBlockingConfig, SimilarityKind, WeightScheme,
+};
+pub use index::{BlockId, TableErIndex};
+pub use link_index::LinkIndex;
+pub use matching::Matcher;
+pub use metrics::DedupMetrics;
+pub use resolver::ResolveOutcome;
+pub use union_find::UnionFind;

@@ -1,0 +1,154 @@
+//! The Link Index (LI) of Sec. 3: "a hash index that maps each entity to
+//! its duplicate entities. It is initially empty and is amended with the
+//! links that each query resolves."
+//!
+//! The LI is what makes QueryER progressively faster with every issued
+//! query (Fig. 11): entities already marked *resolved* skip Query
+//! Blocking and Comparison-Execution entirely.
+
+use queryer_common::FxHashMap;
+use queryer_storage::RecordId;
+
+/// Per-table link index: resolved flags + symmetric link adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct LinkIndex {
+    resolved: Vec<bool>,
+    adj: FxHashMap<RecordId, Vec<RecordId>>,
+    n_links: usize,
+}
+
+impl LinkIndex {
+    /// Creates an empty index for a table of `n` records.
+    pub fn new(n: usize) -> Self {
+        Self {
+            resolved: vec![false; n],
+            adj: FxHashMap::default(),
+            n_links: 0,
+        }
+    }
+
+    /// Number of records covered.
+    pub fn len(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// `true` when covering no records.
+    pub fn is_empty(&self) -> bool {
+        self.resolved.is_empty()
+    }
+
+    /// Whether the entity's link-set has already been fully computed by a
+    /// previous query.
+    #[inline]
+    pub fn is_resolved(&self, id: RecordId) -> bool {
+        self.resolved[id as usize]
+    }
+
+    /// Marks an entity as fully resolved.
+    #[inline]
+    pub fn mark_resolved(&mut self, id: RecordId) {
+        self.resolved[id as usize] = true;
+    }
+
+    /// Number of resolved entities.
+    pub fn resolved_count(&self) -> usize {
+        self.resolved.iter().filter(|&&r| r).count()
+    }
+
+    /// Number of distinct links (matched pairs) recorded.
+    pub fn link_count(&self) -> usize {
+        self.n_links
+    }
+
+    /// Records a duplicate link (both directions). Returns `true` if new.
+    pub fn add_link(&mut self, a: RecordId, b: RecordId) -> bool {
+        if a == b || self.are_linked(a, b) {
+            return false;
+        }
+        self.adj.entry(a).or_default().push(b);
+        self.adj.entry(b).or_default().push(a);
+        self.n_links += 1;
+        true
+    }
+
+    /// Whether `a` and `b` are directly linked.
+    pub fn are_linked(&self, a: RecordId, b: RecordId) -> bool {
+        self.adj.get(&a).is_some_and(|v| v.contains(&b))
+    }
+
+    /// Direct duplicates of `id` (no transitive closure).
+    pub fn neighbors(&self, id: RecordId) -> &[RecordId] {
+        self.adj.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Transitive closure over links starting from `seeds`: the full
+    /// duplicate clusters touching the seeds. Output is sorted and
+    /// includes the seeds themselves.
+    pub fn closure(&self, seeds: impl IntoIterator<Item = RecordId>) -> Vec<RecordId> {
+        let mut seen: Vec<RecordId> = Vec::new();
+        let mut visited = queryer_common::FxHashSet::default();
+        let mut stack: Vec<RecordId> = Vec::new();
+        for s in seeds {
+            if visited.insert(s) {
+                stack.push(s);
+                seen.push(s);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for &n in self.neighbors(x) {
+                if visited.insert(n) {
+                    stack.push(n);
+                    seen.push(n);
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+
+    /// Forgets everything (used by the "Without LI" ablation of Fig. 11).
+    pub fn clear(&mut self) {
+        self.resolved.iter_mut().for_each(|r| *r = false);
+        self.adj.clear();
+        self.n_links = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_symmetric_and_deduped() {
+        let mut li = LinkIndex::new(10);
+        assert!(li.add_link(1, 2));
+        assert!(!li.add_link(2, 1));
+        assert!(!li.add_link(3, 3));
+        assert!(li.are_linked(2, 1));
+        assert_eq!(li.link_count(), 1);
+        assert_eq!(li.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn closure_follows_chains() {
+        let mut li = LinkIndex::new(10);
+        li.add_link(1, 2);
+        li.add_link(2, 5);
+        li.add_link(7, 8);
+        assert_eq!(li.closure([1]), vec![1, 2, 5]);
+        assert_eq!(li.closure([1, 7]), vec![1, 2, 5, 7, 8]);
+        assert_eq!(li.closure([9]), vec![9]);
+    }
+
+    #[test]
+    fn resolved_flags() {
+        let mut li = LinkIndex::new(3);
+        assert!(!li.is_resolved(0));
+        li.mark_resolved(0);
+        assert!(li.is_resolved(0));
+        assert_eq!(li.resolved_count(), 1);
+        li.clear();
+        assert_eq!(li.resolved_count(), 0);
+        assert_eq!(li.link_count(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Entity matching (Comparison-Execution's decision function).
+//!
+//! "We follow a schema-agnostic approach and we compare the values of all
+//! corresponding attributes between entity pairs" (Sec. 6.1(iv)). Entity
+//! matching itself is orthogonal to the framework (Sec. 4), so the
+//! similarity kind and threshold are pluggable.
+
+use crate::config::{ErConfig, SimilarityKind};
+use crate::similarity::{jaccard_sorted, jaro_winkler, overlap_sorted};
+use crate::tokenizer::record_tokens;
+use queryer_storage::Record;
+
+/// Pairwise record matcher.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    kind: SimilarityKind,
+    threshold: f64,
+    min_token_len: usize,
+    skip_col: Option<usize>,
+}
+
+impl Matcher {
+    /// Builds a matcher from the ER configuration and the (optional)
+    /// id column to skip.
+    pub fn new(cfg: &ErConfig, skip_col: Option<usize>) -> Self {
+        Self {
+            kind: cfg.similarity,
+            threshold: cfg.match_threshold,
+            min_token_len: cfg.min_token_len,
+            skip_col,
+        }
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Profile similarity of two records in `[0, 1]`.
+    pub fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        let (ta, tb);
+        let tokens: (&[String], &[String]) = if self.needs_tokens() {
+            ta = self.sorted_tokens(a);
+            tb = self.sorted_tokens(b);
+            (&ta, &tb)
+        } else {
+            (&[], &[])
+        };
+        self.similarity_with(a, b, tokens.0, tokens.1)
+    }
+
+    /// Whether this matcher needs token sets (callers that batch
+    /// comparisons precompute them once per record).
+    pub fn needs_tokens(&self) -> bool {
+        !matches!(self.kind, SimilarityKind::MeanJaroWinkler)
+    }
+
+    /// The sorted, deduplicated profile token set of a record.
+    pub fn sorted_tokens(&self, rec: &Record) -> Vec<String> {
+        let set = record_tokens(rec, self.min_token_len, self.skip_col);
+        let mut v: Vec<String> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Similarity with caller-provided token sets (see
+    /// [`Matcher::sorted_tokens`]); avoids re-tokenizing records that are
+    /// compared many times across blocks.
+    pub fn similarity_with(&self, a: &Record, b: &Record, ta: &[String], tb: &[String]) -> f64 {
+        let token_sim = |f: fn(&[&str], &[&str]) -> f64| {
+            let va: Vec<&str> = ta.iter().map(String::as_str).collect();
+            let vb: Vec<&str> = tb.iter().map(String::as_str).collect();
+            f(&va, &vb)
+        };
+        match self.kind {
+            SimilarityKind::MeanJaroWinkler => self.mean_jw(a, b),
+            SimilarityKind::TokenJaccard => token_sim(jaccard_sorted),
+            SimilarityKind::TokenOverlap => token_sim(overlap_sorted),
+            SimilarityKind::Hybrid => {
+                let jw = self.mean_jw(a, b);
+                if jw >= self.threshold {
+                    // Short-circuit: max(jw, overlap) already ≥ threshold.
+                    return jw;
+                }
+                jw.max(token_sim(overlap_sorted))
+            }
+        }
+    }
+
+    /// Match decision: similarity ≥ threshold.
+    #[inline]
+    pub fn is_match(&self, a: &Record, b: &Record) -> bool {
+        self.similarity(a, b) >= self.threshold
+    }
+
+    /// Match decision with precomputed token sets.
+    #[inline]
+    pub fn is_match_with(&self, a: &Record, b: &Record, ta: &[String], tb: &[String]) -> bool {
+        self.similarity_with(a, b, ta, tb) >= self.threshold
+    }
+
+    /// Mean Jaro-Winkler over attributes where both sides are non-null,
+    /// with an early abort once the remaining attributes cannot lift the
+    /// mean to the threshold (each contributes at most 1.0).
+    fn mean_jw(&self, a: &Record, b: &Record) -> f64 {
+        let mut comparable: u32 = 0;
+        for (i, (va, vb)) in a.values.iter().zip(b.values.iter()).enumerate() {
+            if Some(i) != self.skip_col && !va.is_null() && !vb.is_null() {
+                comparable += 1;
+            }
+        }
+        if comparable == 0 {
+            return 0.0;
+        }
+        let n = comparable as f64;
+        let mut sum = 0.0;
+        let mut remaining = comparable;
+        for (i, (va, vb)) in a.values.iter().zip(b.values.iter()).enumerate() {
+            if Some(i) == self.skip_col || va.is_null() || vb.is_null() {
+                continue;
+            }
+            let sa = va.render();
+            let sb = vb.render();
+            sum += jaro_winkler(&sa.to_lowercase(), &sb.to_lowercase());
+            remaining -= 1;
+            // Upper bound on the final mean; abort when unreachable.
+            if (sum + remaining as f64) / n < self.threshold {
+                return (sum + remaining as f64) / n;
+            }
+        }
+        sum / n
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+mod tests {
+    use super::*;
+    use queryer_storage::Value;
+
+    fn cfg(kind: SimilarityKind, threshold: f64) -> ErConfig {
+        let mut c = ErConfig::default();
+        c.similarity = kind;
+        c.match_threshold = threshold;
+        c
+    }
+
+    fn rec(id: u32, vals: &[&str]) -> Record {
+        Record::new(
+            id,
+            vals.iter()
+                .map(|v| if v.is_empty() { Value::Null } else { Value::str(*v) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn typo_duplicates_match_with_jw() {
+        let m = Matcher::new(&cfg(SimilarityKind::MeanJaroWinkler, 0.85), None);
+        let a = rec(0, &["jonathan smith", "23 baker street", "london"]);
+        let b = rec(1, &["jonathon smith", "23 baker stret", "london"]);
+        assert!(m.is_match(&a, &b));
+        let c = rec(2, &["maria garcia", "99 ocean avenue", "london"]);
+        assert!(!m.is_match(&a, &c));
+    }
+
+    #[test]
+    fn nulls_are_skipped_not_penalized() {
+        let m = Matcher::new(&cfg(SimilarityKind::MeanJaroWinkler, 0.9), None);
+        let a = rec(0, &["entity resolution", ""]);
+        let b = rec(1, &["entity resolution", "2008"]);
+        assert!(m.is_match(&a, &b));
+        // All-null comparison never matches.
+        let x = rec(2, &["", ""]);
+        assert!(!m.is_match(&x, &x.clone()));
+    }
+
+    #[test]
+    fn hybrid_catches_abbreviation_containment() {
+        let m = Matcher::new(&cfg(SimilarityKind::Hybrid, 0.8), None);
+        let a = rec(0, &["EDBT", "International Conference on Extending Database Technology"]);
+        let b = rec(
+            1,
+            &["International Conference on Extending Database Technology", ""],
+        );
+        // Pure mean-JW fails here; token overlap (containment) succeeds.
+        assert!(m.is_match(&a, &b));
+    }
+
+    #[test]
+    fn skip_col_excluded_from_similarity() {
+        let m = Matcher::new(&cfg(SimilarityKind::MeanJaroWinkler, 0.99), Some(0));
+        let a = rec(0, &["AAAA", "same text"]);
+        let b = rec(1, &["ZZZZ", "same text"]);
+        assert!(m.is_match(&a, &b), "differing id column must not count");
+    }
+
+    #[test]
+    fn similarity_symmetric() {
+        let m = Matcher::new(&cfg(SimilarityKind::Hybrid, 0.8), None);
+        let a = rec(0, &["entity resolution on big data", "sigmod"]);
+        let b = rec(1, &["e.r on big data", "acm sigmod"]);
+        let s1 = m.similarity(&a, &b);
+        let s2 = m.similarity(&b, &a);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Block Purging (BP) — Sec. 4 / Sec. 6.1(iii).
+//!
+//! "BP aims at cleaning the block processing list from oversized blocks
+//! that correspond to tokens of little discriminativeness." The paper's
+//! threshold condition (|b_i|·||b_{i-1}|| < SF·||b_i||·|b_{i-1}|, SF =
+//! 1.025 \[23\]) is stated over aggregate block statistics; we implement the
+//! cited comparison-based purging of Papadakis et al.: scan the distinct
+//! block-cardinality levels from largest to smallest with cumulative
+//! block assignments BC and cumulative comparisons CC, and stop at the
+//! first level where dropping the levels above no longer improves the
+//! assignments-per-comparison ratio by more than SF. Everything above the
+//! stopping level is purged.
+//!
+//! The threshold is computed **once per table** on the TBI so that a
+//! query-restricted block collection (EQBI) purges exactly the same
+//! blocks as the full-table run — a prerequisite for DQ ≡ BAQ.
+
+/// Computes the purging threshold `t`: blocks with cardinality `‖b‖ > t`
+/// are purged. `cardinalities` is the multiset of block cardinalities
+/// (singleton blocks contribute 0 and are ignored). Returns `u64::MAX`
+/// (purge nothing) when fewer than two distinct levels exist.
+pub fn purge_threshold(cardinalities: &[u64], smooth_factor: f64) -> u64 {
+    let mut cards: Vec<u64> = cardinalities.iter().copied().filter(|&c| c > 0).collect();
+    if cards.is_empty() {
+        return u64::MAX;
+    }
+    cards.sort_unstable();
+
+    // Aggregate per distinct cardinality level, ascending, cumulative.
+    // For a block of cardinality c = n(n-1)/2 the assignment count is its
+    // size n, recovered from c.
+    let mut levels: Vec<(u64, f64, f64)> = Vec::new(); // (cardinality, cum BC, cum CC)
+    let mut cum_bc = 0.0;
+    let mut cum_cc = 0.0;
+    let mut i = 0;
+    while i < cards.len() {
+        let c = cards[i];
+        let size = block_size_for_cardinality(c);
+        let mut j = i;
+        while j < cards.len() && cards[j] == c {
+            cum_bc += size;
+            cum_cc += c as f64;
+            j += 1;
+        }
+        levels.push((c, cum_bc, cum_cc));
+        i = j;
+    }
+    if levels.len() < 2 {
+        return u64::MAX;
+    }
+
+    // Scan from the largest level down; stop once the ratio improvement
+    // of excluding everything above falls within the smoothing factor —
+    // the threshold is then the level just above the stopping point, so
+    // only the outsized stop-word blocks get purged. When no level
+    // satisfies the condition (no smooth region exists, e.g. tiny or
+    // uniform collections), nothing is purged.
+    let mut threshold = u64::MAX;
+    for i in (0..levels.len() - 1).rev() {
+        let (_, bc_i, cc_i) = levels[i];
+        let (card_above, bc_above, cc_above) = levels[i + 1];
+        if bc_i * cc_above < smooth_factor * cc_i * bc_above {
+            threshold = card_above;
+            break;
+        }
+    }
+    threshold
+}
+
+/// Inverse of `c = n(n-1)/2`, as a float (exact for real block sizes).
+fn block_size_for_cardinality(c: u64) -> f64 {
+    (1.0 + (1.0 + 8.0 * c as f64).sqrt()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn card(n: u64) -> u64 {
+        n * (n - 1) / 2
+    }
+
+    #[test]
+    fn size_recovery() {
+        for n in 2..50u64 {
+            let s = block_size_for_cardinality(card(n));
+            assert!((s - n as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_purging_on_uniform_blocks() {
+        // All blocks the same size: one level, nothing to purge.
+        let cards = vec![card(3); 100];
+        assert_eq!(purge_threshold(&cards, 1.025), u64::MAX);
+    }
+
+    #[test]
+    fn singletons_ignored() {
+        let cards = vec![0, 0, 0, card(2)];
+        assert_eq!(purge_threshold(&cards, 1.025), u64::MAX);
+    }
+
+    #[test]
+    fn outlier_block_is_purged() {
+        // A smooth zipf-ish body plus one enormous stop-word block.
+        let mut cards: Vec<u64> = Vec::new();
+        for n in 2..40u64 {
+            let copies = (4000 / (n * n)).max(1);
+            for _ in 0..copies {
+                cards.push(card(n));
+            }
+        }
+        cards.push(card(5000));
+        let t = purge_threshold(&cards, 1.025);
+        assert!(t < card(5000), "oversized block must exceed threshold");
+        assert!(t >= card(2), "small blocks must survive");
+    }
+
+    #[test]
+    fn huge_smoothing_purges_nothing() {
+        // With an enormous smoothing factor the scan stops immediately at
+        // the top level, so the threshold admits every block.
+        let mut cards: Vec<u64> = Vec::new();
+        for n in 2..40u64 {
+            let copies = (4000 / (n * n)).max(1);
+            for _ in 0..copies {
+                cards.push(card(n));
+            }
+        }
+        cards.push(card(5000));
+        let t = purge_threshold(&cards, 1e9);
+        assert!(cards.iter().all(|&c| c <= t));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(purge_threshold(&[], 1.025), u64::MAX);
+        assert_eq!(purge_threshold(&[0, 0], 1.025), u64::MAX);
+    }
+}

@@ -1,0 +1,487 @@
+//! The resolver: the ER pipeline inside the Deduplicate operator
+//! (Sec. 6.1, Fig. 3) — Query Blocking → Block-Join → Meta-Blocking →
+//! Comparison-Execution — plus the Link Index bookkeeping and the
+//! transitive frontier expansion that makes Dedupe-query results equal
+//! the batch approach's connected components.
+
+use crate::blocking::build_query_blocks;
+use crate::config::EdgePruningScope;
+use crate::edge_pruning::{prune_global, EdgePruner};
+use crate::index::{BlockId, TableErIndex};
+use crate::link_index::LinkIndex;
+use crate::matching::Matcher;
+use crate::metrics::DedupMetrics;
+use queryer_common::{FxHashMap, FxHashSet, PairSet, Stopwatch};
+use queryer_storage::{RecordId, Table};
+
+/// Result of resolving a query entity set against its table.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// The deduplicated result set DR_E = QE_E ∪ duplicates, sorted.
+    pub dr: Vec<RecordId>,
+    /// Links newly added to the Link Index by this resolution.
+    pub new_links: usize,
+}
+
+impl TableErIndex {
+    /// Resolves the duplicates of `qe` within `table`, amending `li` with
+    /// every link found and `metrics` with stage timings and comparison
+    /// counts. Entities already resolved in the LI are served from it
+    /// ("we only need to compute the link-sets of those entities in QE_E
+    /// that are not already in LI_E", Sec. 6.1).
+    pub fn resolve(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &mut LinkIndex,
+        metrics: &mut DedupMetrics,
+    ) -> ResolveOutcome {
+        let matcher = Matcher::new(self.config(), self.skip_col());
+        let mut pair_seen = PairSet::new();
+        let mut new_links = 0usize;
+
+        let mut frontier: Vec<RecordId> = {
+            let mut seen = FxHashSet::default();
+            qe.iter()
+                .copied()
+                .filter(|&q| !li.is_resolved(q) && seen.insert(q))
+                .collect()
+        };
+
+        while !frontier.is_empty() {
+            metrics.entities_processed += frontier.len() as u64;
+
+            // (i) Query Blocking — build the QBI with the same blocking
+            // function the TBI used.
+            let mut sw = Stopwatch::new();
+            let qbi = sw.time(|| {
+                build_query_blocks(
+                    table,
+                    &frontier,
+                    self.config().blocking,
+                    self.config().min_token_len,
+                    self.skip_col(),
+                )
+            });
+            metrics.blocking += sw.elapsed();
+
+            // (ii) Block-Join — hash-join QBI keys with TBI keys; blocks
+            // are enriched with the table entities sharing the key.
+            let mut sw = Stopwatch::new();
+            let mut eqbi: Vec<(BlockId, Vec<RecordId>)> = sw.time(|| {
+                qbi.into_iter()
+                    .filter_map(|(token, q_list)| self.block_of_key(&token).map(|b| (b, q_list)))
+                    .collect()
+            });
+            metrics.block_join += sw.elapsed();
+
+            // (iii) Meta-Blocking, in the strict order BP → BF → EP.
+            let mut sw = Stopwatch::new();
+            if self.config().meta.purging() {
+                sw.time(|| eqbi.retain(|(b, _)| !self.is_purged(*b)));
+            }
+            metrics.purging += sw.elapsed();
+
+            let mut sw = Stopwatch::new();
+            if self.config().meta.filtering() {
+                sw.time(|| {
+                    for (b, q_list) in &mut eqbi {
+                        q_list.retain(|&q| self.retains(q, *b));
+                    }
+                    eqbi.retain(|(_, q_list)| !q_list.is_empty());
+                });
+            }
+            metrics.filtering += sw.elapsed();
+
+            // Pair generation: either EP over the blocking graph or the
+            // plain per-block Cartesian restriction to query entities.
+            let mut sw = Stopwatch::new();
+            let pairs: Vec<(RecordId, RecordId)> = if self.config().meta.edge_pruning() {
+                sw.time(|| self.edge_pruned_pairs(&frontier, &mut pair_seen))
+            } else {
+                self.block_pairs(&eqbi, &mut pair_seen)
+            };
+            metrics.edge_pruning += sw.elapsed();
+            metrics.candidate_pairs += pairs.len() as u64;
+
+            // (iv) Comparison-Execution. Pairs already linked by previous
+            // queries need no comparison but still contribute partners.
+            let mut sw = Stopwatch::new();
+            sw.start();
+            let mut partners: Vec<RecordId> = Vec::new();
+            let mut to_compare: Vec<(RecordId, RecordId)> = Vec::with_capacity(pairs.len());
+            for (q, c) in pairs {
+                if li.are_linked(q, c) {
+                    partners.push(c);
+                } else {
+                    to_compare.push((q, c));
+                }
+            }
+            metrics.comparisons += to_compare.len() as u64;
+            let decisions = self.execute_comparisons(table, &matcher, &to_compare);
+            for ((q, c), matched) in to_compare.into_iter().zip(decisions) {
+                if matched {
+                    if li.add_link(q, c) {
+                        new_links += 1;
+                    }
+                    metrics.matches_found += 1;
+                    partners.push(c);
+                }
+            }
+            sw.stop();
+            metrics.resolution += sw.elapsed();
+
+            for &q in &frontier {
+                li.mark_resolved(q);
+            }
+
+            // Transitive expansion: newly discovered duplicates must be
+            // resolved too, so DR groups equal batch connected components.
+            frontier = if self.config().transitive {
+                let mut seen = FxHashSet::default();
+                partners
+                    .into_iter()
+                    .filter(|&c| !li.is_resolved(c) && seen.insert(c))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        }
+
+        // DR_E: the query entities plus every duplicate reachable in the LI.
+        let dr = if self.config().transitive {
+            li.closure(qe.iter().copied())
+        } else {
+            let mut out: FxHashSet<RecordId> = qe.iter().copied().collect();
+            for &q in qe {
+                out.extend(li.neighbors(q).iter().copied());
+            }
+            let mut v: Vec<RecordId> = out.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        ResolveOutcome { dr, new_links }
+    }
+
+    /// Resolves the entire table (the batch-ER building block).
+    pub fn resolve_all(
+        &self,
+        table: &Table,
+        li: &mut LinkIndex,
+        metrics: &mut DedupMetrics,
+    ) -> ResolveOutcome {
+        let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+        self.resolve(table, &all, li, metrics)
+    }
+
+    /// Plain per-block pair generation (no EP): within each enriched
+    /// block, each query entity is compared against every other entity,
+    /// each distinct pair once across all blocks.
+    fn block_pairs(
+        &self,
+        eqbi: &[(BlockId, Vec<RecordId>)],
+        pair_seen: &mut PairSet,
+    ) -> Vec<(RecordId, RecordId)> {
+        let mut out = Vec::new();
+        for (b, q_list) in eqbi {
+            let others = if self.config().meta.filtering() {
+                self.filtered_block(*b)
+            } else {
+                self.raw_block(*b)
+            };
+            for &q in q_list {
+                for &c in others {
+                    if c != q && pair_seen.insert(q, c) {
+                        out.push((q, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// EP pair generation: weight every edge incident to a frontier
+    /// entity and keep it per the configured pruning scope.
+    fn edge_pruned_pairs(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+    ) -> Vec<(RecordId, RecordId)> {
+        let pruner = EdgePruner::new(self);
+        match self.config().ep_scope {
+            EdgePruningScope::NodeCentric => {
+                let mut out = Vec::new();
+                for &q in frontier {
+                    for (c, cbs) in self.cooccurrences(q) {
+                        if pair_seen.contains(q, c) {
+                            continue;
+                        }
+                        let w = pruner.weight(q, c, cbs);
+                        if pruner.survives_node_centric(q, c, w) && pair_seen.insert(q, c) {
+                            out.push((q, c));
+                        }
+                    }
+                }
+                out
+            }
+            EdgePruningScope::Global => {
+                let mut edges: Vec<(RecordId, RecordId, f64)> = Vec::new();
+                let mut edge_seen = PairSet::new();
+                for &q in frontier {
+                    for (c, cbs) in self.cooccurrences(q) {
+                        if edge_seen.insert(q, c) {
+                            edges.push((q, c, pruner.weight(q, c, cbs)));
+                        }
+                    }
+                }
+                prune_global(&edges)
+                    .into_iter()
+                    .filter(|&(a, b)| pair_seen.insert(a, b))
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs the match decisions, fanning out across threads when the
+    /// configuration asks for parallelism. Decisions are position-aligned
+    /// with `pairs`. Token sets are precomputed once per distinct record
+    /// — a record participates in many pairs across blocks, and
+    /// re-tokenizing per comparison dominated profiles.
+    fn execute_comparisons(
+        &self,
+        table: &Table,
+        matcher: &Matcher,
+        pairs: &[(RecordId, RecordId)],
+    ) -> Vec<bool> {
+        let empty: Vec<String> = Vec::new();
+        let tokens: FxHashMap<RecordId, Vec<String>> = if matcher.needs_tokens() {
+            let mut ids: Vec<RecordId> = pairs.iter().flat_map(|&(q, c)| [q, c]).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.into_iter()
+                .map(|id| (id, matcher.sorted_tokens(table.record_unchecked(id))))
+                .collect()
+        } else {
+            FxHashMap::default()
+        };
+        let toks = |id: RecordId| tokens.get(&id).unwrap_or(&empty).as_slice();
+
+        let workers = self.config().parallelism.max(1);
+        if workers == 1 || pairs.len() < 1024 {
+            return pairs
+                .iter()
+                .map(|&(q, c)| {
+                    matcher.is_match_with(
+                        table.record_unchecked(q),
+                        table.record_unchecked(c),
+                        toks(q),
+                        toks(c),
+                    )
+                })
+                .collect();
+        }
+        let chunk = pairs.len().div_ceil(workers);
+        let mut decisions = vec![false; pairs.len()];
+        crossbeam::scope(|scope| {
+            for (slot, work) in decisions.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+                let toks = &toks;
+                scope.spawn(move |_| {
+                    for (d, &(q, c)) in slot.iter_mut().zip(work) {
+                        *d = matcher.is_match_with(
+                            table.record_unchecked(q),
+                            table.record_unchecked(c),
+                            toks(q),
+                            toks(c),
+                        );
+                    }
+                });
+            }
+        })
+        .expect("comparison worker panicked");
+        decisions
+    }
+
+    /// Duplicate clusters among `ids` according to the links in `li`
+    /// (connected components, cluster id = min member id). Returns a map
+    /// record → cluster id for every id in the closure of `ids`.
+    pub fn cluster_map(&self, li: &LinkIndex, ids: &[RecordId]) -> FxHashMap<RecordId, RecordId> {
+        let members = li.closure(ids.iter().copied());
+        // Union-find over the (small) closure only.
+        let pos: FxHashMap<RecordId, u32> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        let mut uf = crate::union_find::UnionFind::new(members.len());
+        for (&r, &i) in &pos {
+            for &n in li.neighbors(r) {
+                if let Some(&j) = pos.get(&n) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let clusters = uf.clusters();
+        members
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, members[clusters[i] as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+mod tests {
+    use super::*;
+    use crate::config::{ErConfig, MetaBlockingConfig, SimilarityKind};
+    use queryer_storage::{Schema, Table, Value};
+
+    fn dirty_table() -> Table {
+        let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+        let rows = [
+            ("0", "collective entity resolution", "edbt"),
+            ("1", "collective entity resolutoin", "edbt"),
+            ("2", "query driven entity resolution", "vldb"),
+            ("3", "query driven entity resolution", "vldb"),
+            ("4", "deep learning for vision", "cvpr"),
+        ];
+        for (id, title, venue) in rows {
+            t.push_row(vec![id.into(), title.into(), venue.into()]).unwrap();
+        }
+        t
+    }
+
+    fn resolve_qe(cfg: &ErConfig, qe: &[RecordId]) -> (ResolveOutcome, DedupMetrics, LinkIndex) {
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve(&table, qe, &mut li, &mut m);
+        (out, m, li)
+    }
+
+    #[test]
+    fn finds_duplicates_of_query_entities() {
+        let (out, m, li) = resolve_qe(&ErConfig::default(), &[0]);
+        assert_eq!(out.dr, vec![0, 1]);
+        assert!(li.are_linked(0, 1));
+        assert!(!li.are_linked(0, 4));
+        assert!(m.comparisons > 0);
+    }
+
+    #[test]
+    fn second_query_served_from_link_index() {
+        let table = dirty_table();
+        let cfg = ErConfig::default();
+        let idx = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut m1 = DedupMetrics::default();
+        idx.resolve(&table, &[0, 1], &mut li, &mut m1);
+        assert!(m1.comparisons > 0);
+        let mut m2 = DedupMetrics::default();
+        let out2 = idx.resolve(&table, &[0, 1], &mut li, &mut m2);
+        assert_eq!(m2.comparisons, 0, "resolved entities must be served from LI");
+        assert_eq!(out2.dr, vec![0, 1]);
+    }
+
+    #[test]
+    fn transitive_expansion_reaches_chain() {
+        // A and C share no token; both match B via containment.
+        let mut t = Table::new("p", Schema::of_strings(&["id", "words"]));
+        t.push_row(vec!["0".into(), "alpha common".into()]).unwrap();
+        t.push_row(vec!["1".into(), "alpha common omega zeta".into()]).unwrap();
+        t.push_row(vec!["2".into(), "omega zeta".into()]).unwrap();
+        let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+        cfg.similarity = SimilarityKind::TokenOverlap;
+        cfg.match_threshold = 0.95;
+
+        let idx = TableErIndex::build(&t, &cfg);
+        let mut li = LinkIndex::new(t.len());
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve(&t, &[0], &mut li, &mut m);
+        assert_eq!(out.dr, vec![0, 1, 2], "C reachable only through B");
+
+        cfg.transitive = false;
+        let idx = TableErIndex::build(&t, &cfg);
+        let mut li = LinkIndex::new(t.len());
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve(&t, &[0], &mut li, &mut m);
+        assert_eq!(out.dr, vec![0, 1], "no expansion without transitivity");
+    }
+
+    #[test]
+    fn resolve_all_equals_union_of_queries() {
+        let table = dirty_table();
+        let cfg = ErConfig::default();
+        let idx = TableErIndex::build(&table, &cfg);
+
+        let mut li_batch = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx.resolve_all(&table, &mut li_batch, &mut m);
+
+        let mut li_inc = LinkIndex::new(table.len());
+        for q in 0..table.len() as RecordId {
+            let mut m = DedupMetrics::default();
+            idx.resolve(&table, &[q], &mut li_inc, &mut m);
+        }
+        for a in 0..table.len() as RecordId {
+            for b in 0..table.len() as RecordId {
+                assert_eq!(
+                    li_batch.are_linked(a, b),
+                    li_inc.are_linked(a, b),
+                    "links must agree for ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_map_groups_components() {
+        let (_, _, li) = resolve_qe(&ErConfig::default(), &[0, 1, 2, 3, 4]);
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let cm = idx.cluster_map(&li, &[0, 1, 2, 3, 4]);
+        assert_eq!(cm[&0], cm[&1]);
+        assert_eq!(cm[&2], cm[&3]);
+        assert_ne!(cm[&0], cm[&2]);
+        assert_eq!(cm[&4], 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let table = dirty_table();
+        let mut cfg = ErConfig::default();
+        cfg.parallelism = 4;
+        let idx = TableErIndex::build(&table, &cfg);
+        let mut li_par = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx.resolve_all(&table, &mut li_par, &mut m);
+
+        let idx_seq = TableErIndex::build(&table, &ErConfig::default());
+        let mut li_seq = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx_seq.resolve_all(&table, &mut li_seq, &mut m);
+        assert_eq!(li_par.link_count(), li_seq.link_count());
+    }
+
+    #[test]
+    fn empty_qe_is_noop() {
+        let (out, m, _) = resolve_qe(&ErConfig::default(), &[]);
+        assert!(out.dr.is_empty());
+        assert_eq!(m.comparisons, 0);
+    }
+
+    #[test]
+    fn nulls_do_not_block() {
+        let mut t = Table::new("p", Schema::of_strings(&["id", "a"]));
+        t.push_row(vec!["0".into(), Value::Null]).unwrap();
+        t.push_row(vec!["1".into(), Value::Null]).unwrap();
+        let idx = TableErIndex::build(&t, &ErConfig::default());
+        let mut li = LinkIndex::new(t.len());
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve(&t, &[0, 1], &mut li, &mut m);
+        assert_eq!(out.dr, vec![0, 1]);
+        assert_eq!(m.comparisons, 0, "all-null records share no blocks");
+        assert_eq!(li.link_count(), 0);
+    }
+}

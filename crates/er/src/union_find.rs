@@ -1,0 +1,119 @@
+//! Disjoint-set forest used to group matched entities into clusters
+//! (the connected components that Group-Entities renders as one record).
+
+/// Union-find over dense `u32` ids with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Canonical cluster id: the *minimum* member id of `x`'s set.
+    /// Scanning ids ascending and unioning keeps min-id stability only if
+    /// queried after all unions; this method computes it on demand.
+    pub fn clusters(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut min_of_root = vec![u32::MAX; n];
+        for x in 0..n as u32 {
+            let r = self.find(x) as usize;
+            if x < min_of_root[r] {
+                min_of_root[r] = x;
+            }
+        }
+        (0..n as u32)
+            .map(|x| {
+                let r = self.find(x) as usize;
+                min_of_root[r]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn cluster_ids_are_min_members() {
+        let mut uf = UnionFind::new(5);
+        uf.union(3, 4);
+        uf.union(4, 1);
+        let c = uf.clusters();
+        assert_eq!(c[1], 1);
+        assert_eq!(c[3], 1);
+        assert_eq!(c[4], 1);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[2], 2);
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.connected(0, 99));
+        assert_eq!(uf.clusters().iter().filter(|&&c| c == 0).count(), 100);
+    }
+}

@@ -1,0 +1,407 @@
+//! Abstract syntax tree for the supported query class.
+
+use queryer_storage::Value;
+use std::fmt;
+
+/// A possibly table-qualified column reference (`p.venue` or `venue`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Comparison operators of condition expressions (Sec. 5: "a condition
+/// expression can be of the form E.x op constant (op can be =,>,<, IN,
+/// etc) or E1.x = E2.y").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar / boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal constant.
+    Literal(Value),
+    /// Binary comparison.
+    Compare {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: CompareOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `expr [NOT] IN (e1, e2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// `NOT BETWEEN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// SQL LIKE pattern.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// Function call; `MOD(x, k)` and the aggregates COUNT/SUM/AVG/MIN/MAX
+    /// are understood downstream.
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments (empty for `COUNT(*)`).
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience conjunction builder over any number of terms.
+    pub fn conjunction(mut terms: Vec<Expr>) -> Option<Expr> {
+        let first = if terms.is_empty() {
+            return None;
+        } else {
+            terms.remove(0)
+        };
+        Some(terms.into_iter().fold(first, |acc, t| {
+            Expr::And(Box::new(acc), Box::new(t))
+        }))
+    }
+
+    /// Splits a predicate into its top-level AND-ed conjuncts.
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(l, r) => {
+                let mut out = l.split_conjuncts();
+                out.extend(r.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Collects every column reference in the expression.
+    pub fn columns(&self, out: &mut Vec<ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::Compare { left, right, .. } => {
+                left.columns(out);
+                right.columns(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.columns(out);
+                r.columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull { expr: e, .. } | Expr::Like { expr: e, .. } => {
+                e.columns(out)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.columns(out);
+                for e in list {
+                    e.columns(out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.columns(out);
+                low.columns(out);
+                high.columns(out);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.columns(out);
+                }
+            }
+        }
+    }
+
+    /// Collects every string/number literal in the expression — the
+    /// planner uses these as candidate blocking keys (W_B, Sec. 7.2.1).
+    pub fn literals(&self, out: &mut Vec<Value>) {
+        match self {
+            Expr::Column(_) => {}
+            Expr::Literal(v) => out.push(v.clone()),
+            Expr::Compare { left, right, .. } => {
+                left.literals(out);
+                right.literals(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.literals(out);
+                r.literals(out);
+            }
+            Expr::Not(e) | Expr::IsNull { expr: e, .. } => e.literals(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.literals(out);
+                out.push(Value::str(pattern.clone()));
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.literals(out);
+                for e in list {
+                    e.literals(out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.literals(out);
+                low.literals(out);
+                high.literals(out);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.literals(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Compare { left, op, right } => write!(f, "{left} {op} {right}"),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                if args.is_empty() && (name == "COUNT") {
+                    write!(f, "*")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The effective alias.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// `INNER JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: TableRef,
+    /// Left join column.
+    pub left: ColumnRef,
+    /// Right join column.
+    pub right: ColumnRef,
+}
+
+/// A parsed `SELECT [DEDUP] …` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Whether the DEDUP keyword was present.
+    pub dedup: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// First FROM table.
+    pub from: TableRef,
+    /// INNER JOIN clauses, in syntactic order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_conjuncts_flattens_ands() {
+        let e = Expr::And(
+            Box::new(Expr::And(
+                Box::new(Expr::Literal(Value::Int(1))),
+                Box::new(Expr::Literal(Value::Int(2))),
+            )),
+            Box::new(Expr::Literal(Value::Int(3))),
+        );
+        assert_eq!(e.split_conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        assert!(Expr::conjunction(vec![]).is_none());
+        let one = Expr::conjunction(vec![Expr::Literal(Value::Int(1))]).unwrap();
+        assert_eq!(one, Expr::Literal(Value::Int(1)));
+        let three = Expr::conjunction(vec![
+            Expr::Literal(Value::Int(1)),
+            Expr::Literal(Value::Int(2)),
+            Expr::Literal(Value::Int(3)),
+        ])
+        .unwrap();
+        assert_eq!(three.split_conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn columns_and_literals_collected() {
+        let e = Expr::Compare {
+            left: Box::new(Expr::Column(ColumnRef::qualified("p", "venue"))),
+            op: CompareOp::Eq,
+            right: Box::new(Expr::Literal(Value::str("EDBT"))),
+        };
+        let mut cols = Vec::new();
+        e.columns(&mut cols);
+        assert_eq!(cols, vec![ColumnRef::qualified("p", "venue")]);
+        let mut lits = Vec::new();
+        e.literals(&mut lits);
+        assert_eq!(lits, vec![Value::str("EDBT")]);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let e = Expr::Compare {
+            left: Box::new(Expr::Column(ColumnRef::bare("year"))),
+            op: CompareOp::Ge,
+            right: Box::new(Expr::Literal(Value::Int(2008))),
+        };
+        assert_eq!(e.to_string(), "year >= 2008");
+    }
+}

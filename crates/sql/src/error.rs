@@ -1,0 +1,43 @@
+//! Error type for the SQL layer.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, binding or planning a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the input.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// Grammar error.
+    Parse {
+        /// Description, including what was expected.
+        message: String,
+    },
+    /// Name-resolution failure (unknown table/column, ambiguity).
+    Bind {
+        /// Description.
+        message: String,
+    },
+    /// Legal SQL that this engine does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::Bind { message } => write!(f, "bind error: {message}"),
+            SqlError::Unsupported(message) => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for SQL operations.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,339 @@
+//! Expression binding (name resolution) and evaluation.
+
+use crate::ast::{ColumnRef, CompareOp, Expr};
+use crate::error::{Result, SqlError};
+use queryer_storage::Value;
+use std::cmp::Ordering;
+
+/// Resolves column references to positions in an evaluation row.
+pub trait ColumnBinder {
+    /// Position of the column in the row, or a bind error.
+    fn resolve(&self, col: &ColumnRef) -> Result<usize>;
+}
+
+/// An expression with all column references resolved to row offsets,
+/// ready for repeated evaluation.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Row offset.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Comparison.
+    Compare {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: CompareOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Conjunction.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Disjunction.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Negation.
+    Not(Box<BoundExpr>),
+    /// IN list.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidates.
+        list: Vec<BoundExpr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// BETWEEN (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// LIKE pattern.
+    Like {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Raw pattern (kept for display).
+        pattern: String,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// IS NULL.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+    /// Integer modulo (`MOD(x, k)` / `x % k`).
+    Mod(Box<BoundExpr>, Box<BoundExpr>),
+}
+
+/// Binds `expr` against a row layout. Aggregate functions are rejected —
+/// they are only legal in the projection list and are handled by the
+/// physical Aggregate operator.
+pub fn bind(expr: &Expr, binder: &dyn ColumnBinder) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Column(c) => BoundExpr::Column(binder.resolve(c)?),
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Compare { left, op, right } => BoundExpr::Compare {
+            left: Box::new(bind(left, binder)?),
+            op: *op,
+            right: Box::new(bind(right, binder)?),
+        },
+        Expr::And(l, r) => BoundExpr::And(Box::new(bind(l, binder)?), Box::new(bind(r, binder)?)),
+        Expr::Or(l, r) => BoundExpr::Or(Box::new(bind(l, binder)?), Box::new(bind(r, binder)?)),
+        Expr::Not(e) => BoundExpr::Not(Box::new(bind(e, binder)?)),
+        Expr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(bind(expr, binder)?),
+            list: list.iter().map(|e| bind(e, binder)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(bind(expr, binder)?),
+            low: Box::new(bind(low, binder)?),
+            high: Box::new(bind(high, binder)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            expr: Box::new(bind(expr, binder)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(bind(expr, binder)?),
+            negated: *negated,
+        },
+        Expr::Func { name, args } => match (name.as_str(), args.len()) {
+            ("MOD", 2) => BoundExpr::Mod(
+                Box::new(bind(&args[0], binder)?),
+                Box::new(bind(&args[1], binder)?),
+            ),
+            ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX", _) => {
+                return Err(SqlError::Unsupported(format!(
+                    "aggregate {name} is only allowed in the SELECT list"
+                )))
+            }
+            _ => {
+                return Err(SqlError::Unsupported(format!(
+                    "function {name}/{}",
+                    args.len()
+                )))
+            }
+        },
+    })
+}
+
+impl BoundExpr {
+    /// Evaluates to a scalar value. Boolean sub-expressions evaluate to
+    /// `Int(1)` / `Int(0)`.
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            BoundExpr::Column(i) => row[*i].clone(),
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Mod(l, r) => {
+                match (l.eval(row).as_int(), r.eval(row).as_int()) {
+                    (Some(a), Some(b)) if b != 0 => Value::Int(a.rem_euclid(b)),
+                    _ => Value::Null,
+                }
+            }
+            predicate => Value::Int(predicate.eval_bool(row) as i64),
+        }
+    }
+
+    /// Evaluates as a predicate; SQL NULL semantics collapse to `false`.
+    pub fn eval_bool(&self, row: &[Value]) -> bool {
+        match self {
+            BoundExpr::Compare { left, op, right } => {
+                let l = left.eval(row);
+                let r = right.eval(row);
+                if l.is_null() || r.is_null() {
+                    return false;
+                }
+                match op {
+                    CompareOp::Eq => l.sql_eq(&r),
+                    CompareOp::Neq => !l.sql_eq(&r),
+                    CompareOp::Lt => l.cmp_sql(&r) == Ordering::Less,
+                    CompareOp::Le => l.cmp_sql(&r) != Ordering::Greater,
+                    CompareOp::Gt => l.cmp_sql(&r) == Ordering::Greater,
+                    CompareOp::Ge => l.cmp_sql(&r) != Ordering::Less,
+                }
+            }
+            BoundExpr::And(l, r) => l.eval_bool(row) && r.eval_bool(row),
+            BoundExpr::Or(l, r) => l.eval_bool(row) || r.eval_bool(row),
+            BoundExpr::Not(e) => !e.eval_bool(row),
+            BoundExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return false;
+                }
+                let found = list.iter().any(|e| v.sql_eq(&e.eval(row)));
+                found != *negated
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                let lo = low.eval(row);
+                let hi = high.eval(row);
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return false;
+                }
+                let inside =
+                    v.cmp_sql(&lo) != Ordering::Less && v.cmp_sql(&hi) != Ordering::Greater;
+                inside != *negated
+            }
+            BoundExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval(row);
+                match v.as_str() {
+                    None => false,
+                    Some(s) => like_match(pattern, s) != *negated,
+                }
+            }
+            BoundExpr::IsNull { expr, negated } => expr.eval(row).is_null() != *negated,
+            BoundExpr::Column(_) | BoundExpr::Literal(_) | BoundExpr::Mod(..) => {
+                // Truthiness of a scalar: non-null, non-zero.
+                match self.eval(row) {
+                    Value::Null => false,
+                    Value::Int(i) => i != 0,
+                    Value::Float(f) => f != 0.0,
+                    Value::Str(s) => !s.is_empty(),
+                }
+            }
+        }
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run (including empty), `_` matches
+/// exactly one character. Case-sensitive, as in most engines.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    like_rec(&p, &t)
+}
+
+fn like_rec(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // Collapse consecutive %.
+            let rest = &p[1..];
+            (0..=t.len()).any(|k| like_rec(rest, &t[k..]))
+        }
+        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
+        Some(&c) => t.first() == Some(&c) && like_rec(&p[1..], &t[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+
+    struct VecBinder(Vec<&'static str>);
+    impl ColumnBinder for VecBinder {
+        fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+            self.0
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&col.column))
+                .ok_or_else(|| SqlError::Bind {
+                    message: format!("unknown column {col}"),
+                })
+        }
+    }
+
+    fn bound(sql_where: &str, cols: Vec<&'static str>) -> BoundExpr {
+        let stmt = parse_select(&format!("SELECT * FROM t WHERE {sql_where}")).unwrap();
+        bind(&stmt.where_clause.unwrap(), &VecBinder(cols)).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let e = bound("a >= 5 AND b = 'x'", vec!["a", "b"]);
+        assert!(e.eval_bool(&[Value::Int(5), Value::str("x")]));
+        assert!(!e.eval_bool(&[Value::Int(4), Value::str("x")]));
+        assert!(!e.eval_bool(&[Value::Null, Value::str("x")]));
+    }
+
+    #[test]
+    fn null_never_compares_true() {
+        let e = bound("a = a", vec!["a"]);
+        assert!(!e.eval_bool(&[Value::Null]));
+        let e = bound("a <> 1", vec!["a"]);
+        assert!(!e.eval_bool(&[Value::Null]));
+    }
+
+    #[test]
+    fn in_and_between() {
+        let e = bound("a IN (1, 2, 3)", vec!["a"]);
+        assert!(e.eval_bool(&[Value::Int(2)]));
+        assert!(!e.eval_bool(&[Value::Int(9)]));
+        let e = bound("a NOT IN (1)", vec!["a"]);
+        assert!(e.eval_bool(&[Value::Int(2)]));
+        let e = bound("a BETWEEN 2 AND 4", vec!["a"]);
+        assert!(e.eval_bool(&[Value::Int(2)]));
+        assert!(e.eval_bool(&[Value::Int(4)]));
+        assert!(!e.eval_bool(&[Value::Int(5)]));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("ab%", "abcdef"));
+        assert!(like_match("%def", "abcdef"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%", ""));
+        assert!(like_match("a%b%c", "axxbyyc"));
+        assert!(!like_match("abc", "ABC"));
+        let e = bound("a LIKE 'ed%'", vec!["a"]);
+        assert!(e.eval_bool(&[Value::str("edbt")]));
+        assert!(!e.eval_bool(&[Value::Int(3)]));
+    }
+
+    #[test]
+    fn is_null() {
+        let e = bound("a IS NULL", vec!["a"]);
+        assert!(e.eval_bool(&[Value::Null]));
+        assert!(!e.eval_bool(&[Value::Int(0)]));
+        let e = bound("a IS NOT NULL", vec!["a"]);
+        assert!(e.eval_bool(&[Value::Int(0)]));
+    }
+
+    #[test]
+    fn modulo() {
+        let e = bound("MOD(id, 10) < 1", vec!["id"]);
+        assert!(e.eval_bool(&[Value::Int(20)]));
+        assert!(!e.eval_bool(&[Value::Int(21)]));
+        // Division by zero → NULL → false.
+        let e = bound("MOD(id, 0) = 0", vec!["id"]);
+        assert!(!e.eval_bool(&[Value::Int(20)]));
+        // Negative operands: rem_euclid keeps the result non-negative.
+        let e = bound("id % 10 = 7", vec!["id"]);
+        assert!(e.eval_bool(&[Value::Int(-3)]));
+    }
+
+    #[test]
+    fn aggregates_rejected_in_where() {
+        let stmt = parse_select("SELECT * FROM t WHERE COUNT(a) > 1").unwrap();
+        assert!(bind(&stmt.where_clause.unwrap(), &VecBinder(vec!["a"])).is_err());
+    }
+
+    #[test]
+    fn unknown_column_is_bind_error() {
+        let stmt = parse_select("SELECT * FROM t WHERE nope = 1").unwrap();
+        assert!(bind(&stmt.where_clause.unwrap(), &VecBinder(vec!["a"])).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! SQL lexer: input text → token stream.
+
+use crate::error::{Result, SqlError};
+
+/// Lexical tokens. Keywords are not distinguished here — the parser
+/// matches identifiers case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single-quoted string literal (with `''` escape).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+}
+
+/// Tokenizes `input`, or reports the first lexical error.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::StringLit(s));
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' || b == b'"' => {
+                let (ident, next) = lex_ident(input, i)?;
+                tokens.push(Token::Ident(ident));
+                i = next;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other as char),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch = input[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Err(SqlError::Lex {
+        pos: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::FloatLit(f), i))
+            .map_err(|_| SqlError::Lex {
+                pos: start,
+                message: format!("bad float literal {text:?}"),
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|n| (Token::IntLit(n), i))
+            .map_err(|_| SqlError::Lex {
+                pos: start,
+                message: format!("integer literal out of range: {text:?}"),
+            })
+    }
+}
+
+fn lex_ident(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    // Double-quoted identifiers pass through verbatim.
+    if bytes[start] == b'"' {
+        let mut i = start + 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(SqlError::Lex {
+                pos: start,
+                message: "unterminated quoted identifier".into(),
+            });
+        }
+        return Ok((input[start + 1..i].to_string(), i + 1));
+    }
+    let mut i = start;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    Ok((input[start..i].to_string(), i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let t = tokenize("SELECT DEDUP p.title FROM p WHERE p.venue = 'EDBT'").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("DEDUP".into()));
+        assert!(t.contains(&Token::Dot));
+        assert!(t.contains(&Token::Eq));
+        assert_eq!(*t.last().unwrap(), Token::StringLit("EDBT".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a <= b >= c <> d != e < f > g % 2").unwrap();
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert_eq!(t.iter().filter(|x| **x == Token::Neq).count(), 2);
+        assert!(t.contains(&Token::Lt));
+        assert!(t.contains(&Token::Gt));
+        assert!(t.contains(&Token::Percent));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("42 3.25").unwrap();
+        assert_eq!(t, vec![Token::IntLit(42), Token::FloatLit(3.25)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::StringLit("it's".into())]);
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let t = tokenize("\"weird name\"").unwrap();
+        assert_eq!(t, vec![Token::Ident("weird name".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

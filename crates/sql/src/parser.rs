@@ -1,0 +1,500 @@
+//! Recursive-descent parser for `SELECT [DEDUP] …` statements.
+
+use crate::ast::*;
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Token};
+use queryer_storage::Value;
+
+/// Parses a single SELECT statement.
+pub fn parse_select(sql: &str) -> Result<SelectStatement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_statement()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> SqlError {
+        let near = self
+            .peek()
+            .map(|t| format!("{t:?}"))
+            .unwrap_or_else(|| "end of input".into());
+        SqlError::Parse {
+            message: format!("{msg} (near {near})"),
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword
+    /// (case-insensitive identifier match).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_token(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, tok: Token) -> Result<()> {
+        if self.eat_token(&tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {tok:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let dedup = self.eat_keyword("DEDUP");
+        let items = self.select_items()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if self.eat_keyword("JOIN") {
+                let table = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                let left = self.column_ref()?;
+                self.expect_token(Token::Eq)?;
+                let right = self.column_ref()?;
+                joins.push(JoinClause { table, left, right });
+            } else if inner {
+                return Err(self.err("expected JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::IntLit(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            dedup,
+            items,
+            from,
+            joins,
+            where_clause,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_token(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        // Optional alias: bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !is_clause_keyword(s) =>
+            {
+                Some(self.ident()?)
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_token(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    // Precedence: OR < AND < NOT < predicate.
+    fn expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Comparison?
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CompareOp::Eq),
+            Some(Token::Neq) => Some(CompareOp::Neq),
+            Some(Token::Lt) => Some(CompareOp::Lt),
+            Some(Token::Le) => Some(CompareOp::Le),
+            Some(Token::Gt) => Some(CompareOp::Gt),
+            Some(Token::Ge) => Some(CompareOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Compare {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        // IS [NOT] NULL.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] IN / BETWEEN / LIKE.
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_token(Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.additive()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            match self.next() {
+                Some(Token::StringLit(pattern)) => {
+                    return Ok(Expr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        negated,
+                    })
+                }
+                _ => return Err(self.err("expected string pattern after LIKE")),
+            }
+        }
+        if negated {
+            return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        Ok(left)
+    }
+
+    /// Arithmetic tier: only `%` (modulo) is supported, which covers the
+    /// paper's Q9 workload predicate `MOD(id, 10) < 1` in operator form.
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        while self.eat_token(&Token::Percent) {
+            let right = self.primary()?;
+            left = Expr::Func {
+                name: "MOD".into(),
+                args: vec![left, right],
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::IntLit(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            Some(Token::FloatLit(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.primary()? {
+                    Expr::Literal(Value::Int(n)) => Ok(Expr::Literal(Value::Int(-n))),
+                    Expr::Literal(Value::Float(x)) => Ok(Expr::Literal(Value::Float(-x))),
+                    _ => Err(self.err("unary minus only supported on numeric literals")),
+                }
+            }
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_token(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                // Function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let upper = name.to_ascii_uppercase();
+                    let mut args = Vec::new();
+                    if self.eat_token(&Token::Star) {
+                        // COUNT(*) — empty args by convention.
+                        self.expect_token(Token::RParen)?;
+                        return Ok(Expr::Func { name: upper, args });
+                    }
+                    if !self.eat_token(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_token(Token::RParen)?;
+                    }
+                    return Ok(Expr::Func { name: upper, args });
+                }
+                // Column reference (possibly qualified).
+                if self.eat_token(&Token::Dot) {
+                    let column = self.ident()?;
+                    Ok(Expr::Column(ColumnRef {
+                        table: Some(name),
+                        column,
+                    }))
+                } else {
+                    Ok(Expr::Column(ColumnRef {
+                        table: None,
+                        column: name,
+                    }))
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const KWS: [&str; 10] = [
+        "INNER", "JOIN", "ON", "WHERE", "LIMIT", "AND", "OR", "GROUP", "ORDER", "AS",
+    ];
+    KWS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_example_query() {
+        let q = parse_select(
+            "SELECT DEDUP P.Title, P.Year, V.Rank FROM P INNER JOIN V ON P.venue = V.title \
+             WHERE P.venue = 'EDBT'",
+        )
+        .unwrap();
+        assert!(q.dedup);
+        assert_eq!(q.items.len(), 3);
+        assert_eq!(q.from.name, "P");
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left, ColumnRef::qualified("P", "venue"));
+        assert_eq!(q.joins[0].right, ColumnRef::qualified("V", "title"));
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn plain_select_without_dedup() {
+        let q = parse_select("SELECT * FROM p").unwrap();
+        assert!(!q.dedup);
+        assert_eq!(q.items, vec![SelectItem::Star]);
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn where_precedence() {
+        let q = parse_select("SELECT * FROM p WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(_, r) => assert!(matches!(*r, Expr::And(_, _))),
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_between_like_isnull() {
+        let q = parse_select(
+            "SELECT * FROM p WHERE a IN ('x', 'y') AND b BETWEEN 1 AND 5 \
+             AND c LIKE 'ab%' AND d IS NOT NULL AND e NOT IN (3)",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.split_conjuncts().len(), 5);
+    }
+
+    #[test]
+    fn mod_function_and_operator() {
+        let q1 = parse_select("SELECT * FROM p WHERE MOD(id, 10) < 1").unwrap();
+        let q2 = parse_select("SELECT * FROM p WHERE id % 10 < 1").unwrap();
+        assert_eq!(q1.where_clause, q2.where_clause);
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse_select("SELECT t.a AS x FROM people t WHERE t.a = 1").unwrap();
+        assert_eq!(q.from.alias.as_deref(), Some("t"));
+        match &q.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("x")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn aggregates_parse() {
+        let q = parse_select("SELECT COUNT(*), SUM(amount), MIN(year) FROM p").unwrap();
+        assert_eq!(q.items.len(), 3);
+        match &q.items[0] {
+            SelectItem::Expr {
+                expr: Expr::Func { name, args },
+                ..
+            } => {
+                assert_eq!(name, "COUNT");
+                assert!(args.is_empty());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn multi_join_chain() {
+        let q = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w WHERE a.k = 1",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+    }
+
+    #[test]
+    fn negative_literals_and_limit() {
+        let q = parse_select("SELECT * FROM p WHERE x > -5 LIMIT 10").unwrap();
+        assert_eq!(q.limit, Some(10));
+        match q.where_clause.unwrap() {
+            Expr::Compare { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Value::Int(-5)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_select("SELECT").is_err());
+        assert!(parse_select("SELECT * FROM").is_err());
+        assert!(parse_select("SELECT * FROM p WHERE").is_err());
+        assert!(parse_select("SELECT * FROM p extra garbage =").is_err());
+        assert!(parse_select("SELECT * FROM p WHERE a NOT b").is_err());
+        assert!(parse_select("UPDATE p SET a = 1").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the SQL layer: display/parse round-trips and
+//! evaluation consistency.
+
+use proptest::prelude::*;
+use queryer_sql::{bind, parse_select, ColumnBinder, ColumnRef, Expr};
+use queryer_storage::Value;
+
+struct TwoCols;
+impl ColumnBinder for TwoCols {
+    fn resolve(&self, c: &ColumnRef) -> queryer_sql::Result<usize> {
+        match c.column.as_str() {
+            "a" => Ok(0),
+            "b" => Ok(1),
+            _ => Err(queryer_sql::SqlError::Bind {
+                message: format!("unknown {c}"),
+            }),
+        }
+    }
+}
+
+/// Generates random predicate texts over integer columns `a`, `b`.
+fn predicate() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(|n| format!("a = {n}")),
+        (0i64..50).prop_map(|n| format!("b <> {n}")),
+        (0i64..50).prop_map(|n| format!("a < {n}")),
+        (0i64..50).prop_map(|n| format!("b >= {n}")),
+        (0i64..20, 0i64..30).prop_map(|(l, h)| format!("a BETWEEN {l} AND {}", l + h)),
+        (1i64..9, 0i64..9).prop_map(|(k, r)| format!("MOD(a, {k}) = {r}")),
+        Just("a IS NULL".to_string()),
+        Just("b IS NOT NULL".to_string()),
+        (0i64..50, 0i64..50).prop_map(|(x, y)| format!("a IN ({x}, {y})")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} AND {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} OR {r})")),
+            inner.prop_map(|e| format!("NOT ({e})")),
+        ]
+    })
+}
+
+proptest! {
+    /// Parse → pretty-print → parse must be a fixpoint: the re-parsed
+    /// AST equals the first parse, and both evaluate identically.
+    #[test]
+    fn display_parse_roundtrip(pred in predicate(), a in 0i64..60, b in 0i64..60) {
+        let sql = format!("SELECT * FROM t WHERE {pred}");
+        let stmt1 = parse_select(&sql).unwrap();
+        let w1 = stmt1.where_clause.clone().unwrap();
+        let sql2 = format!("SELECT * FROM t WHERE {w1}");
+        let stmt2 = parse_select(&sql2).unwrap();
+        let w2 = stmt2.where_clause.unwrap();
+
+        let b1 = bind(&w1, &TwoCols).unwrap();
+        let b2 = bind(&w2, &TwoCols).unwrap();
+        let row = [Value::Int(a), Value::Int(b)];
+        prop_assert_eq!(b1.eval_bool(&row), b2.eval_bool(&row), "{} vs {}", w1, w2);
+        let null_row = [Value::Null, Value::Int(b)];
+        prop_assert_eq!(b1.eval_bool(&null_row), b2.eval_bool(&null_row));
+    }
+
+    /// De Morgan sanity: NOT (p AND q) ≡ NOT p OR NOT q under our
+    /// two-valued collapse of SQL booleans (no NULL-producing operands).
+    #[test]
+    fn de_morgan_holds_without_nulls(
+        x in 0i64..50,
+        y in 0i64..50,
+        a in 0i64..50,
+        b in 0i64..50,
+    ) {
+        let p = format!("a < {x}");
+        let q = format!("b < {y}");
+        let lhs = bind(
+            &parse_select(&format!("SELECT * FROM t WHERE NOT ({p} AND {q})"))
+                .unwrap()
+                .where_clause
+                .unwrap(),
+            &TwoCols,
+        )
+        .unwrap();
+        let rhs = bind(
+            &parse_select(&format!("SELECT * FROM t WHERE NOT ({p}) OR NOT ({q})"))
+                .unwrap()
+                .where_clause
+                .unwrap(),
+            &TwoCols,
+        )
+        .unwrap();
+        let row = [Value::Int(a), Value::Int(b)];
+        prop_assert_eq!(lhs.eval_bool(&row), rhs.eval_bool(&row));
+    }
+
+    /// The split conjuncts of a predicate, re-ANDed, evaluate identically.
+    #[test]
+    fn conjunct_split_preserves_semantics(pred in predicate(), a in 0i64..60, b in 0i64..60) {
+        let stmt = parse_select(&format!("SELECT * FROM t WHERE {pred}")).unwrap();
+        let w = stmt.where_clause.unwrap();
+        let parts: Vec<Expr> = w.split_conjuncts().into_iter().cloned().collect();
+        let rebuilt = Expr::conjunction(parts).unwrap();
+        let b1 = bind(&w, &TwoCols).unwrap();
+        let b2 = bind(&rebuilt, &TwoCols).unwrap();
+        let row = [Value::Int(a), Value::Int(b)];
+        prop_assert_eq!(b1.eval_bool(&row), b2.eval_bool(&row));
+    }
+}

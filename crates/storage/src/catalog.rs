@@ -1,0 +1,97 @@
+//! A minimal table catalog.
+
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+use queryer_common::FxHashMap;
+use std::sync::Arc;
+
+/// Maps table names to shared table handles. The query engine layers its
+/// ER indices on top of this (Sec. 3: indices are built once-off during
+/// initialization of each table).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: Vec<Arc<Table>>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table, replacing any table with the same name.
+    /// Returns the table's catalog index.
+    pub fn register(&mut self, table: Table) -> usize {
+        let name = table.name().to_string();
+        let arc = Arc::new(table);
+        if let Some(&idx) = self.by_name.get(&name) {
+            self.tables[idx] = arc;
+            idx
+        } else {
+            let idx = self.tables.len();
+            self.tables.push(arc);
+            self.by_name.insert(name, idx);
+            idx
+        }
+    }
+
+    /// Table handle by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.by_name
+            .get(name)
+            .map(|&i| self.tables[i].clone())
+            .ok_or_else(|| StorageError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Table handle by catalog index.
+    pub fn get_by_index(&self, idx: usize) -> Option<Arc<Table>> {
+        self.tables.get(idx).cloned()
+    }
+
+    /// Catalog index of a table name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All registered table names.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        let idx = c.register(Table::new("p", Schema::of_strings(&["a"])));
+        assert_eq!(c.index_of("p"), Some(idx));
+        assert_eq!(c.get("p").unwrap().name(), "p");
+        assert!(c.get("missing").is_err());
+    }
+
+    #[test]
+    fn replace_same_name() {
+        let mut c = Catalog::new();
+        c.register(Table::new("p", Schema::of_strings(&["a"])));
+        let mut t2 = Table::new("p", Schema::of_strings(&["a"]));
+        t2.push_row(vec!["x".into()]).unwrap();
+        let idx2 = c.register(t2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get_by_index(idx2).unwrap().len(), 1);
+    }
+}

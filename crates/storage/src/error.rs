@@ -1,0 +1,70 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised while loading, validating or writing tables.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O failure, tagged with the operation that failed.
+    Io {
+        /// What the storage layer was doing when the error occurred.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A row whose arity does not match the schema.
+    ArityMismatch {
+        /// Expected number of columns (schema width).
+        expected: usize,
+        /// Number of values actually provided.
+        actual: usize,
+    },
+    /// A value that cannot be parsed as the declared column type.
+    TypeError {
+        /// Column name.
+        column: String,
+        /// The offending raw text.
+        value: String,
+        /// Target type name.
+        expected: &'static str,
+    },
+    /// Lookup of an unknown table or column.
+    NotFound(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StorageError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row has {actual} values but schema has {expected} columns")
+            }
+            StorageError::TypeError {
+                column,
+                value,
+                expected,
+            } => write!(f, "column '{column}': cannot parse {value:?} as {expected}"),
+            StorageError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,23 @@
+//! Storage substrate for QueryER.
+//!
+//! The paper treats an *entity collection* as "a raw data file (e.g. a csv,
+//! parquet) or a relational table, although no PKs and FKs are considered"
+//! (Sec. 4). This crate provides exactly that model: dynamically-typed
+//! [`Value`]s, [`Schema`]s, row-oriented [`Table`]s whose records are
+//! addressed by dense [`RecordId`]s, a from-scratch CSV reader/writer, and
+//! a small [`Catalog`].
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod record;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{Result, StorageError};
+pub use record::{Record, RecordId};
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;

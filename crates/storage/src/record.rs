@@ -1,0 +1,49 @@
+//! Records: dense-id rows of a table.
+
+use crate::value::Value;
+
+/// Record identifier. Record ids are dense per table (`id == position`),
+/// which lets every ER index (TBI, ITBI, LI — Sec. 3 of the paper) be a
+/// flat vector instead of a map.
+pub type RecordId = u32;
+
+/// A single row. The paper's entity `e` with its `e_id` attribute: the
+/// id is carried out-of-band (not as a column) so that schema-agnostic
+/// blocking never tokenizes identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Dense id within the owning table.
+    pub id: RecordId,
+    /// One value per schema column.
+    pub values: Vec<Value>,
+}
+
+impl Record {
+    /// Builds a record.
+    pub fn new(id: RecordId, values: Vec<Value>) -> Self {
+        Self { id, values }
+    }
+
+    /// Value at column `i`.
+    #[inline]
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Number of non-null values.
+    pub fn non_null_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_null_count() {
+        let r = Record::new(0, vec![Value::Null, Value::Int(1), Value::str("a")]);
+        assert_eq!(r.non_null_count(), 2);
+        assert_eq!(r.value(1), &Value::Int(1));
+    }
+}

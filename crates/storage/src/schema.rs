@@ -1,0 +1,147 @@
+//! Schemas: ordered lists of named, typed fields.
+
+use crate::error::{Result, StorageError};
+use crate::value::Value;
+use queryer_common::FxHashMap;
+
+/// Column data types. QueryER is schema-agnostic for ER purposes (every
+/// token of every value becomes a blocking key), so the type system only
+/// needs to support predicate evaluation and CSV parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Parses raw CSV text into a typed [`Value`]; empty text is `Null`.
+    pub fn parse(&self, raw: &str, column: &str) -> Result<Value> {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Ok(Value::Null);
+        }
+        match self {
+            DataType::Int => raw.parse::<i64>().map(Value::Int).map_err(|_| StorageError::TypeError {
+                column: column.to_string(),
+                value: raw.to_string(),
+                expected: "Int",
+            }),
+            DataType::Float => raw
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| StorageError::TypeError {
+                    column: column.to_string(),
+                    value: raw.to_string(),
+                    expected: "Float",
+                }),
+            DataType::Str => Ok(Value::str(raw)),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields with O(1) name lookup.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema; later duplicates of a name shadow earlier ones in
+    /// name lookup (callers should avoid duplicate names).
+    pub fn new(fields: Vec<Field>) -> Self {
+        let by_name = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        Self { fields, by_name }
+    }
+
+    /// Shorthand: all-string schema from column names.
+    pub fn of_strings(names: &[&str]) -> Self {
+        Self::new(names.iter().map(|n| Field::new(*n, DataType::Str)).collect())
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of a column by name, as an error-carrying lookup.
+    pub fn try_index_of(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::NotFound(format!("column '{name}'")))
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of_strings(&["id", "title", "year"]);
+        assert_eq!(s.index_of("title"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.try_index_of("missing").is_err());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn parse_typed_values() {
+        assert_eq!(DataType::Int.parse("42", "c").unwrap(), Value::Int(42));
+        assert_eq!(DataType::Float.parse("2.5", "c").unwrap(), Value::Float(2.5));
+        assert_eq!(DataType::Str.parse("x", "c").unwrap(), Value::str("x"));
+        assert_eq!(DataType::Int.parse("", "c").unwrap(), Value::Null);
+        assert!(DataType::Int.parse("abc", "c").is_err());
+    }
+}

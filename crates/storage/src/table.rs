@@ -1,0 +1,130 @@
+//! In-memory tables (the paper's *entity collections*).
+
+use crate::error::{Result, StorageError};
+use crate::record::{Record, RecordId};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A named, row-oriented in-memory table with dense record ids.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema: Arc::new(schema),
+            records: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// All records, ordered by id.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record by id (`None` when out of range).
+    #[inline]
+    pub fn record(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(id as usize)
+    }
+
+    /// Record by id; panics when out of range (ids are produced by this
+    /// table's own indices, so out-of-range access is a logic error).
+    #[inline]
+    pub fn record_unchecked(&self, id: RecordId) -> &Record {
+        &self.records[id as usize]
+    }
+
+    /// Number of records (the paper's |E|).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a row, assigning the next dense id, which is returned.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<RecordId> {
+        if values.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                actual: values.len(),
+            });
+        }
+        let id = self.records.len() as RecordId;
+        self.records.push(Record::new(id, values));
+        Ok(id)
+    }
+
+    /// Pre-allocates room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
+    /// Column values projected by name (test/debug helper).
+    pub fn column(&self, name: &str) -> Result<Vec<&Value>> {
+        let idx = self.schema.try_index_of(name)?;
+        Ok(self.records.iter().map(|r| r.value(idx)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Str),
+                Field::new("n", DataType::Int),
+            ]),
+        );
+        t.push_row(vec![Value::str("x"), Value::Int(1)]).unwrap();
+        t.push_row(vec![Value::str("y"), Value::Int(2)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn dense_ids() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.record(0).unwrap().id, 0);
+        assert_eq!(t.record(1).unwrap().id, 1);
+        assert!(t.record(2).is_none());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = sample();
+        assert!(t.push_row(vec![Value::str("z")]).is_err());
+    }
+
+    #[test]
+    fn column_projection() {
+        let t = sample();
+        let col = t.column("n").unwrap();
+        assert_eq!(col, vec![&Value::Int(1), &Value::Int(2)]);
+        assert!(t.column("missing").is_err());
+    }
+}

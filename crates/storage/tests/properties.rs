@@ -1,0 +1,64 @@
+//! Property-based tests for the storage substrate: CSV round-trips and
+//! Value semantics.
+
+use proptest::prelude::*;
+use queryer_storage::csv::{table_from_csv_str_infer, table_to_csv_string};
+use queryer_storage::{Schema, Table, Value};
+
+/// Arbitrary cell text, including separators, quotes and newlines.
+fn cell() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9 ,\"'\n\\-_.|]{0,20}").expect("regex")
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_preserves_cells(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(cell(), 3),
+            0..20
+        ),
+    ) {
+        let mut t = Table::new("t", Schema::of_strings(&["a", "b", "c"]));
+        for row in &rows {
+            // CSV cannot distinguish empty text from NULL, and the loader
+            // trims outer whitespace; normalise the expectation likewise.
+            t.push_row(row.iter().map(Value::str).collect()).unwrap();
+        }
+        let text = table_to_csv_string(&t);
+        let back = table_from_csv_str_infer("t", &text).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for (orig, got) in t.records().iter().zip(back.records()) {
+            for (o, g) in orig.values.iter().zip(&g_values(got)) {
+                let expected = o.render().trim().to_string();
+                prop_assert_eq!(&expected, &g.render().trim().to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_on_comparables(a in any::<i64>(), b in any::<i64>()) {
+        let va = Value::Int(a);
+        let vb = Value::Int(b);
+        prop_assert_eq!(va.cmp_sql(&vb), a.cmp(&b));
+        prop_assert_eq!(va.cmp_sql(&vb).reverse(), vb.cmp_sql(&va));
+    }
+
+    #[test]
+    fn sql_eq_consistent_with_ordering(a in any::<i64>(), b in any::<i64>()) {
+        let va = Value::Int(a);
+        let vb = Value::Float(b as f64);
+        prop_assert_eq!(va.sql_eq(&vb), va.cmp_sql(&vb) == std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn null_comparisons_always_false(s in cell()) {
+        let v = Value::str(&s);
+        prop_assert!(!Value::Null.sql_eq(&v));
+        prop_assert!(!v.sql_eq(&Value::Null));
+        prop_assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+}
+
+fn g_values(r: &queryer_storage::Record) -> Vec<Value> {
+    r.values.clone()
+}

@@ -1,0 +1,57 @@
+//! Progressive exploration (the Fig. 11 scenario): an analyst explores a
+//! dirty paper collection with consecutive, overlapping queries. The
+//! Link Index carries every resolution forward, so each query gets
+//! cheaper — the dataset is progressively cleaned as a side effect of
+//! analysis.
+//!
+//! ```text
+//! cargo run --release --example progressive_exploration
+//! ```
+
+use queryer::datagen::{scholarly, workload};
+use queryer::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic OAG-papers-shaped collection with ~12% duplicates.
+    let venues = scholarly::oag_venues(300, 7);
+    let papers = scholarly::oag_papers(4000, 8, &venues);
+    println!(
+        "dataset: {} records, {} true duplicate pairs",
+        papers.len(),
+        papers.truth.pair_count()
+    );
+
+    let mut engine = QueryEngine::new(ErConfig::default());
+    engine.register_table(papers.table.clone())?;
+
+    // Four overlapping range queries, each ≈30% wider than the previous.
+    let queries = workload::overlapping_range_queries(&papers, "oagp");
+    println!("\nwith the Link Index (state carries across queries):");
+    for q in &queries {
+        let r = engine.execute(&q.sql)?;
+        let (resolved, links) = engine.link_index_stats("oagp")?;
+        println!(
+            "  {}: |QE|≈{:>3.0}%  time {:>8.1?}  comparisons {:>8}  LI: {resolved} resolved / {links} links",
+            q.name,
+            q.selectivity * 100.0,
+            r.metrics.total,
+            r.metrics.comparisons(),
+        );
+    }
+
+    println!("\nwithout the Link Index (cleared before every query):");
+    for q in &queries {
+        engine.clear_link_indices();
+        let r = engine.execute(&q.sql)?;
+        println!(
+            "  {}: |QE|≈{:>3.0}%  time {:>8.1?}  comparisons {:>8}",
+            q.name,
+            q.selectivity * 100.0,
+            r.metrics.total,
+            r.metrics.comparisons(),
+        );
+    }
+    println!("\nThe warm series converges towards zero comparisons while the");
+    println!("cold series keeps paying for re-resolution — Fig. 11 of the paper.");
+    Ok(())
+}

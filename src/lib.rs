@@ -1,0 +1,41 @@
+//! # QueryER
+//!
+//! A framework for fast **analysis-aware deduplication over dirty data**:
+//! Entity Resolution operators (Deduplicate, Deduplicate-Join,
+//! Group-Entities) woven directly into SPJ query plans, so that only the
+//! parts of the data that influence a query's answer are deduplicated —
+//! at query time, with no ETL / batch-cleaning step.
+//!
+//! This is the facade crate: it re-exports the public API of the
+//! workspace crates. Start with [`prelude::QueryEngine`]:
+//!
+//! ```
+//! use queryer::prelude::*;
+//!
+//! let csv = "id,title,venue\n0,Collective Entity Resolution,EDBT\n\
+//!            1,Collective E.R.,EDBT\n2,Unrelated Paper,VLDB\n";
+//! let table = queryer::storage::csv::table_from_csv_str_infer("p", csv).unwrap();
+//!
+//! let mut engine = QueryEngine::new(ErConfig::default());
+//! engine.register_table(table).unwrap();
+//!
+//! let result = engine.execute("SELECT DEDUP title FROM p WHERE venue = 'EDBT'").unwrap();
+//! // The two duplicate EDBT records are grouped into a single row.
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+
+pub use queryer_common as common;
+pub use queryer_core as core;
+pub use queryer_datagen as datagen;
+pub use queryer_er as er;
+pub use queryer_sql as sql;
+pub use queryer_storage as storage;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use queryer_core::engine::{ExecMode, QueryEngine};
+    pub use queryer_core::metrics::QueryMetrics;
+    pub use queryer_core::result::QueryResult;
+    pub use queryer_er::config::{ErConfig, MetaBlockingConfig};
+    pub use queryer_storage::{DataType, Field, Record, RecordId, Schema, Table, Value};
+}
