@@ -21,7 +21,13 @@ fn spj_case(
     selectivity: f64,
 ) {
     let q = workload::spj_query(
-        qname, left, left_table, left_col, right_table, right_col, selectivity,
+        qname,
+        left,
+        left_table,
+        left_col,
+        right_table,
+        right_col,
+        selectivity,
     );
     let mut results = Vec::new();
     for mode in [ExecMode::Batch, ExecMode::Nes, ExecMode::Aes] {
@@ -56,14 +62,22 @@ pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
     let oagp = suite.oagp(paper::OAGP[4]).clone();
 
     let e_ppl = engine_with(&[("ppl", &ppl), ("oao", &oao)]);
-    spj_case(&mut rep, &e_ppl, &ppl, "Q6a", "ppl", "org", "oao", "name", 0.07);
+    spj_case(
+        &mut rep, &e_ppl, &ppl, "Q6a", "ppl", "org", "oao", "name", 0.07,
+    );
 
     let e_oap = engine_with(&[("oap", &oap), ("oao", &oao)]);
-    spj_case(&mut rep, &e_oap, &oap, "Q7a", "oap", "org", "oao", "name", 0.75);
+    spj_case(
+        &mut rep, &e_oap, &oap, "Q7a", "oap", "org", "oao", "name", 0.75,
+    );
 
     let e_oag = engine_with(&[("oagp", &oagp), ("oagv", &oagv)]);
-    spj_case(&mut rep, &e_oag, &oagp, "Q6b", "oagp", "venue", "oagv", "title", 0.07);
-    spj_case(&mut rep, &e_oag, &oagp, "Q7b", "oagp", "venue", "oagv", "title", 0.75);
+    spj_case(
+        &mut rep, &e_oag, &oagp, "Q6b", "oagp", "venue", "oagv", "title", 0.07,
+    );
+    spj_case(
+        &mut rep, &e_oag, &oagp, "Q7b", "oagp", "venue", "oagv", "title", 0.75,
+    );
 
     rep.note(
         "Right-side selectivity fixed at 100% as in the paper; result sets \

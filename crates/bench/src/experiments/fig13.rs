@@ -32,13 +32,26 @@ pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
                 continue; // the size floor can collapse ladder steps
             }
             seen.push(n);
-            let (left, left_name, left_col, right, right_name, right_col) = if series
-                .starts_with("PPL")
-            {
-                (suite.ppl(paper_size).clone(), "ppl", "org", &oao, "oao", "name")
-            } else {
-                (suite.oagp(paper_size).clone(), "oagp", "venue", &oagv, "oagv", "title")
-            };
+            let (left, left_name, left_col, right, right_name, right_col) =
+                if series.starts_with("PPL") {
+                    (
+                        suite.ppl(paper_size).clone(),
+                        "ppl",
+                        "org",
+                        &oao,
+                        "oao",
+                        "name",
+                    )
+                } else {
+                    (
+                        suite.oagp(paper_size).clone(),
+                        "oagp",
+                        "venue",
+                        &oagv,
+                        "oagv",
+                        "title",
+                    )
+                };
             let engine = engine_with(&[(left_name, &left), (right_name, right)]);
             let q = workload::spj_query(
                 "Q8", &left, left_name, left_col, right_name, right_col, 0.15,

@@ -46,7 +46,8 @@ pub fn motivating_engine() -> QueryEngine {
         ..ErConfig::default()
     };
     let mut e = QueryEngine::new(cfg);
-    e.register_csv_str("P", PUBLICATIONS_CSV).expect("motivating P");
+    e.register_csv_str("P", PUBLICATIONS_CSV)
+        .expect("motivating P");
     e.register_csv_str("V", VENUES_CSV).expect("motivating V");
     e
 }
@@ -56,7 +57,12 @@ pub(crate) fn run(_suite: &mut Suite) -> Vec<Report> {
     let mut rep = Report::new(
         "table5",
         "Table 5 — executed comparisons by cleaning order (motivating example P ⋈ V)",
-        &["Clean first", "Comparisons", "Rows", "Planner estimate (L, R)"],
+        &[
+            "Clean first",
+            "Comparisons",
+            "Rows",
+            "Planner estimate (L, R)",
+        ],
     );
     // Clean V first = the dirty side is P (Dirty-Left); clean P first =
     // Dirty-Right. AES itself picks the cheaper of the two.

@@ -5,8 +5,8 @@
 use crate::report::Report;
 use crate::scale::paper;
 use crate::suite::Suite;
-use queryer_er::{ErConfig, TableErIndex};
 use queryer_datagen::Dataset;
+use queryer_er::{ErConfig, TableErIndex};
 
 fn row(label: &str, ds: &Dataset) -> Vec<String> {
     let er = TableErIndex::build(&ds.table, &ErConfig::default());

@@ -44,13 +44,15 @@ impl Suite {
     /// DBLP-Scholar-shaped dataset.
     pub fn dsd(&mut self) -> &Dataset {
         let n = self.sizes.of(paper::DSD);
-        self.dsd.get_or_insert_with(|| scholarly::dblp_scholar(n, 0xD5D))
+        self.dsd
+            .get_or_insert_with(|| scholarly::dblp_scholar(n, 0xD5D))
     }
 
     /// OpenAIRE organisations.
     pub fn oao(&mut self) -> &Dataset {
         let n = self.sizes.of(paper::OAO);
-        self.oao.get_or_insert_with(|| openaire::organizations(n, 0x0A0))
+        self.oao
+            .get_or_insert_with(|| openaire::organizations(n, 0x0A0))
     }
 
     /// OpenAIRE projects (references OAO).
@@ -66,7 +68,8 @@ impl Suite {
     /// OAG venues.
     pub fn oagv(&mut self) -> &Dataset {
         let n = self.sizes.of(paper::OAGV);
-        self.oagv.get_or_insert_with(|| scholarly::oag_venues(n, 0xA61))
+        self.oagv
+            .get_or_insert_with(|| scholarly::oag_venues(n, 0xA61))
     }
 
     /// People dataset at a paper size (e.g. `paper::PPL[4]` = PPL2M).
@@ -123,7 +126,11 @@ fn rename(table: &queryer_storage::Table, name: &str) -> queryer_storage::Table 
 
 /// The record ids selected by a predicate (ground-truth QE for PC
 /// measurement), obtained with a plain SQL projection of `id`.
-pub fn qe_ids(engine: &QueryEngine, table: &str, where_clause: Option<&str>) -> FxHashSet<RecordId> {
+pub fn qe_ids(
+    engine: &QueryEngine,
+    table: &str,
+    where_clause: Option<&str>,
+) -> FxHashSet<RecordId> {
     let sql = match where_clause {
         Some(w) => format!("SELECT id FROM {table} WHERE {w}"),
         None => format!("SELECT id FROM {table}"),
@@ -186,7 +193,11 @@ mod tests {
         // Before any dedup query the LI is empty: PC counts only pairs
         // that touch qe, none linked yet (1.0 only if no relevant pairs).
         let _ = pc_of(&e, "dsd", &ds, &qe);
-        run(&e, "SELECT DEDUP * FROM dsd WHERE year <= 2000", ExecMode::Aes);
+        run(
+            &e,
+            "SELECT DEDUP * FROM dsd WHERE year <= 2000",
+            ExecMode::Aes,
+        );
         let pc = pc_of(&e, "dsd", &ds, &qe);
         assert!(pc > 0.5, "after resolution most pairs are linked: {pc}");
     }

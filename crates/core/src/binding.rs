@@ -50,12 +50,7 @@ impl BoundSchema {
         let offset = left.slots.len();
         slots.extend(right.slots.iter().cloned());
         let mut columns = left.columns.clone();
-        columns.extend(
-            right
-                .columns
-                .iter()
-                .map(|(s, n)| (s + offset, n.clone())),
-        );
+        columns.extend(right.columns.iter().map(|(s, n)| (s + offset, n.clone())));
         Self { slots, columns }
     }
 
@@ -180,9 +175,6 @@ mod tests {
     #[test]
     fn case_insensitive_resolution() {
         let s = schema();
-        assert_eq!(
-            s.offset_of(&ColumnRef::qualified("P", "TITLE")).unwrap(),
-            1
-        );
+        assert_eq!(s.offset_of(&ColumnRef::qualified("P", "TITLE")).unwrap(), 1);
     }
 }

@@ -140,7 +140,11 @@ impl QueryEngine {
     }
 
     /// Registers a table loaded from a CSV file.
-    pub fn register_csv_path(&mut self, name: &str, path: impl AsRef<std::path::Path>) -> Result<usize> {
+    pub fn register_csv_path(
+        &mut self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<usize> {
         let table = queryer_storage::csv::table_from_csv_path(
             name,
             queryer_storage::Schema::of_strings(&[]),
@@ -230,7 +234,13 @@ impl QueryEngine {
 
     /// Pre-computed percentage of `left` entities that join `right` on
     /// the given columns (cached).
-    pub fn join_pct(&self, left: &str, left_col: &str, right: &str, right_col: &str) -> Result<f64> {
+    pub fn join_pct(
+        &self,
+        left: &str,
+        left_col: &str,
+        right: &str,
+        right_col: &str,
+    ) -> Result<f64> {
         let li = self.table_idx(left)?;
         let ri = self.table_idx(right)?;
         let lt = &self.tables[li].table;
@@ -353,8 +363,7 @@ impl QueryEngine {
         } = planner.build(&logical)?;
 
         let tuples = drain(root.as_mut());
-        let rows: Vec<Vec<queryer_storage::Value>> =
-            tuples.into_iter().map(|t| t.values).collect();
+        let rows: Vec<Vec<queryer_storage::Value>> = tuples.into_iter().map(|t| t.values).collect();
         drop(root);
 
         let mut metrics = ctx.metrics.lock().clone();

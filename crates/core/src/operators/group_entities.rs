@@ -75,7 +75,9 @@ impl GroupEntitiesOp {
                 let table = &self.ctx.tables[slot.table_idx];
                 for col in 0..slot.n_cols {
                     values.push(fuse_column(
-                        members.iter().map(|&m| table.record_unchecked(m).value(col)),
+                        members
+                            .iter()
+                            .map(|&m| table.record_unchecked(m).value(col)),
                     ));
                 }
             }
@@ -143,8 +145,12 @@ mod tests {
 
     fn make_ctx() -> (Arc<ExecContext>, BoundSchema) {
         let mut t = Table::new("p", Schema::of_strings(&["id", "title", "year"]));
-        t.push_row(vec!["0".into(), "collective entity resolution".into(), "2008".into()])
-            .unwrap();
+        t.push_row(vec![
+            "0".into(),
+            "collective entity resolution".into(),
+            "2008".into(),
+        ])
+        .unwrap();
         t.push_row(vec!["1".into(), "collective e.r".into(), Value::Null])
             .unwrap();
         t.push_row(vec!["2".into(), "other paper".into(), "2017".into()])
@@ -214,7 +220,11 @@ mod tests {
             let mut li = ctx.li[0].write();
             li.clear();
         }
-        let mut op = GroupEntitiesOp::new(ctx.clone(), Box::new(VecOperator::new(vec![only_1])), schema);
+        let mut op = GroupEntitiesOp::new(
+            ctx.clone(),
+            Box::new(VecOperator::new(vec![only_1])),
+            schema,
+        );
         let out = drain(&mut op);
         assert!(out[0].values[2].is_null());
     }

@@ -63,7 +63,11 @@ fn block_selection(er: &TableErIndex, expr: &Expr) -> Option<Vec<RecordId>> {
                 _ => None,
             }
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             if *negated || !matches!(expr.as_ref(), Expr::Column(_)) {
                 return None;
             }
@@ -161,7 +165,11 @@ fn sampled_selection(table: &Table, pred: &Expr, schema: &BoundSchema) -> (Vec<R
         }
         i += stride;
     }
-    let scale = if sampled == 0 { 1.0 } else { n as f64 / sampled as f64 };
+    let scale = if sampled == 0 {
+        1.0
+    } else {
+        n as f64 / sampled as f64
+    };
     (hits, scale)
 }
 
@@ -234,14 +242,12 @@ mod tests {
     fn selective_predicate_estimates_fewer_comparisons() {
         let (t, er, li, schema) = setup();
         let all = estimate_branch_comparisons(&t, &er, &li, None, &schema);
-        let sel = estimate_branch_comparisons(
-            &t,
-            &er,
-            &li,
-            Some(&parse_pred("venue = 'edbt'")),
-            &schema,
+        let sel =
+            estimate_branch_comparisons(&t, &er, &li, Some(&parse_pred("venue = 'edbt'")), &schema);
+        assert!(
+            sel < all,
+            "selective filter must reduce the estimate ({sel} vs {all})"
         );
-        assert!(sel < all, "selective filter must reduce the estimate ({sel} vs {all})");
         assert!(sel > 0);
     }
 
@@ -259,13 +265,8 @@ mod tests {
     #[test]
     fn range_predicate_uses_sampling() {
         let (t, er, li, schema) = setup();
-        let est = estimate_branch_comparisons(
-            &t,
-            &er,
-            &li,
-            Some(&parse_pred("id % 4 = 0")),
-            &schema,
-        );
+        let est =
+            estimate_branch_comparisons(&t, &er, &li, Some(&parse_pred("id % 4 = 0")), &schema);
         let all = estimate_branch_comparisons(&t, &er, &li, None, &schema);
         assert!(est <= all);
     }
@@ -287,8 +288,7 @@ mod tests {
     #[test]
     fn multi_token_literal_intersects_blocks() {
         let (_, er, _, _) = setup();
-        let hits =
-            entities_with_all_tokens(&er, &Value::str("entity resolution")).unwrap();
+        let hits = entities_with_all_tokens(&er, &Value::str("entity resolution")).unwrap();
         assert_eq!(hits.len(), 40);
         let none = entities_with_all_tokens(&er, &Value::str("entity nonexistenttoken")).unwrap();
         assert!(none.is_empty());

@@ -179,9 +179,9 @@ impl<'a> Planner<'a> {
     }
 
     fn wrap_deduplicate(&mut self, child: Built) -> Result<Built> {
-        let table_idx = child.single_table.ok_or_else(|| {
-            CoreError::Plan("Deduplicate requires a single-table branch".into())
-        })?;
+        let table_idx = child
+            .single_table
+            .ok_or_else(|| CoreError::Plan("Deduplicate requires a single-table branch".into()))?;
         let mut explain = vec![format!(
             "Deduplicate: {}",
             self.engine.table_by_idx(table_idx).name()

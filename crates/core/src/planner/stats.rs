@@ -43,10 +43,7 @@ pub fn compute_table_stats(table: &Table, er: &TableErIndex) -> TableStats {
     let mut li = LinkIndex::new(n);
     let mut metrics = DedupMetrics::default();
     let outcome = er.resolve(table, &sample, &mut li, &mut metrics);
-    let clusters: FxHashSet<RecordId> = er
-        .cluster_map(&li, &outcome.dr)
-        .into_values()
-        .collect();
+    let clusters: FxHashSet<RecordId> = er.cluster_map(&li, &outcome.dr).into_values().collect();
     TableStats {
         duplication_factor: (outcome.dr.len() as f64 / clusters.len().max(1) as f64).max(1.0),
         sample_size: sample.len(),
@@ -55,12 +52,7 @@ pub fn compute_table_stats(table: &Table, er: &TableErIndex) -> TableStats {
 
 /// Percentage (0..=1) of sampled `left` records whose `left_col` value
 /// occurs in `right`'s `right_col` column.
-pub fn join_percentage(
-    left: &Table,
-    left_col: usize,
-    right: &Table,
-    right_col: usize,
-) -> f64 {
+pub fn join_percentage(left: &Table, left_col: usize, right: &Table, right_col: usize) -> f64 {
     if left.is_empty() || right.is_empty() {
         return 0.0;
     }
@@ -119,8 +111,11 @@ mod tests {
     fn clean_table_df_is_one() {
         let mut t = Table::new("p", Schema::of_strings(&["id", "w"]));
         for i in 0..20 {
-            t.push_row(vec![format!("{i}").into(), format!("word{i} alpha{i}").into()])
-                .unwrap();
+            t.push_row(vec![
+                format!("{i}").into(),
+                format!("word{i} alpha{i}").into(),
+            ])
+            .unwrap();
         }
         let er = TableErIndex::build(&t, &ErConfig::default());
         let stats = compute_table_stats(&t, &er);

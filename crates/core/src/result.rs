@@ -84,7 +84,10 @@ mod tests {
         let r = sample();
         assert_eq!(
             r.canonical_rows(),
-            vec![vec!["a".to_string(), "".to_string()], vec!["z".to_string(), "1".to_string()]]
+            vec![
+                vec!["a".to_string(), "".to_string()],
+                vec!["z".to_string(), "1".to_string()]
+            ]
         );
     }
 

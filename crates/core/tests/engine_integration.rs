@@ -64,7 +64,10 @@ fn dedup_sp_query_groups_duplicates() {
 fn all_er_strategies_agree_with_batch_on_sp() {
     let e = engine();
     let sql = "SELECT DEDUP title, year FROM P WHERE venue = 'edbt'";
-    let batch = e.execute_with(sql, ExecMode::Batch).unwrap().canonical_rows();
+    let batch = e
+        .execute_with(sql, ExecMode::Batch)
+        .unwrap()
+        .canonical_rows();
     for mode in [ExecMode::Nes, ExecMode::NesEager, ExecMode::Aes] {
         let r = e.execute_with(sql, mode).unwrap().canonical_rows();
         assert_eq!(r, batch, "{mode:?} must equal the batch approach");
@@ -76,7 +79,10 @@ fn all_er_strategies_agree_with_batch_on_spj() {
     let e = engine();
     let sql = "SELECT DEDUP P.title, P.year, V.rank FROM P INNER JOIN V ON P.venue = V.title \
                WHERE P.venue = 'edbt'";
-    let batch = e.execute_with(sql, ExecMode::Batch).unwrap().canonical_rows();
+    let batch = e
+        .execute_with(sql, ExecMode::Batch)
+        .unwrap()
+        .canonical_rows();
     assert!(!batch.is_empty());
     for mode in [ExecMode::Nes, ExecMode::Aes] {
         let r = e.execute_with(sql, mode).unwrap().canonical_rows();
@@ -155,7 +161,10 @@ fn nes_plan_deduplicates_both_branches() {
 fn aggregates_over_dedup_results() {
     let e = engine();
     let plain = e
-        .execute_with("SELECT COUNT(*) FROM P WHERE venue = 'edbt'", ExecMode::Plain)
+        .execute_with(
+            "SELECT COUNT(*) FROM P WHERE venue = 'edbt'",
+            ExecMode::Plain,
+        )
         .unwrap();
     assert_eq!(plain.rows[0][0].as_int(), Some(3));
     let dedup = e
@@ -175,10 +184,16 @@ fn aggregates_over_dedup_results() {
 fn metrics_account_batch_cleaning() {
     let e = engine();
     let r = e
-        .execute_with("SELECT DEDUP title FROM P WHERE venue = 'edbt'", ExecMode::Batch)
+        .execute_with(
+            "SELECT DEDUP title FROM P WHERE venue = 'edbt'",
+            ExecMode::Batch,
+        )
         .unwrap();
     assert!(r.metrics.batch_clean > std::time::Duration::ZERO);
-    assert!(r.metrics.comparisons() > 0, "BA pays full-table comparisons");
+    assert!(
+        r.metrics.comparisons() > 0,
+        "BA pays full-table comparisons"
+    );
 }
 
 #[test]
@@ -192,7 +207,10 @@ fn duplication_factor_reflects_dirtiness() {
 fn join_pct_statistic() {
     let e = engine();
     let pct = e.join_pct("P", "venue", "V", "title").unwrap();
-    assert!(pct > 0.5, "most publications reference a known venue: {pct}");
+    assert!(
+        pct > 0.5,
+        "most publications reference a known venue: {pct}"
+    );
 }
 
 #[test]
@@ -209,7 +227,9 @@ fn errors_are_reported_not_panicked() {
 #[test]
 fn limit_and_star() {
     let e = engine();
-    let r = e.execute_with("SELECT * FROM P LIMIT 3", ExecMode::Plain).unwrap();
+    let r = e
+        .execute_with("SELECT * FROM P LIMIT 3", ExecMode::Plain)
+        .unwrap();
     assert_eq!(r.rows.len(), 3);
     assert_eq!(r.columns.len(), 5);
 }

@@ -28,7 +28,9 @@ fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
     let mut m = queryer_er::DedupMetrics::default();
     er.resolve_all(&ds.table, &mut li, &mut m);
     let cluster = er.cluster_map(&li, &all);
-    let pc = ds.truth.pc_for_qe(&qe, |a, b| cluster.get(&a) == cluster.get(&b));
+    let pc = ds
+        .truth
+        .pc_for_qe(&qe, |a, b| cluster.get(&a) == cluster.get(&b));
     // Precision over predicted same-cluster pairs within true clusters'
     // neighbourhoods is expensive to enumerate exactly; measure over the
     // direct links instead.
@@ -44,7 +46,11 @@ fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
             }
         }
     }
-    let precision = if total == 0 { 1.0 } else { tp as f64 / total as f64 };
+    let precision = if total == 0 {
+        1.0
+    } else {
+        tp as f64 / total as f64
+    };
     (pc, precision)
 }
 

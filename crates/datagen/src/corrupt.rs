@@ -5,7 +5,7 @@
 
 use queryer_storage::Value;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 
 /// Corruption model parameters.
 #[derive(Debug, Clone)]
@@ -177,14 +177,12 @@ mod tests {
         let c = Corruptor::new(CorruptionConfig::default());
         let mut r = rng();
         for _ in 0..100 {
-            let original: Vec<Value> = (0..6).map(|i| Value::str(format!("value number {i}"))).collect();
+            let original: Vec<Value> = (0..6)
+                .map(|i| Value::str(format!("value number {i}")))
+                .collect();
             let mut copy = original.clone();
             c.corrupt_record(&mut r, &mut copy, &[0, 1, 2, 3, 4, 5]);
-            let changed = original
-                .iter()
-                .zip(&copy)
-                .filter(|(a, b)| a != b)
-                .count();
+            let changed = original.iter().zip(&copy).filter(|(a, b)| a != b).count();
             assert!(changed <= 4, "at most 4 attributes touched");
         }
     }

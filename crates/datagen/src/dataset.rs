@@ -5,7 +5,7 @@ use crate::corrupt::{CorruptionConfig, Corruptor};
 use crate::groundtruth::GroundTruth;
 use queryer_storage::{DataType, Field, RecordId, Schema, Table, Value};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A generated table with its ground truth.
 #[derive(Debug, Clone)]
@@ -89,10 +89,7 @@ pub fn assemble(
     let dup_budget = spec.n_records.saturating_sub(n_orig);
 
     // (origin index, row values without id).
-    let mut items: Vec<(usize, Vec<Value>)> = originals
-        .into_iter()
-        .enumerate()
-        .collect();
+    let mut items: Vec<(usize, Vec<Value>)> = originals.into_iter().enumerate().collect();
     let mut dups_of = vec![0usize; n_orig];
     let mut made = 0usize;
     let mut attempts = 0usize;
@@ -190,7 +187,10 @@ mod tests {
             .filter(|w| w[1] == w[0] + 1)
             .count();
         let total_pairs: usize = d.truth.clusters().iter().map(|c| c.len() - 1).sum();
-        assert!(adjacent * 5 < total_pairs.max(1) * 4, "{adjacent}/{total_pairs}");
+        assert!(
+            adjacent * 5 < total_pairs.max(1) * 4,
+            "{adjacent}/{total_pairs}"
+        );
     }
 
     #[test]

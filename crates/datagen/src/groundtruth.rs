@@ -86,7 +86,11 @@ impl GroundTruth {
                 tp += 1;
             }
         }
-        let precision = if n_pred == 0 { 1.0 } else { tp as f64 / n_pred as f64 };
+        let precision = if n_pred == 0 {
+            1.0
+        } else {
+            tp as f64 / n_pred as f64
+        };
         let recall = if self.pair_count() == 0 {
             1.0
         } else {

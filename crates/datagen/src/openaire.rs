@@ -6,7 +6,7 @@ use crate::corpus::*;
 use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
 use queryer_storage::{DataType, Value};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Fraction of projects whose organisation exists in OAO.
 const OAP_ORG_FRACTION: f64 = 0.9;

@@ -7,7 +7,7 @@ use crate::corpus::*;
 use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
 use queryer_storage::{DataType, Value};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Fraction of people whose `org` value exists in OAO.
 const PPL_ORG_FRACTION: f64 = 0.85;

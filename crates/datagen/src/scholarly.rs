@@ -6,7 +6,7 @@ use crate::corpus::*;
 use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
 use queryer_storage::{DataType, Value};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Fraction of OAGP papers whose venue comes from the OAGV table — the
 /// paper observes a small (≈5%) join-percentage between OAGP and OAGV
@@ -66,7 +66,11 @@ pub fn dblp_scholar(n: usize, seed: u64) -> Dataset {
         .map(|_| {
             let vi = rng.random_range(0..VENUES.len());
             let (abbr, full) = venue_pair(&mut rng, vi);
-            let venue = if rng.random_range(0.0..1.0) < 0.5 { abbr } else { full };
+            let venue = if rng.random_range(0.0..1.0) < 0.5 {
+                abbr
+            } else {
+                full
+            };
             vec![
                 Value::str(paper_title(&mut rng)),
                 Value::str(author_list(&mut rng)),
@@ -128,7 +132,11 @@ pub fn oag_venues(n: usize, seed: u64) -> Dataset {
 pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
     let spec = DirtySpec::new(n, 0.12, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(31));
-    let venue_title_col = venues.table.schema().index_of("title").expect("oagv schema");
+    let venue_title_col = venues
+        .table
+        .schema()
+        .index_of("title")
+        .expect("oagv schema");
     let originals: Vec<Vec<Value>> = (0..spec.n_originals())
         .map(|i| {
             let venue = if rng.random_range(0.0..1.0) < OAGP_VENUE_JOIN_FRACTION
@@ -142,7 +150,11 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
                     .clone()
             } else {
                 let (abbr, full) = venue_pair(&mut rng, VENUES.len() + i);
-                Value::str(if rng.random_range(0.0..1.0) < 0.5 { abbr } else { full })
+                Value::str(if rng.random_range(0.0..1.0) < 0.5 {
+                    abbr
+                } else {
+                    full
+                })
             };
             let year = rng.random_range(1985..=2022i64);
             let volume = rng.random_range(1..=60i64);
@@ -162,8 +174,16 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
                 Value::str(pick(&mut rng, PUBLISHERS)),
                 Value::Int(volume),
                 Value::Int(rng.random_range(1..=12i64)),
-                Value::str(format!("{first_page}-{}", first_page + rng.random_range(5..=30i64))),
-                Value::str(format!("10.{}/{}.{}", rng.random_range(1000..=9999u32), year, i)),
+                Value::str(format!(
+                    "{first_page}-{}",
+                    first_page + rng.random_range(5..=30i64)
+                )),
+                Value::str(format!(
+                    "10.{}/{}.{}",
+                    rng.random_range(1000..=9999u32),
+                    year,
+                    i
+                )),
                 Value::str(format!("https://doi.example.org/p/{i}")),
                 Value::Int(rng.random_range(0..=500i64)),
                 Value::str(pick(&mut rng, RESEARCH_TERMS)),
@@ -235,6 +255,7 @@ mod tests {
     fn oagv_shape_and_abbreviation_bridge() {
         let d = oag_venues(200, 12);
         assert_eq!(d.table.schema().len(), 6); // |A|=5 + id
+
         // Every original pairs an abbreviation with its full name in
         // (title, descr) — shared tokens guarantee blocking co-occurrence.
         let title = d.table.schema().index_of("title").unwrap();

@@ -88,7 +88,8 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new("p", Schema::of_strings(&["title"]));
-        t.push_row(vec!["collective entity resolution".into()]).unwrap();
+        t.push_row(vec!["collective entity resolution".into()])
+            .unwrap();
         t.push_row(vec!["collective e.r".into()]).unwrap();
         t.push_row(vec!["big data".into()]).unwrap();
         t

@@ -108,8 +108,10 @@ mod tests {
 
     fn table() -> Table {
         let mut t = Table::new("p", Schema::of_strings(&["title"]));
-        t.push_row(vec!["collective entity resolution edbt".into()]).unwrap();
-        t.push_row(vec!["collective entity resolution edbt".into()]).unwrap();
+        t.push_row(vec!["collective entity resolution edbt".into()])
+            .unwrap();
+        t.push_row(vec!["collective entity resolution edbt".into()])
+            .unwrap();
         t.push_row(vec!["entity matching survey".into()]).unwrap();
         t.push_row(vec!["deep learning".into()]).unwrap();
         t
@@ -118,7 +120,10 @@ mod tests {
     fn idx() -> TableErIndex {
         // No BP/BF: keep EP weight assertions independent of the other
         // meta-blocking stages (tiny fixtures trip the purging heuristic).
-        TableErIndex::build(&table(), &ErConfig::default().with_meta(MetaBlockingConfig::None))
+        TableErIndex::build(
+            &table(),
+            &ErConfig::default().with_meta(MetaBlockingConfig::None),
+        )
     }
 
     #[test]

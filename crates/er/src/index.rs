@@ -240,7 +240,10 @@ impl TableErIndex {
 
     /// The set of distinct entities appearing in a set of blocks
     /// (raw contents) — used by the planner's comparison estimation.
-    pub fn entities_of_blocks(&self, blocks: impl IntoIterator<Item = BlockId>) -> FxHashSet<RecordId> {
+    pub fn entities_of_blocks(
+        &self,
+        blocks: impl IntoIterator<Item = BlockId>,
+    ) -> FxHashSet<RecordId> {
         let mut out = FxHashSet::default();
         for b in blocks {
             out.extend(self.raw_block(b).iter().copied());
@@ -267,7 +270,8 @@ mod tests {
         let mut t = Table::new("p", Schema::of_strings(&["id", "title"]));
         t.push_row(vec!["0".into(), "collective entity resolution".into()])
             .unwrap();
-        t.push_row(vec!["1".into(), "collective e.r".into()]).unwrap();
+        t.push_row(vec!["1".into(), "collective e.r".into()])
+            .unwrap();
         t.push_row(vec!["2".into(), "entity resolution on big data".into()])
             .unwrap();
         t.push_row(vec!["3".into(), "big data".into()]).unwrap();
@@ -283,7 +287,10 @@ mod tests {
                 .iter()
                 .map(|&b| idx.raw_block(b).len())
                 .collect();
-            assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "ITBI must be size-sorted");
+            assert!(
+                sizes.windows(2).all(|w| w[0] <= w[1]),
+                "ITBI must be size-sorted"
+            );
         }
     }
 

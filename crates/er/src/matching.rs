@@ -149,7 +149,13 @@ mod tests {
         Record::new(
             id,
             vals.iter()
-                .map(|v| if v.is_empty() { Value::Null } else { Value::str(*v) })
+                .map(|v| {
+                    if v.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::str(*v)
+                    }
+                })
                 .collect(),
         )
     }
@@ -178,10 +184,19 @@ mod tests {
     #[test]
     fn hybrid_catches_abbreviation_containment() {
         let m = Matcher::new(&cfg(SimilarityKind::Hybrid, 0.8), None);
-        let a = rec(0, &["EDBT", "International Conference on Extending Database Technology"]);
+        let a = rec(
+            0,
+            &[
+                "EDBT",
+                "International Conference on Extending Database Technology",
+            ],
+        );
         let b = rec(
             1,
-            &["International Conference on Extending Database Technology", ""],
+            &[
+                "International Conference on Extending Database Technology",
+                "",
+            ],
         );
         // Pure mean-JW fails here; token overlap (containment) succeeds.
         assert!(m.is_match(&a, &b));

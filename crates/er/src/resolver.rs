@@ -282,10 +282,10 @@ impl TableErIndex {
         }
         let chunk = pairs.len().div_ceil(workers);
         let mut decisions = vec![false; pairs.len()];
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in decisions.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
                 let toks = &toks;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (d, &(q, c)) in slot.iter_mut().zip(work) {
                         *d = matcher.is_match_with(
                             table.record_unchecked(q),
@@ -296,8 +296,7 @@ impl TableErIndex {
                     }
                 });
             }
-        })
-        .expect("comparison worker panicked");
+        });
         decisions
     }
 
@@ -346,7 +345,8 @@ mod tests {
             ("4", "deep learning for vision", "cvpr"),
         ];
         for (id, title, venue) in rows {
-            t.push_row(vec![id.into(), title.into(), venue.into()]).unwrap();
+            t.push_row(vec![id.into(), title.into(), venue.into()])
+                .unwrap();
         }
         t
     }
@@ -380,7 +380,10 @@ mod tests {
         assert!(m1.comparisons > 0);
         let mut m2 = DedupMetrics::default();
         let out2 = idx.resolve(&table, &[0, 1], &mut li, &mut m2);
-        assert_eq!(m2.comparisons, 0, "resolved entities must be served from LI");
+        assert_eq!(
+            m2.comparisons, 0,
+            "resolved entities must be served from LI"
+        );
         assert_eq!(out2.dr, vec![0, 1]);
     }
 
@@ -389,7 +392,8 @@ mod tests {
         // A and C share no token; both match B via containment.
         let mut t = Table::new("p", Schema::of_strings(&["id", "words"]));
         t.push_row(vec!["0".into(), "alpha common".into()]).unwrap();
-        t.push_row(vec!["1".into(), "alpha common omega zeta".into()]).unwrap();
+        t.push_row(vec!["1".into(), "alpha common omega zeta".into()])
+            .unwrap();
         t.push_row(vec!["2".into(), "omega zeta".into()]).unwrap();
         let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
         cfg.similarity = SimilarityKind::TokenOverlap;

@@ -275,7 +275,10 @@ mod tests {
             let bc: Vec<char> = b.chars().collect();
             let generic = jaro_chars(&ac, &bc);
             let fast = jaro(a, b);
-            assert!((generic - fast).abs() < 1e-12, "{a} vs {b}: {generic} {fast}");
+            assert!(
+                (generic - fast).abs() < 1e-12,
+                "{a} vs {b}: {generic} {fast}"
+            );
         }
     }
 

@@ -74,7 +74,11 @@ pub fn record_keys(
 /// Distinct blocking tokens of a whole record across all attributes
 /// ("every token from every value of every entity is treated as blocking
 /// key"), skipping the optional id column.
-pub fn record_tokens(record: &Record, min_len: usize, skip_col: Option<usize>) -> FxHashSet<String> {
+pub fn record_tokens(
+    record: &Record,
+    min_len: usize,
+    skip_col: Option<usize>,
+) -> FxHashSet<String> {
     let mut set = FxHashSet::default();
     let mut buf = Vec::new();
     for (i, v) in record.values.iter().enumerate() {

@@ -148,9 +148,11 @@ impl Expr {
         } else {
             terms.remove(0)
         };
-        Some(terms.into_iter().fold(first, |acc, t| {
-            Expr::And(Box::new(acc), Box::new(t))
-        }))
+        Some(
+            terms
+                .into_iter()
+                .fold(first, |acc, t| Expr::And(Box::new(acc), Box::new(t))),
+        )
     }
 
     /// Splits a predicate into its top-level AND-ed conjuncts.
@@ -187,7 +189,9 @@ impl Expr {
                     e.columns(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.columns(out);
                 low.columns(out);
                 high.columns(out);
@@ -225,7 +229,9 @@ impl Expr {
                     e.literals(out);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.literals(out);
                 low.literals(out);
                 high.literals(out);
@@ -249,7 +255,11 @@ impl fmt::Display for Expr {
             Expr::And(l, r) => write!(f, "({l} AND {r})"),
             Expr::Or(l, r) => write!(f, "({l} OR {r})"),
             Expr::Not(e) => write!(f, "NOT {e}"),
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -269,8 +279,16 @@ impl fmt::Display for Expr {
                 "{expr} {}BETWEEN {low} AND {high}",
                 if *negated { "NOT " } else { "" }
             ),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })

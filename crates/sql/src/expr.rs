@@ -89,9 +89,16 @@ pub fn bind(expr: &Expr, binder: &dyn ColumnBinder) -> Result<BoundExpr> {
         Expr::And(l, r) => BoundExpr::And(Box::new(bind(l, binder)?), Box::new(bind(r, binder)?)),
         Expr::Or(l, r) => BoundExpr::Or(Box::new(bind(l, binder)?), Box::new(bind(r, binder)?)),
         Expr::Not(e) => BoundExpr::Not(Box::new(bind(e, binder)?)),
-        Expr::InList { expr, list, negated } => BoundExpr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
             expr: Box::new(bind(expr, binder)?),
-            list: list.iter().map(|e| bind(e, binder)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| bind(e, binder))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
         Expr::Between {
@@ -105,7 +112,11 @@ pub fn bind(expr: &Expr, binder: &dyn ColumnBinder) -> Result<BoundExpr> {
             high: Box::new(bind(high, binder)?),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
             expr: Box::new(bind(expr, binder)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -141,12 +152,10 @@ impl BoundExpr {
         match self {
             BoundExpr::Column(i) => row[*i].clone(),
             BoundExpr::Literal(v) => v.clone(),
-            BoundExpr::Mod(l, r) => {
-                match (l.eval(row).as_int(), r.eval(row).as_int()) {
-                    (Some(a), Some(b)) if b != 0 => Value::Int(a.rem_euclid(b)),
-                    _ => Value::Null,
-                }
-            }
+            BoundExpr::Mod(l, r) => match (l.eval(row).as_int(), r.eval(row).as_int()) {
+                (Some(a), Some(b)) if b != 0 => Value::Int(a.rem_euclid(b)),
+                _ => Value::Null,
+            },
             predicate => Value::Int(predicate.eval_bool(row) as i64),
         }
     }
@@ -172,7 +181,11 @@ impl BoundExpr {
             BoundExpr::And(l, r) => l.eval_bool(row) && r.eval_bool(row),
             BoundExpr::Or(l, r) => l.eval_bool(row) || r.eval_bool(row),
             BoundExpr::Not(e) => !e.eval_bool(row),
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row);
                 if v.is_null() {
                     return false;
@@ -196,7 +209,11 @@ impl BoundExpr {
                     v.cmp_sql(&lo) != Ordering::Less && v.cmp_sql(&hi) != Ordering::Greater;
                 inside != *negated
             }
-            BoundExpr::Like { expr, pattern, negated } => {
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(row);
                 match v.as_str() {
                     None => false,

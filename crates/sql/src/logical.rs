@@ -102,12 +102,19 @@ impl LogicalPlan {
                 left.fmt_indent(f, indent + 1)?;
                 right.fmt_indent(f, indent + 1)
             }
-            LogicalPlan::Project { input, items, dedup } => {
+            LogicalPlan::Project {
+                input,
+                items,
+                dedup,
+            } => {
                 let cols: Vec<String> = items
                     .iter()
                     .map(|i| match i {
                         SelectItem::Star => "*".to_string(),
-                        SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} AS {a}"),
+                        SelectItem::Expr {
+                            expr,
+                            alias: Some(a),
+                        } => format!("{expr} AS {a}"),
                         SelectItem::Expr { expr, alias: None } => expr.to_string(),
                     })
                     .collect();
@@ -356,7 +363,10 @@ mod tests {
         // Filter is pushed below the join onto P's branch (Fig. 1).
         let filter_pos = text.find("Filter").unwrap();
         let join_pos = text.find("Join").unwrap();
-        assert!(join_pos < filter_pos, "filter must be under the join:\n{text}");
+        assert!(
+            join_pos < filter_pos,
+            "filter must be under the join:\n{text}"
+        );
         assert!(text.contains("Project (DEDUP)"));
     }
 
@@ -380,7 +390,8 @@ mod tests {
 
     #[test]
     fn ambiguous_column_rejected() {
-        let stmt = parse_select("SELECT * FROM P JOIN V ON P.venue = V.title WHERE id = 1").unwrap();
+        let stmt =
+            parse_select("SELECT * FROM P JOIN V ON P.venue = V.title WHERE id = 1").unwrap();
         let err = plan_select(&stmt, &TestSchemas).unwrap_err();
         assert!(matches!(err, SqlError::Bind { .. }));
     }
@@ -400,7 +411,9 @@ mod tests {
         match p {
             LogicalPlan::Project { input, .. } => match *input {
                 LogicalPlan::Join {
-                    left_col, right_col, ..
+                    left_col,
+                    right_col,
+                    ..
                 } => {
                     assert_eq!(left_col, ColumnRef::qualified("P", "venue"));
                     assert_eq!(right_col, ColumnRef::qualified("V", "title"));

@@ -165,11 +165,7 @@ impl Parser {
         let name = self.ident()?;
         // Optional alias: bare identifier that is not a clause keyword.
         let alias = match self.peek() {
-            Some(Token::Ident(s))
-                if !is_clause_keyword(s) =>
-            {
-                Some(self.ident()?)
-            }
+            Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.ident()?),
             _ => None,
         };
         Ok(TableRef { name, alias })
@@ -469,10 +465,9 @@ mod tests {
 
     #[test]
     fn multi_join_chain() {
-        let q = parse_select(
-            "SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w WHERE a.k = 1",
-        )
-        .unwrap();
+        let q =
+            parse_select("SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w WHERE a.k = 1")
+                .unwrap();
         assert_eq!(q.joins.len(), 2);
     }
 

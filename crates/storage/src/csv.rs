@@ -241,10 +241,11 @@ pub fn table_to_csv_path(table: &Table, path: impl AsRef<Path>) -> Result<()> {
         context: format!("creating {}", path.display()),
         source,
     })?;
-    file.write_all(text.as_bytes()).map_err(|source| StorageError::Io {
-        context: format!("writing {}", path.display()),
-        source,
-    })
+    file.write_all(text.as_bytes())
+        .map_err(|source| StorageError::Io {
+            context: format!("writing {}", path.display()),
+            source,
+        })
 }
 
 /// Reads CSV text with a header and infers an all-string schema from the
@@ -263,10 +264,12 @@ pub fn table_from_csv_str_infer(name: &str, text: &str) -> Result<Table> {
 pub fn table_from_reader_infer(name: &str, reader: impl Read) -> Result<Table> {
     let mut text = String::new();
     let mut reader = BufReader::new(reader);
-    reader.read_to_string(&mut text).map_err(|source| StorageError::Io {
-        context: "reading CSV stream".into(),
-        source,
-    })?;
+    reader
+        .read_to_string(&mut text)
+        .map_err(|source| StorageError::Io {
+            context: "reading CSV stream".into(),
+            source,
+        })?;
     table_from_csv_str_infer(name, &text)
 }
 
@@ -293,7 +296,10 @@ mod tests {
         let text = "a,b\n\"x, with comma\",\"she said \"\"hi\"\"\"\n\"multi\nline\",plain\n";
         let t = table_from_csv_str_infer("t", text).unwrap();
         assert_eq!(t.record(0).unwrap().value(0), &Value::str("x, with comma"));
-        assert_eq!(t.record(0).unwrap().value(1), &Value::str("she said \"hi\""));
+        assert_eq!(
+            t.record(0).unwrap().value(1),
+            &Value::str("she said \"hi\"")
+        );
         assert_eq!(t.record(1).unwrap().value(0), &Value::str("multi\nline"));
         // Round-trip preserves content.
         let again = table_from_csv_str_infer("t", &table_to_csv_string(&t)).unwrap();

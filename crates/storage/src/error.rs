@@ -42,10 +42,15 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            StorageError::Io { context, source } => {
+                write!(f, "I/O error while {context}: {source}")
+            }
             StorageError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row has {actual} values but schema has {expected} columns")
+                write!(
+                    f,
+                    "row has {actual} values but schema has {expected} columns"
+                )
             }
             StorageError::TypeError {
                 column,

@@ -25,19 +25,24 @@ impl DataType {
             return Ok(Value::Null);
         }
         match self {
-            DataType::Int => raw.parse::<i64>().map(Value::Int).map_err(|_| StorageError::TypeError {
-                column: column.to_string(),
-                value: raw.to_string(),
-                expected: "Int",
-            }),
-            DataType::Float => raw
-                .parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| StorageError::TypeError {
-                    column: column.to_string(),
-                    value: raw.to_string(),
-                    expected: "Float",
-                }),
+            DataType::Int => {
+                raw.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| StorageError::TypeError {
+                        column: column.to_string(),
+                        value: raw.to_string(),
+                        expected: "Int",
+                    })
+            }
+            DataType::Float => {
+                raw.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| StorageError::TypeError {
+                        column: column.to_string(),
+                        value: raw.to_string(),
+                        expected: "Float",
+                    })
+            }
             DataType::Str => Ok(Value::str(raw)),
         }
     }
@@ -83,7 +88,12 @@ impl Schema {
 
     /// Shorthand: all-string schema from column names.
     pub fn of_strings(names: &[&str]) -> Self {
-        Self::new(names.iter().map(|n| Field::new(*n, DataType::Str)).collect())
+        Self::new(
+            names
+                .iter()
+                .map(|n| Field::new(*n, DataType::Str))
+                .collect(),
+        )
     }
 
     /// The fields, in order.
@@ -139,7 +149,10 @@ mod tests {
     #[test]
     fn parse_typed_values() {
         assert_eq!(DataType::Int.parse("42", "c").unwrap(), Value::Int(42));
-        assert_eq!(DataType::Float.parse("2.5", "c").unwrap(), Value::Float(2.5));
+        assert_eq!(
+            DataType::Float.parse("2.5", "c").unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(DataType::Str.parse("x", "c").unwrap(), Value::str("x"));
         assert_eq!(DataType::Int.parse("", "c").unwrap(), Value::Null);
         assert!(DataType::Int.parse("abc", "c").is_err());

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. The metrics show what the Deduplicate operator did.
     let m = &clean.metrics;
     println!("executed comparisons : {}", m.comparisons());
-    println!("entities in QE / DR  : {} / {}", m.qe_entities, m.dr_entities);
+    println!(
+        "entities in QE / DR  : {} / {}",
+        m.qe_entities, m.dr_entities
+    );
     println!("total time           : {:?}", m.total);
 
     // 5. Re-running is nearly free — the Link Index remembers resolutions.

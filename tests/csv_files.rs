@@ -36,9 +36,13 @@ fn csv_file_roundtrip_and_query() {
     }
     let out_path = dir.join("result.csv");
     csv::table_to_csv_path(&out, &out_path).unwrap();
-    let back = csv::table_from_csv_path("result", Schema::of_strings(&["name"]), &out_path).unwrap();
+    let back =
+        csv::table_from_csv_path("result", Schema::of_strings(&["name"]), &out_path).unwrap();
     assert_eq!(back.len(), 1);
-    assert_eq!(back.record(0).unwrap().value(0), &out.record(0).unwrap().values[0]);
+    assert_eq!(
+        back.record(0).unwrap().value(0),
+        &out.record(0).unwrap().values[0]
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -47,11 +51,10 @@ fn csv_file_roundtrip_and_query() {
 fn quoted_fields_survive_the_whole_pipeline() {
     let mut engine = QueryEngine::new(ErConfig::default());
     engine
-        .register_csv_str(
-            "t",
-            "id,descr\n0,\"a, quoted \"\"value\"\"\"\n1,plain\n",
-        )
+        .register_csv_str("t", "id,descr\n0,\"a, quoted \"\"value\"\"\"\n1,plain\n")
         .unwrap();
-    let r = engine.execute_with("SELECT descr FROM t", ExecMode::Plain).unwrap();
+    let r = engine
+        .execute_with("SELECT descr FROM t", ExecMode::Plain)
+        .unwrap();
     assert_eq!(r.rows[0][0].render(), "a, quoted \"value\"");
 }

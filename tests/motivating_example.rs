@@ -47,13 +47,21 @@ fn clusters_match_the_papers_ground_truth() {
     let p = e.execute("SELECT DEDUP id FROM P").unwrap();
     assert_eq!(
         p.canonical_rows(),
-        vec![vec!["0 | 1".to_string()], vec!["2 | 3 | 4".into()], vec!["5 | 6 | 7".into()]],
+        vec![
+            vec!["0 | 1".to_string()],
+            vec!["2 | 3 | 4".into()],
+            vec!["5 | 6 | 7".into()]
+        ],
         "publication clusters [P1,P2], [P3,P4,P5], [P6,P7,P8]"
     );
     let v = e.execute("SELECT DEDUP id FROM V").unwrap();
     assert_eq!(
         v.canonical_rows(),
-        vec![vec!["0 | 3".to_string()], vec!["1 | 2".into()], vec!["4 | 5".into()]],
+        vec![
+            vec!["0 | 3".to_string()],
+            vec!["1 | 2".into()],
+            vec!["4 | 5".into()]
+        ],
         "venue clusters [V1,V4], [V2,V3], [V5,V6]"
     );
 }
@@ -68,9 +76,15 @@ fn dedupe_query_returns_table_3() {
         .iter()
         .find(|row| row[0].contains("Collective"))
         .expect("collective ER row");
-    assert_eq!(collective[0], "Collective Entity Resolution | Collective E.R.");
+    assert_eq!(
+        collective[0],
+        "Collective Entity Resolution | Collective E.R."
+    );
     assert_eq!(collective[1], "2008");
-    assert_eq!(collective[2], "1", "rank recovered through the venue duplicate");
+    assert_eq!(
+        collective[2], "1",
+        "rank recovered through the venue duplicate"
+    );
     let consumer = rows
         .iter()
         .find(|row| row[0].contains("consumer"))
@@ -100,7 +114,10 @@ fn plain_sql_misses_what_dedup_recovers() {
 #[test]
 fn every_strategy_agrees_on_the_motivating_query() {
     let e = engine();
-    let expect = e.execute_with(QUERY, ExecMode::Batch).unwrap().canonical_rows();
+    let expect = e
+        .execute_with(QUERY, ExecMode::Batch)
+        .unwrap()
+        .canonical_rows();
     for mode in [
         ExecMode::Nes,
         ExecMode::NesEager,

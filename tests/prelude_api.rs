@@ -1,0 +1,80 @@
+//! Facade-crate API surface test: the `queryer::prelude` re-exports must
+//! resolve, and a minimal `SELECT DEDUP` round-trip must run end-to-end
+//! through the facade alone.
+
+use queryer::prelude::*;
+
+/// Every name the prelude promises, referenced by type so a removed or
+/// renamed re-export breaks this test at compile time.
+#[test]
+fn prelude_reexports_resolve() {
+    // queryer_core
+    let _engine_ctor: fn(ErConfig) -> QueryEngine = QueryEngine::new;
+    let _mode: ExecMode = ExecMode::Aes;
+    let _metrics = QueryMetrics::default();
+    let _result: Option<QueryResult> = None;
+
+    // queryer_er
+    let _er_cfg = ErConfig::default();
+    let _meta_cfg = MetaBlockingConfig::default();
+
+    // queryer_storage
+    let _value = Value::Int(1);
+    let _dtype: Option<DataType> = None;
+    let _field: Option<Field> = None;
+    let _schema = Schema::of_strings(&["a"]);
+    let _record: Option<Record> = None;
+    let _record_id: RecordId = 0;
+    let _table = Table::new("t", Schema::of_strings(&["a"]));
+}
+
+/// Module re-exports (`queryer::core`, `queryer::sql`, …) stay wired.
+#[test]
+fn module_reexports_resolve() {
+    let _ = queryer::sql::parse_select("SELECT a FROM t").unwrap();
+    let _ = queryer::common::pack_pair(3, 5);
+    let _ = queryer::er::similarity::jaro_winkler("queryer", "queryer");
+    let _ = queryer::datagen::scholarly::dblp_scholar(20, 7);
+    let _ = queryer::storage::csv::table_from_csv_str_infer("t", "a\n1\n").unwrap();
+    let _: Option<queryer::core::QueryResult> = None;
+}
+
+/// Minimal end-to-end round-trip: dirty rows in, deduplicated rows out.
+#[test]
+fn select_dedup_round_trip() {
+    let csv = "id,title,venue\n\
+               0,Collective Entity Resolution,EDBT\n\
+               1,Collective E.R.,EDBT\n\
+               2,Unrelated Paper,VLDB\n";
+    let table = queryer::storage::csv::table_from_csv_str_infer("p", csv).unwrap();
+
+    let mut engine = QueryEngine::new(ErConfig::default());
+    engine.register_table(table).unwrap();
+
+    let plain = engine
+        .execute("SELECT title FROM p WHERE venue = 'EDBT'")
+        .unwrap();
+    assert_eq!(plain.rows.len(), 2, "plain SQL must not deduplicate");
+
+    let dedup = engine
+        .execute("SELECT DEDUP title FROM p WHERE venue = 'EDBT'")
+        .unwrap();
+    assert_eq!(dedup.rows.len(), 1, "the two EDBT duplicates must merge");
+
+    // Every planning strategy agrees with the batch-cleaned answer.
+    let batch = engine
+        .execute_with(
+            "SELECT DEDUP title FROM p WHERE venue = 'EDBT'",
+            ExecMode::Batch,
+        )
+        .unwrap()
+        .canonical_rows();
+    for mode in [ExecMode::Nes, ExecMode::NesEager, ExecMode::Aes] {
+        engine.clear_link_indices();
+        let got = engine
+            .execute_with("SELECT DEDUP title FROM p WHERE venue = 'EDBT'", mode)
+            .unwrap()
+            .canonical_rows();
+        assert_eq!(got, batch, "{mode:?} diverged from batch");
+    }
+}

@@ -1,0 +1,98 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Finite values spanning many magnitudes; NaN/inf excluded so
+        // generated data stays comparable.
+        let mantissa: f64 = rng.random_range(-1.0..1.0);
+        let exponent = rng.random_range(-64i32..64);
+        mantissa * (exponent as f64).exp2()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        char::from_u32(rng.random_range(0x20u32..0x7f)).expect("printable ASCII")
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for ArbitraryStrategy<T> {
+    fn clone(&self) -> Self {
+        ArbitraryStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy {
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_domains() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut any_big_u32 = false;
+        let mut any_negative_i64 = false;
+        for _ in 0..200 {
+            any_big_u32 |= any::<u32>().generate(&mut rng) > u32::MAX / 2;
+            any_negative_i64 |= any::<i64>().generate(&mut rng) < 0;
+            let f = any::<f64>().generate(&mut rng);
+            assert!(f.is_finite());
+        }
+        assert!(any_big_u32);
+        assert!(any_negative_i64);
+    }
+}

@@ -1,0 +1,21 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `true`/`false` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}

@@ -1,0 +1,276 @@
+//! String strategies from a small regex subset.
+//!
+//! Supported syntax — enough for test data patterns: literal characters,
+//! escapes (`\n`, `\t`, `\\`, `\-`, `\.` …), character classes with
+//! ranges (`[a-zA-Z0-9_]`), top-level alternation (`a|b`), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats are
+//! capped at 8). Groups, anchors and backreferences are not supported.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Why a pattern was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+    Err(Error(message.into()))
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are degenerate ranges.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Pattern {
+    /// Alternation of concatenations.
+    branches: Vec<Vec<Piece>>,
+}
+
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<char, Error> {
+    match chars.next() {
+        Some('n') => Ok('\n'),
+        Some('t') => Ok('\t'),
+        Some('r') => Ok('\r'),
+        Some(c) => Ok(c), // \- \. \\ \| \[ … : the character itself
+        None => err("dangling escape at end of pattern"),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Atom, Error> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            None => return err("unterminated character class"),
+            Some(']') => break,
+            Some('\\') => parse_escape(chars)?,
+            Some(c) => c,
+        };
+        // A dash between two class members forms a range; otherwise the
+        // characters stand for themselves.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // consume '-'
+            match lookahead.peek() {
+                Some(']') | None => ranges.push((c, c)), // trailing '-': literal
+                Some(_) => {
+                    chars.next();
+                    let hi = match chars.next() {
+                        Some('\\') => parse_escape(chars)?,
+                        Some(h) => h,
+                        None => return err("unterminated range in class"),
+                    };
+                    if hi < c {
+                        return err(format!("inverted range {c}-{hi} in class"));
+                    }
+                    ranges.push((c, hi));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    if ranges.is_empty() {
+        return err("empty character class");
+    }
+    Ok(Atom::Class(ranges))
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => return err("unterminated {…} quantifier"),
+                }
+            }
+            let parse_count = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| Error(format!("bad repeat count {s:?}")))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_count(&body)?;
+                    Ok((n, n))
+                }
+                Some((lo, hi)) => {
+                    let lo = parse_count(lo)?;
+                    let hi = if hi.trim().is_empty() {
+                        lo.max(UNBOUNDED_CAP)
+                    } else {
+                        parse_count(hi)?
+                    };
+                    if hi < lo {
+                        return err(format!("inverted quantifier {{{body}}}"));
+                    }
+                    Ok((lo, hi))
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, UNBOUNDED_CAP))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, UNBOUNDED_CAP))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse(pattern: &str) -> Result<Pattern, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut branches = vec![Vec::new()];
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => Atom::Literal(parse_escape(&mut chars)?),
+            '|' => {
+                branches.push(Vec::new());
+                continue;
+            }
+            '(' | ')' | '^' | '$' => {
+                return err(format!("unsupported regex construct {c:?} in {pattern:?}"))
+            }
+            '.' => Atom::Class(vec![(' ', '~')]), // printable ASCII
+            c => Atom::Literal(c),
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        branches
+            .last_mut()
+            .expect("at least one branch")
+            .push(Piece { atom, min, max });
+    }
+    Ok(Pattern { branches })
+}
+
+fn generate(pattern: &Pattern, rng: &mut TestRng) -> String {
+    let branch = &pattern.branches[rng.random_range(0..pattern.branches.len())];
+    let mut out = String::new();
+    for piece in branch {
+        let reps = rng.random_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                    out.push(char::from_u32(rng.random_range(lo as u32..=hi as u32)).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One-shot generation used by the `&str`-as-strategy impl.
+pub(crate) fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> Result<String, Error> {
+    Ok(generate(&parse(pattern)?, rng))
+}
+
+/// A pre-parsed regex string strategy.
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    pattern: Pattern,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate(&self.pattern, rng)
+    }
+}
+
+/// Builds a strategy producing strings matching `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy {
+        pattern: parse(pattern)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(0xabcd)
+    }
+
+    #[test]
+    fn bounded_class_repeat() {
+        let s = string_regex("[a-z]{0,12}").unwrap();
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let v = s.generate(&mut r);
+            assert!(v.len() <= 12);
+            assert!(v.chars().all(|c| c.is_ascii_lowercase()));
+            max_seen = max_seen.max(v.len());
+        }
+        assert!(max_seen >= 8, "length distribution collapsed: {max_seen}");
+    }
+
+    #[test]
+    fn class_with_escapes_and_specials() {
+        let s = string_regex("[a-zA-Z0-9 ,\"'\n\\-_.|]{0,20}").unwrap();
+        let mut r = rng();
+        let allowed = |c: char| c.is_ascii_alphanumeric() || " ,\"'\n-_.|".contains(c);
+        for _ in 0..300 {
+            let v = s.generate(&mut r);
+            assert!(v.len() <= 20);
+            assert!(v.chars().all(allowed), "bad char in {v:?}");
+        }
+    }
+
+    #[test]
+    fn literals_alternation_and_quantifiers() {
+        let s = string_regex("ab?c+|xyz{2}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!(
+                v == "xyzz"
+                    || (v.starts_with('a')
+                        && v.trim_start_matches('a')
+                            .trim_start_matches('b')
+                            .chars()
+                            .all(|c| c == 'c')),
+                "unexpected {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(string_regex("(group)").is_err());
+        assert!(string_regex("[unterminated").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+    }
+}

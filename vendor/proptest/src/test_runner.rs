@@ -1,0 +1,131 @@
+//! Case loop, configuration and failure reporting.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The random source handed to strategies. One fresh, deterministically
+/// seeded generator per test case.
+pub type TestRng = StdRng;
+
+/// Runtime knobs for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on cases rejected by `prop_filter` before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A failed or rejected test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold; the message explains why.
+    Fail(String),
+    /// The inputs were unsuitable (e.g. filtered out); try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Result type of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    test_name.hash(&mut hasher);
+    case.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Runs `body` against `config.cases` deterministically seeded cases,
+/// panicking (so the surrounding `#[test]` fails) on the first failure.
+pub fn run(
+    config: ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while passed < config.cases {
+        let seed = case_seed(test_name, case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many rejected cases \
+                         ({rejects}); last reason: {reason}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case #{case} (seed {seed:#x}):\n{message}"
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_property_holds() {
+        let mut count = 0;
+        run(
+            ProptestConfig {
+                cases: 10,
+                ..ProptestConfig::default()
+            },
+            "always_ok",
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panics_on_failure() {
+        run(ProptestConfig::default(), "always_fail", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name_and_case() {
+        assert_eq!(case_seed("t", 3), case_seed("t", 3));
+        assert_ne!(case_seed("t", 3), case_seed("t", 4));
+        assert_ne!(case_seed("t", 3), case_seed("u", 3));
+    }
+}
