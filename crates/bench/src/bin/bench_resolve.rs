@@ -1,0 +1,126 @@
+//! Pinned resolve-path smoke benchmark: runs a small, fixed-seed
+//! deduplication workload and writes `BENCH_resolve.json` (median ns per
+//! pipeline stage, comparison-execution throughput) so CI and future PRs
+//! can track the hot-path trajectory. Unlike the Criterion benches this
+//! is cheap enough to run on every push.
+//!
+//! Usage: `bench_resolve [OUT_PATH]` (default `BENCH_resolve.json` in the
+//! current directory). `QUERYER_BENCH_REPS` overrides the repetition
+//! count (default 7; medians want an odd number).
+
+use queryer_datagen::scholarly;
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const RECORDS: usize = 2000;
+const SEED: u64 = 99;
+
+fn median_ns(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_resolve.json".to_string());
+    let reps: usize = std::env::var("QUERYER_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    let ds = scholarly::dblp_scholar(RECORDS, SEED);
+    let cfg = ErConfig::default();
+
+    let build_start = Instant::now();
+    let er = TableErIndex::build(&ds.table, &cfg);
+    let build_ns = build_start.elapsed().as_nanos() as u64;
+
+    let qe: Vec<u32> = (0..ds.table.len() as u32).collect();
+
+    // Warmup (also verifies the workload finds links at all).
+    {
+        let mut li = LinkIndex::new(ds.table.len());
+        let mut m = DedupMetrics::default();
+        er.clear_ep_cache();
+        let out = er.resolve(&ds.table, &qe, &mut li, &mut m);
+        assert!(m.comparisons > 0, "workload must execute comparisons");
+        assert!(!out.dr.is_empty());
+    }
+
+    let mut total_ns = Vec::with_capacity(reps);
+    let mut stage_ns: [Vec<u64>; 6] = Default::default();
+    let mut comp_per_sec = Vec::with_capacity(reps);
+    let mut last = DedupMetrics::default();
+    for _ in 0..reps {
+        let mut li = LinkIndex::new(ds.table.len());
+        let mut m = DedupMetrics::default();
+        // Cold EP cache each rep: threshold computation is part of the
+        // per-query cost the paper measures.
+        er.clear_ep_cache();
+        let t0 = Instant::now();
+        er.resolve(&ds.table, &qe, &mut li, &mut m);
+        total_ns.push(t0.elapsed().as_nanos() as u64);
+        let stages: [Duration; 6] = [
+            m.blocking,
+            m.block_join,
+            m.purging,
+            m.filtering,
+            m.edge_pruning,
+            m.resolution,
+        ];
+        for (acc, d) in stage_ns.iter_mut().zip(stages) {
+            acc.push(d.as_nanos() as u64);
+        }
+        let res_secs = m.resolution.as_secs_f64();
+        comp_per_sec.push(if res_secs > 0.0 {
+            (m.comparisons as f64 / res_secs) as u64
+        } else {
+            0
+        });
+        last = m;
+    }
+
+    let names = [
+        "blocking",
+        "block_join",
+        "purging",
+        "filtering",
+        "edge_pruning",
+        "resolution",
+    ];
+    let mut stages_json = String::new();
+    for (i, (name, ns)) in names.into_iter().zip(stage_ns).enumerate() {
+        if i > 0 {
+            stages_json.push_str(", ");
+        }
+        let _ = write!(stages_json, "\"{name}\": {}", median_ns(ns));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"dblp_scholar\", \"records\": {RECORDS}, \"seed\": {SEED}, \"qe\": \"all\"}},"
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"index_build_ns\": {build_ns},");
+    let _ = writeln!(
+        json,
+        "  \"resolve_total_ns_median\": {},",
+        median_ns(total_ns)
+    );
+    let _ = writeln!(json, "  \"stages_ns_median\": {{{stages_json}}},");
+    let _ = writeln!(json, "  \"comparisons\": {},", last.comparisons);
+    let _ = writeln!(json, "  \"candidate_pairs\": {},", last.candidate_pairs);
+    let _ = writeln!(json, "  \"matches_found\": {},", last.matches_found);
+    let _ = writeln!(
+        json,
+        "  \"comparisons_per_sec_median\": {}",
+        median_ns(comp_per_sec)
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_resolve.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

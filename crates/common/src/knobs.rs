@@ -1,0 +1,27 @@
+//! Environment knobs shared by the heavy test suites.
+
+/// Number of property-test cases for the expensive suites, read from
+/// `QUERYER_PROPTEST_CASES` (falling back to `default` when unset or
+/// unparsable). Lets CI run the full counts while local `cargo test`
+/// iterations dial them down, e.g. `QUERYER_PROPTEST_CASES=2`.
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("QUERYER_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falls_back_to_default() {
+        // The suite never sets the variable for this test's process-wide
+        // default path check; a set-and-restore dance would race other
+        // tests, so only the unset path is asserted here.
+        if std::env::var("QUERYER_PROPTEST_CASES").is_err() {
+            assert_eq!(proptest_cases(17), 17);
+        }
+    }
+}

@@ -4,12 +4,16 @@
 //! hot-path utilities every other crate needs — a fast non-cryptographic
 //! hasher (the offline crate set has no `rustc-hash`, and the algorithm is
 //! tiny), canonical packing of unordered record-id pairs into `u64` keys,
-//! and a stopwatch for per-stage operator timing.
+//! build-once token interning with flat slice arenas, and a stopwatch for
+//! per-stage operator timing.
 
 pub mod fxhash;
+pub mod intern;
+pub mod knobs;
 pub mod pairkey;
 pub mod timing;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Symbol, TokenArena, TokenInterner};
 pub use pairkey::{pack_pair, unpack_pair, PairSet};
 pub use timing::Stopwatch;

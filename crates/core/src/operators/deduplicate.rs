@@ -144,6 +144,10 @@ mod tests {
         assert_eq!(m.qe_entities, 1);
         assert_eq!(m.dr_entities, 2);
         assert!(m.er.comparisons > 0);
+        assert_eq!(
+            m.er.qbi_tokenized_records, 0,
+            "operator QE is in-table: blocking must be pure ITBI lookup"
+        );
     }
 
     #[test]

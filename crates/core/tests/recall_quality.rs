@@ -3,11 +3,20 @@
 //! reproduction to the same bar on the synthetic equivalents, and also
 //! check precision so matches are not trivially over-linked.
 
+use queryer_common::knobs::proptest_cases;
 use queryer_common::FxHashSet;
 use queryer_core::engine::{ExecMode, QueryEngine};
 use queryer_datagen::{openaire, person, scholarly};
 use queryer_er::ErConfig;
 use queryer_storage::RecordId;
+
+/// Dataset size for the quality gates, scaled by `QUERYER_PROPTEST_CASES`
+/// like the property suites (default 8 → the full 1500 rows; lower
+/// values shrink the datasets for quick local loops, floored where the
+/// PC/precision bars remain statistically meaningful).
+fn scaled_rows() -> usize {
+    (1500 * proptest_cases(8) as usize / 8).clamp(400, 30_000)
+}
 
 /// Resolves a whole table through the engine and returns (PC, precision).
 fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
@@ -57,7 +66,7 @@ fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
 #[test]
 fn people_recall_meets_paper_bar() {
     let orgs = openaire::organizations(200, 41);
-    let ds = person::people(1500, 42, &orgs);
+    let ds = person::people(scaled_rows(), 42, &orgs);
     let (pc, precision) = full_clean_quality(&ds, "ppl");
     println!("PPL: pc={pc:.3} precision={precision:.3}");
     assert!(pc >= 0.82, "PC {pc} below the paper's floor");
@@ -66,7 +75,7 @@ fn people_recall_meets_paper_bar() {
 
 #[test]
 fn dblp_scholar_recall_meets_paper_bar() {
-    let ds = scholarly::dblp_scholar(1500, 43);
+    let ds = scholarly::dblp_scholar(scaled_rows(), 43);
     let (pc, precision) = full_clean_quality(&ds, "dsd");
     println!("DSD: pc={pc:.3} precision={precision:.3}");
     assert!(pc >= 0.82, "PC {pc}");
@@ -80,7 +89,7 @@ fn dblp_scholar_recall_meets_paper_bar() {
 #[test]
 fn oag_papers_recall_meets_paper_bar() {
     let venues = scholarly::oag_venues(150, 44);
-    let ds = scholarly::oag_papers(1500, 45, &venues);
+    let ds = scholarly::oag_papers(scaled_rows(), 45, &venues);
     let (pc, precision) = full_clean_quality(&ds, "oagp");
     println!("OAGP: pc={pc:.3} precision={precision:.3}");
     assert!(pc >= 0.82, "PC {pc}");
@@ -90,7 +99,7 @@ fn oag_papers_recall_meets_paper_bar() {
 #[test]
 fn projects_recall_meets_paper_bar() {
     let orgs = openaire::organizations(200, 46);
-    let ds = openaire::projects(1500, 47, &orgs);
+    let ds = openaire::projects(scaled_rows(), 47, &orgs);
     let (pc, precision) = full_clean_quality(&ds, "oap");
     println!("OAP: pc={pc:.3} precision={precision:.3}");
     assert!(pc >= 0.82, "PC {pc}");

@@ -64,6 +64,13 @@ pub fn build_blocks(
 /// Query Blocking: builds the Query Block Index (QBI) for the entities of
 /// `qe` "by invoking the same blocking function that was used for the
 /// construction of the TBI". Maps token → query-entity ids.
+///
+/// The resolve hot path no longer calls this for in-table entities —
+/// their QBI⋈TBI join is pre-materialized in the ITBI
+/// (`TableErIndex::blocks_of`). This remains the tokenizing path for
+/// foreign/ad-hoc records (see `TableErIndex::probe_blocks` /
+/// `TableErIndex::duplicates_of_record`) and for callers assembling
+/// query blocks outside a built index.
 pub fn build_query_blocks(
     table: &Table,
     qe: &[RecordId],

@@ -8,14 +8,51 @@
 //! query-stable) and global (WEP-style over the examined subgraph).
 
 use crate::config::WeightScheme;
-use crate::index::TableErIndex;
+use crate::index::{CooccurrenceScratch, TableErIndex};
 use queryer_storage::RecordId;
 
 /// Edge-weight and pruning computations over a table's blocking graph.
+///
+/// Owns a reusable [`CooccurrenceScratch`], so neighbourhood scans are
+/// dense counter sweeps instead of per-entity hash maps — hence the
+/// `&mut self` receivers on the scanning methods.
 pub struct EdgePruner<'a> {
     idx: &'a TableErIndex,
     scheme: WeightScheme,
     n_blocks: f64,
+    scratch: CooccurrenceScratch,
+}
+
+/// Weight of the edge `(a, b)` under `scheme` given the common-block
+/// count `cbs` (free function so neighbourhood scans can weight while
+/// the pruner's scratch is borrowed).
+#[inline]
+fn weight_of(
+    idx: &TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+    a: RecordId,
+    b: RecordId,
+    cbs: u32,
+) -> f64 {
+    match scheme {
+        WeightScheme::Cbs => cbs as f64,
+        WeightScheme::Ecbs => {
+            let ba = idx.retained_blocks(a).len().max(1) as f64;
+            let bb = idx.retained_blocks(b).len().max(1) as f64;
+            cbs as f64 * (n_blocks / ba).ln().max(0.0) * (n_blocks / bb).ln().max(0.0)
+        }
+        WeightScheme::Js => {
+            let ba = idx.retained_blocks(a).len() as f64;
+            let bb = idx.retained_blocks(b).len() as f64;
+            let denom = ba + bb - cbs as f64;
+            if denom <= 0.0 {
+                1.0
+            } else {
+                cbs as f64 / denom
+            }
+        }
+    }
 }
 
 impl<'a> EdgePruner<'a> {
@@ -25,39 +62,28 @@ impl<'a> EdgePruner<'a> {
             idx,
             scheme: idx.config().weight_scheme,
             n_blocks: idx.n_unpurged_blocks().max(1) as f64,
+            scratch: CooccurrenceScratch::new(),
         }
     }
 
     /// Weight of the edge `(a, b)` given their common-block count `cbs`.
     #[inline]
     pub fn weight(&self, a: RecordId, b: RecordId, cbs: u32) -> f64 {
-        match self.scheme {
-            WeightScheme::Cbs => cbs as f64,
-            WeightScheme::Ecbs => {
-                let ba = self.idx.retained_blocks(a).len().max(1) as f64;
-                let bb = self.idx.retained_blocks(b).len().max(1) as f64;
-                cbs as f64 * (self.n_blocks / ba).ln().max(0.0) * (self.n_blocks / bb).ln().max(0.0)
-            }
-            WeightScheme::Js => {
-                let ba = self.idx.retained_blocks(a).len() as f64;
-                let bb = self.idx.retained_blocks(b).len() as f64;
-                let denom = ba + bb - cbs as f64;
-                if denom <= 0.0 {
-                    1.0
-                } else {
-                    cbs as f64 / denom
-                }
-            }
-        }
+        weight_of(self.idx, self.scheme, self.n_blocks, a, b, cbs)
     }
 
     /// The weighted neighbourhood of `e`: every distinct co-occurring
     /// entity in `e`'s retained blocks with its edge weight.
-    pub fn neighborhood(&self, e: RecordId) -> Vec<(RecordId, f64)> {
-        self.idx
-            .cooccurrences(e)
-            .into_iter()
-            .map(|(other, cbs)| (other, self.weight(e, other, cbs)))
+    pub fn neighborhood(&mut self, e: RecordId) -> Vec<(RecordId, f64)> {
+        let Self {
+            idx,
+            scheme,
+            n_blocks,
+            scratch,
+        } = self;
+        idx.cooccurrences_into(e, scratch)
+            .iter()
+            .map(|&(other, cbs)| (other, weight_of(idx, *scheme, *n_blocks, e, other, cbs)))
             .collect()
     }
 
@@ -65,8 +91,9 @@ impl<'a> EdgePruner<'a> {
     /// table-level neighbourhood (0 when isolated). Cached per entity on
     /// the index — the cost the paper observes dominating small-|QE|
     /// queries (Sec. 9.3) is exactly these neighbourhood scans.
-    pub fn node_threshold(&self, e: RecordId) -> f64 {
-        self.idx.ep_threshold_cached(e, || {
+    pub fn node_threshold(&mut self, e: RecordId) -> f64 {
+        let idx = self.idx;
+        idx.ep_threshold_cached(e, || {
             let nbh = self.neighborhood(e);
             if nbh.is_empty() {
                 0.0
@@ -79,7 +106,7 @@ impl<'a> EdgePruner<'a> {
     /// Node-centric pair survival: the edge is kept when either incident
     /// node keeps it (weight ≥ that node's mean) — the redefined-WNP
     /// union semantics of the meta-blocking literature.
-    pub fn survives_node_centric(&self, a: RecordId, b: RecordId, w: f64) -> bool {
+    pub fn survives_node_centric(&mut self, a: RecordId, b: RecordId, w: f64) -> bool {
         const EPS: f64 = 1e-12;
         w + EPS >= self.node_threshold(a) || w + EPS >= self.node_threshold(b)
     }
@@ -129,7 +156,7 @@ mod tests {
     #[test]
     fn cbs_weights_count_common_blocks() {
         let idx = idx();
-        let ep = EdgePruner::new(&idx);
+        let mut ep = EdgePruner::new(&idx);
         let nbh = ep.neighborhood(0);
         let w1 = nbh.iter().find(|(e, _)| *e == 1).unwrap().1;
         let w2 = nbh.iter().find(|(e, _)| *e == 2).unwrap().1;
@@ -141,7 +168,7 @@ mod tests {
     #[test]
     fn strong_edges_survive_weak_edges_pruned() {
         let idx = idx();
-        let ep = EdgePruner::new(&idx);
+        let mut ep = EdgePruner::new(&idx);
         // Node 0's mean weight is (4 + 1)/2 = 2.5.
         let w_strong = 4.0;
         let w_weak = 1.0;
@@ -154,14 +181,14 @@ mod tests {
     #[test]
     fn isolated_node_threshold_zero() {
         let idx = idx();
-        let ep = EdgePruner::new(&idx);
+        let mut ep = EdgePruner::new(&idx);
         assert_eq!(ep.node_threshold(3), 0.0);
     }
 
     #[test]
     fn thresholds_cached_consistently() {
         let idx = idx();
-        let ep = EdgePruner::new(&idx);
+        let mut ep = EdgePruner::new(&idx);
         let t1 = ep.node_threshold(0);
         let t2 = ep.node_threshold(0);
         assert_eq!(t1, t2);
@@ -183,13 +210,13 @@ mod tests {
         let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
         cfg.weight_scheme = WeightScheme::Ecbs;
         let i = TableErIndex::build(&table(), &cfg);
-        let ep = EdgePruner::new(&i);
+        let mut ep = EdgePruner::new(&i);
         for (_, w) in ep.neighborhood(0) {
             assert!(w >= 0.0);
         }
         cfg.weight_scheme = WeightScheme::Js;
         let i = TableErIndex::build(&table(), &cfg);
-        let ep = EdgePruner::new(&i);
+        let mut ep = EdgePruner::new(&i);
         for (_, w) in ep.neighborhood(0) {
             assert!((0.0..=1.0).contains(&w));
         }

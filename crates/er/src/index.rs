@@ -9,12 +9,48 @@
 use crate::blocking::{build_blocks, RawBlocks};
 use crate::config::ErConfig;
 use crate::purging::purge_threshold;
+use crate::tokenizer::{record_keys, record_tokens};
 use parking_lot::Mutex;
-use queryer_common::{FxHashMap, FxHashSet};
-use queryer_storage::{RecordId, Table};
+use queryer_common::{FxHashMap, FxHashSet, TokenArena, TokenInterner};
+use queryer_storage::{Record, RecordId, Table};
 
 /// Identifier of a block within a table's TBI.
 pub type BlockId = u32;
+
+/// Borrowed view of one record's interned comparison data, built once at
+/// index-build time. Comparison-Execution runs entirely over this view:
+/// token-set similarities sorted-merge the `tokens` symbol slices, and
+/// mean Jaro-Winkler reads the pre-lowercased `attrs` — no tokenization,
+/// no case folding, no allocation per comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct InternedProfile<'a> {
+    /// Pre-lowercased rendered attribute text, one slot per schema
+    /// column; `None` for NULLs and for the skipped id column.
+    pub attrs: &'a [Option<Box<str>>],
+    /// The record's distinct profile tokens as interned symbols, sorted
+    /// ascending.
+    pub tokens: &'a [u32],
+}
+
+/// Reusable dense scratch for co-occurrence counting: a counts array
+/// indexed by record id plus a first-touch list, so each frontier entity
+/// is counted without allocating a fresh hash map.
+#[derive(Debug, Default)]
+pub struct CooccurrenceScratch {
+    /// Dense per-record counters; only entries named in `out` are
+    /// non-zero between calls' reset sweeps.
+    counts: Vec<u32>,
+    /// Co-occurring entities in first-touch order with their CBS counts.
+    out: Vec<(RecordId, u32)>,
+}
+
+impl CooccurrenceScratch {
+    /// Creates an empty scratch; the counts array grows lazily to the
+    /// table size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Immutable per-table ER index. Build once, share freely (`Sync`).
 #[derive(Debug)]
@@ -39,6 +75,15 @@ pub struct TableErIndex {
     entity_blocks: Vec<Vec<BlockId>>,
     /// Per record, the retained (post BP+BF) prefix of `entity_blocks`.
     entity_retained: Vec<Vec<BlockId>>,
+    /// Interner over the table's profile tokens.
+    interner: TokenInterner,
+    /// Per record, its sorted interned profile-token slice.
+    profile_tokens: TokenArena,
+    /// Per record × column (stride = schema width), the pre-lowercased
+    /// rendered attribute text; `None` for NULLs and the id column.
+    lower_attrs: Vec<Option<Box<str>>>,
+    /// Schema width (the `lower_attrs` stride).
+    n_cols: usize,
     /// Lazy cache of node-centric Edge Pruning thresholds.
     ep_thresholds: Mutex<FxHashMap<RecordId, f64>>,
 }
@@ -112,6 +157,31 @@ impl TableErIndex {
             fb.sort_unstable();
         }
 
+        // Interned comparison profiles: every profile token becomes a
+        // dense symbol, every attribute is rendered + lowercased exactly
+        // once — Comparison-Execution never touches strings it has to
+        // build itself again.
+        let n_cols = table.schema().len();
+        let mut interner = TokenInterner::new();
+        let mut profile_tokens = TokenArena::with_capacity(table.len(), table.len() * 8);
+        let mut lower_attrs: Vec<Option<Box<str>>> = Vec::with_capacity(table.len() * n_cols);
+        let mut syms: Vec<u32> = Vec::new();
+        for record in table.records() {
+            syms.clear();
+            for tok in record_tokens(record, cfg.min_token_len, skip_col) {
+                syms.push(interner.intern(&tok));
+            }
+            syms.sort_unstable();
+            profile_tokens.push(&syms);
+            for (i, v) in record.values.iter().enumerate() {
+                lower_attrs.push(if Some(i) == skip_col || v.is_null() {
+                    None
+                } else {
+                    Some(v.render().to_lowercase().into_boxed_str())
+                });
+            }
+        }
+
         Self {
             cfg: cfg.clone(),
             skip_col,
@@ -124,6 +194,10 @@ impl TableErIndex {
             filtered_blocks,
             entity_blocks,
             entity_retained,
+            interner,
+            profile_tokens,
+            lower_attrs,
+            n_cols,
             ep_thresholds: Mutex::new(FxHashMap::default()),
         }
     }
@@ -209,8 +283,36 @@ impl TableErIndex {
         self.raw_blocks.iter().map(|b| cardinality(b.len())).sum()
     }
 
+    /// The record's interned comparison profile (pre-lowercased
+    /// attributes + sorted token symbols) — the Comparison-Execution
+    /// hot-path view.
+    #[inline]
+    pub fn profile(&self, id: RecordId) -> InternedProfile<'_> {
+        let base = id as usize * self.n_cols;
+        InternedProfile {
+            attrs: &self.lower_attrs[base..base + self.n_cols],
+            tokens: self.profile_tokens.get(id as usize),
+        }
+    }
+
+    /// Sorted interned profile-token symbols of a record.
+    #[inline]
+    pub fn profile_tokens(&self, id: RecordId) -> &[u32] {
+        self.profile_tokens.get(id as usize)
+    }
+
+    /// The profile-token interner (diagnostics and foreign probes).
+    pub fn interner(&self) -> &TokenInterner {
+        &self.interner
+    }
+
     /// Distinct co-occurring entities of `id` in its retained blocks,
     /// with the number of shared retained blocks (the CBS count).
+    ///
+    /// Allocates a fresh map per call (map-based on purpose: a one-shot
+    /// call should touch only the neighbourhood, not an `n_records`-sized
+    /// counter array); hot loops should prefer
+    /// [`TableErIndex::cooccurrences_into`] with a reused scratch.
     pub fn cooccurrences(&self, id: RecordId) -> FxHashMap<RecordId, u32> {
         let mut counts: FxHashMap<RecordId, u32> = FxHashMap::default();
         for &b in self.retained_blocks(id) {
@@ -223,14 +325,63 @@ impl TableErIndex {
         counts
     }
 
-    /// Cached node-centric EP threshold accessor; computes via `f` on miss.
-    pub(crate) fn ep_threshold_cached(&self, id: RecordId, f: impl FnOnce() -> f64) -> f64 {
-        if let Some(&t) = self.ep_thresholds.lock().get(&id) {
-            return t;
+    /// Scratch-based co-occurrence counting: fills `scratch` with the
+    /// distinct co-occurring entities of `id` (first-touch order) and
+    /// their CBS counts, reusing the dense counters across calls. The
+    /// returned slice is valid until the next call with this scratch.
+    pub fn cooccurrences_into<'s>(
+        &self,
+        id: RecordId,
+        scratch: &'s mut CooccurrenceScratch,
+    ) -> &'s [(RecordId, u32)] {
+        if scratch.counts.len() < self.n_records {
+            scratch.counts.resize(self.n_records, 0);
         }
-        let t = f();
-        self.ep_thresholds.lock().insert(id, t);
-        t
+        scratch.out.clear();
+        for &b in self.retained_blocks(id) {
+            for &other in self.filtered_block(b) {
+                if other != id {
+                    let c = &mut scratch.counts[other as usize];
+                    if *c == 0 {
+                        scratch.out.push((other, 0));
+                    }
+                    *c += 1;
+                }
+            }
+        }
+        // Harvest and reset only the touched counters.
+        for (rid, cnt) in &mut scratch.out {
+            let c = &mut scratch.counts[*rid as usize];
+            *cnt = *c;
+            *c = 0;
+        }
+        &scratch.out
+    }
+
+    /// TBI blocks matching an ad-hoc record that is *not* part of the
+    /// indexed table (a foreign probe, e.g. a Deduplicate-Join key record
+    /// from another table): invokes the same blocking function the TBI
+    /// was built with — the query-time tokenization path — and joins the
+    /// keys against the TBI. In-table entities never take this path;
+    /// their blocks come pre-joined from [`TableErIndex::blocks_of`].
+    pub fn probe_blocks(&self, record: &Record) -> Vec<BlockId> {
+        record_keys(
+            record,
+            self.cfg.blocking,
+            self.cfg.min_token_len,
+            self.skip_col,
+        )
+        .into_iter()
+        .filter_map(|token| self.block_of_key(&token))
+        .collect()
+    }
+
+    /// Cached node-centric EP threshold accessor; computes via `f` on
+    /// miss. The lock is held across the computation (entry-style), so a
+    /// concurrent caller waits for the first computation instead of
+    /// redundantly recomputing the threshold.
+    pub(crate) fn ep_threshold_cached(&self, id: RecordId, f: impl FnOnce() -> f64) -> f64 {
+        *self.ep_thresholds.lock().entry(id).or_insert_with(f)
     }
 
     /// Drops all cached EP thresholds (test/ablation helper).
@@ -343,5 +494,61 @@ mod tests {
         assert_eq!(co.get(&1), Some(&1));
         assert_eq!(co.get(&2), Some(&2));
         assert_eq!(co.get(&3), None);
+    }
+
+    #[test]
+    fn scratch_cooccurrences_match_map_and_reset() {
+        let cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+        let idx = TableErIndex::build(&table(), &cfg);
+        let mut scratch = CooccurrenceScratch::new();
+        // Reuse the same scratch across every record: stale counters from
+        // a previous call must never leak into the next one.
+        for rid in 0..idx.n_records() as u32 {
+            let via_map = idx.cooccurrences(rid);
+            let via_scratch: FxHashMap<RecordId, u32> = idx
+                .cooccurrences_into(rid, &mut scratch)
+                .iter()
+                .copied()
+                .collect();
+            assert_eq!(via_map, via_scratch, "record {rid}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_interned_sorted_and_lowered() {
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        for rid in 0..idx.n_records() as u32 {
+            let p = idx.profile(rid);
+            assert!(
+                p.tokens.windows(2).all(|w| w[0] < w[1]),
+                "token symbols sorted + deduped"
+            );
+            // The id column is skipped; the title column is lowered text.
+            assert_eq!(p.attrs[0], None);
+            let title = p.attrs[1].as_deref().unwrap();
+            assert_eq!(title, title.to_lowercase());
+        }
+        // Symbols resolve back to profile tokens.
+        let p0 = idx.profile(0);
+        let texts: Vec<&str> = p0
+            .tokens
+            .iter()
+            .map(|&s| idx.interner().resolve(s))
+            .collect();
+        assert!(texts.contains(&"collective"));
+        assert!(texts.contains(&"resolution"));
+    }
+
+    #[test]
+    fn probe_blocks_joins_foreign_record_against_tbi() {
+        use queryer_storage::{Record, Value};
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        let foreign = Record::new(
+            0,
+            vec![Value::str("x"), Value::str("collective unknowntoken")],
+        );
+        let blocks = idx.probe_blocks(&foreign);
+        assert_eq!(blocks.len(), 1, "only 'collective' exists in the TBI");
+        assert_eq!(idx.block_key(blocks[0]), "collective");
     }
 }

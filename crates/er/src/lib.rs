@@ -17,6 +17,40 @@
 //! the TBI/ITBI at build time), which makes them identical between a
 //! query-restricted run and a whole-table run — the determinism the
 //! paper's DQ-correctness argument relies on (see DESIGN.md).
+//!
+//! # The hot resolve path
+//!
+//! The paper reports Comparison-Execution dominating query time
+//! (Table 6), so everything the comparison loop touches is materialized
+//! once at [`TableErIndex::build`] time and the query path is pure
+//! lookup:
+//!
+//! * **Interned token arena** — every profile token is mapped to a dense
+//!   `u32` symbol ([`queryer_common::TokenInterner`]) and each record's
+//!   sorted symbol slice is packed into one flat
+//!   [`queryer_common::TokenArena`]. Token-set similarities
+//!   (Jaccard/overlap) sorted-merge two `&[u32]` slices; no strings, no
+//!   hashing, no allocation.
+//! * **Pre-lowercased attributes** — mean Jaro-Winkler reads rendered,
+//!   lowercased attribute text stored per record × column (`None`
+//!   encodes NULLs and the skipped id column), killing the two
+//!   `to_lowercase` allocations the string path pays per attribute per
+//!   comparison. Both views travel as [`index::InternedProfile`].
+//! * **ITBI-backed Query Blocking** — for in-table query entities the
+//!   ITBI row of a record *is* its QBI already joined against the TBI,
+//!   so the resolve loop's Query Blocking + Block-Join stages are index
+//!   lookups: `DedupMetrics::qbi_tokenized_records` stays 0.
+//!   [`blocking::build_query_blocks`] still exists for foreign/ad-hoc
+//!   records ([`TableErIndex::duplicates_of_record`]), which are unknown
+//!   to the interner and must tokenize.
+//! * **Dense co-occurrence scratch** — Edge Pruning's neighbourhood
+//!   scans count common blocks in a reusable [`index::CooccurrenceScratch`]
+//!   (dense counters + first-touch list) instead of allocating a hash
+//!   map per frontier entity.
+//!
+//! The interned path is decision-identical to the record/string path
+//! (`Matcher::similarity`); `tests/interned_equivalence.rs` property-
+//! tests that equivalence across similarity kinds and random corpora.
 
 pub mod blocking;
 pub mod config;
@@ -34,7 +68,7 @@ pub mod union_find;
 pub use config::{
     BlockingKind, EdgePruningScope, ErConfig, MetaBlockingConfig, SimilarityKind, WeightScheme,
 };
-pub use index::{BlockId, TableErIndex};
+pub use index::{BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
 pub use link_index::LinkIndex;
 pub use matching::Matcher;
 pub use metrics::DedupMetrics;

@@ -6,6 +6,7 @@
 //! similarity kind and threshold are pluggable.
 
 use crate::config::{ErConfig, SimilarityKind};
+use crate::index::InternedProfile;
 use crate::similarity::{jaccard_sorted, jaro_winkler, overlap_sorted};
 use crate::tokenizer::record_tokens;
 use queryer_storage::Record;
@@ -65,26 +66,53 @@ impl Matcher {
 
     /// Similarity with caller-provided token sets (see
     /// [`Matcher::sorted_tokens`]); avoids re-tokenizing records that are
-    /// compared many times across blocks.
+    /// compared many times across blocks. The sorted-merge kernels are
+    /// generic, so the `String` slices are consumed directly — no
+    /// per-call `Vec<&str>` rebuild.
     pub fn similarity_with(&self, a: &Record, b: &Record, ta: &[String], tb: &[String]) -> f64 {
-        let token_sim = |f: fn(&[&str], &[&str]) -> f64| {
-            let va: Vec<&str> = ta.iter().map(String::as_str).collect();
-            let vb: Vec<&str> = tb.iter().map(String::as_str).collect();
-            f(&va, &vb)
-        };
         match self.kind {
             SimilarityKind::MeanJaroWinkler => self.mean_jw(a, b),
-            SimilarityKind::TokenJaccard => token_sim(jaccard_sorted),
-            SimilarityKind::TokenOverlap => token_sim(overlap_sorted),
+            SimilarityKind::TokenJaccard => jaccard_sorted(ta, tb),
+            SimilarityKind::TokenOverlap => overlap_sorted(ta, tb),
             SimilarityKind::Hybrid => {
                 let jw = self.mean_jw(a, b);
                 if jw >= self.threshold {
                     // Short-circuit: max(jw, overlap) already ≥ threshold.
                     return jw;
                 }
-                jw.max(token_sim(overlap_sorted))
+                jw.max(overlap_sorted(ta, tb))
             }
         }
+    }
+
+    /// Similarity over interned profiles built at `TableErIndex::build`
+    /// time — the allocation-free Comparison-Execution path. Decision-
+    /// identical to [`Matcher::similarity`] on the corresponding records:
+    /// the token symbols intersect exactly like sorted token strings, and
+    /// the attributes were lowercased with the same `to_lowercase` the
+    /// string path applies per comparison. The profiles already encode
+    /// NULLs and the skipped id column as `None` attributes, so the
+    /// matcher's own `skip_col` is not consulted here.
+    pub fn similarity_interned(&self, a: InternedProfile<'_>, b: InternedProfile<'_>) -> f64 {
+        match self.kind {
+            SimilarityKind::MeanJaroWinkler => self.mean_jw_lowered(a.attrs, b.attrs),
+            SimilarityKind::TokenJaccard => jaccard_sorted(a.tokens, b.tokens),
+            SimilarityKind::TokenOverlap => overlap_sorted(a.tokens, b.tokens),
+            SimilarityKind::Hybrid => {
+                let jw = self.mean_jw_lowered(a.attrs, b.attrs);
+                if jw >= self.threshold {
+                    // Short-circuit: max(jw, overlap) already ≥ threshold.
+                    return jw;
+                }
+                jw.max(overlap_sorted(a.tokens, b.tokens))
+            }
+        }
+    }
+
+    /// Match decision over interned profiles: similarity ≥ threshold.
+    #[inline]
+    pub fn is_match_interned(&self, a: InternedProfile<'_>, b: InternedProfile<'_>) -> bool {
+        self.similarity_interned(a, b) >= self.threshold
     }
 
     /// Match decision: similarity ≥ threshold.
@@ -122,6 +150,36 @@ impl Matcher {
             let sa = va.render();
             let sb = vb.render();
             sum += jaro_winkler(&sa.to_lowercase(), &sb.to_lowercase());
+            remaining -= 1;
+            // Upper bound on the final mean; abort when unreachable.
+            if (sum + remaining as f64) / n < self.threshold {
+                return (sum + remaining as f64) / n;
+            }
+        }
+        sum / n
+    }
+
+    /// [`Matcher::mean_jw`] over pre-lowercased attribute slices (`None`
+    /// encodes NULL / skipped columns). Same accumulation order and early
+    /// abort, so results are bit-identical to the string path.
+    fn mean_jw_lowered(&self, a: &[Option<Box<str>>], b: &[Option<Box<str>>]) -> f64 {
+        let mut comparable: u32 = 0;
+        for (va, vb) in a.iter().zip(b.iter()) {
+            if va.is_some() && vb.is_some() {
+                comparable += 1;
+            }
+        }
+        if comparable == 0 {
+            return 0.0;
+        }
+        let n = comparable as f64;
+        let mut sum = 0.0;
+        let mut remaining = comparable;
+        for (va, vb) in a.iter().zip(b.iter()) {
+            let (Some(sa), Some(sb)) = (va, vb) else {
+                continue;
+            };
+            sum += jaro_winkler(sa, sb);
             remaining -= 1;
             // Upper bound on the final mean; abort when unreachable.
             if (sum + remaining as f64) / n < self.threshold {

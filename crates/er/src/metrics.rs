@@ -28,6 +28,11 @@ pub struct DedupMetrics {
     pub matches_found: u64,
     /// Entities whose link-sets were computed (not served from the LI).
     pub entities_processed: u64,
+    /// Records tokenized at query time by Query Blocking. In-table query
+    /// entities are served from the ITBI (their token blocks were joined
+    /// at index-build time), so this stays 0 for `resolve`; only
+    /// foreign/ad-hoc record probes pay for tokenization.
+    pub qbi_tokenized_records: u64,
 }
 
 impl DedupMetrics {
@@ -53,6 +58,7 @@ impl DedupMetrics {
         self.candidate_pairs += other.candidate_pairs;
         self.matches_found += other.matches_found;
         self.entities_processed += other.entities_processed;
+        self.qbi_tokenized_records += other.qbi_tokenized_records;
     }
 }
 
@@ -72,12 +78,14 @@ mod tests {
             blocking: Duration::from_millis(2),
             resolution: Duration::from_millis(5),
             comparisons: 5,
+            qbi_tokenized_records: 3,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.blocking, Duration::from_millis(3));
         assert_eq!(a.comparisons, 15);
         assert_eq!(a.matches_found, 2);
+        assert_eq!(a.qbi_tokenized_records, 3);
         assert_eq!(a.total_er(), Duration::from_millis(8));
     }
 

@@ -3,16 +3,22 @@
 //! Comparison-Execution — plus the Link Index bookkeeping and the
 //! transitive frontier expansion that makes Dedupe-query results equal
 //! the batch approach's connected components.
+//!
+//! For in-table query entities the first two stages collapse into ITBI
+//! lookups: a record's `entity_blocks` row *is* its QBI⋈TBI join, built
+//! once at index time, so `resolve` never re-tokenizes records and never
+//! hash-joins token strings. The only query-time tokenization left is
+//! the foreign/ad-hoc probe path ([`TableErIndex::duplicates_of_record`]
+//! / [`crate::blocking::build_query_blocks`]).
 
-use crate::blocking::build_query_blocks;
 use crate::config::EdgePruningScope;
 use crate::edge_pruning::{prune_global, EdgePruner};
-use crate::index::{BlockId, TableErIndex};
+use crate::index::{BlockId, CooccurrenceScratch, TableErIndex};
 use crate::link_index::LinkIndex;
 use crate::matching::Matcher;
 use crate::metrics::DedupMetrics;
 use queryer_common::{FxHashMap, FxHashSet, PairSet, Stopwatch};
-use queryer_storage::{RecordId, Table};
+use queryer_storage::{Record, RecordId, Table};
 
 /// Result of resolving a query entity set against its table.
 #[derive(Debug, Clone)]
@@ -36,6 +42,14 @@ impl TableErIndex {
         li: &mut LinkIndex,
         metrics: &mut DedupMetrics,
     ) -> ResolveOutcome {
+        // Comparisons read index-internal interned profiles, so a caller
+        // passing the wrong table would silently get stale decisions;
+        // the length check is O(1), keep it on in release builds too.
+        assert_eq!(
+            table.len(),
+            self.n_records(),
+            "resolve must be called with the indexed table"
+        );
         let matcher = Matcher::new(self.config(), self.skip_col());
         let mut pair_seen = PairSet::new();
         let mut new_links = 0usize;
@@ -51,28 +65,15 @@ impl TableErIndex {
         while !frontier.is_empty() {
             metrics.entities_processed += frontier.len() as u64;
 
-            // (i) Query Blocking — build the QBI with the same blocking
-            // function the TBI used.
+            // (i) Query Blocking + (ii) Block-Join — for in-table query
+            // entities the ITBI row of each record is exactly the QBI of
+            // that record already joined against the TBI (same blocking
+            // function, joined at build time). Assembling the enriched
+            // QBI is therefore a pure index lookup: no tokenization, no
+            // string hashing — `metrics.qbi_tokenized_records` stays 0.
             let mut sw = Stopwatch::new();
-            let qbi = sw.time(|| {
-                build_query_blocks(
-                    table,
-                    &frontier,
-                    self.config().blocking,
-                    self.config().min_token_len,
-                    self.skip_col(),
-                )
-            });
-            metrics.blocking += sw.elapsed();
-
-            // (ii) Block-Join — hash-join QBI keys with TBI keys; blocks
-            // are enriched with the table entities sharing the key.
-            let mut sw = Stopwatch::new();
-            let mut eqbi: Vec<(BlockId, Vec<RecordId>)> = sw.time(|| {
-                qbi.into_iter()
-                    .filter_map(|(token, q_list)| self.block_of_key(&token).map(|b| (b, q_list)))
-                    .collect()
-            });
+            let mut eqbi: Vec<(BlockId, Vec<RecordId>)> =
+                sw.time(|| self.itbi_query_blocks(&frontier));
             metrics.block_join += sw.elapsed();
 
             // (iii) Meta-Blocking, in the strict order BP → BF → EP.
@@ -118,7 +119,7 @@ impl TableErIndex {
                 }
             }
             metrics.comparisons += to_compare.len() as u64;
-            let decisions = self.execute_comparisons(table, &matcher, &to_compare);
+            let decisions = self.execute_comparisons(&matcher, &to_compare);
             for ((q, c), matched) in to_compare.into_iter().zip(decisions) {
                 if matched {
                     if li.add_link(q, c) {
@@ -174,6 +175,21 @@ impl TableErIndex {
         self.resolve(table, &all, li, metrics)
     }
 
+    /// Assembles the enriched QBI of in-table query entities from the
+    /// ITBI: groups each frontier record's pre-joined block list by
+    /// block, ascending by block id for deterministic downstream order.
+    fn itbi_query_blocks(&self, frontier: &[RecordId]) -> Vec<(BlockId, Vec<RecordId>)> {
+        let mut by_block: FxHashMap<BlockId, Vec<RecordId>> = FxHashMap::default();
+        for &q in frontier {
+            for &b in self.blocks_of(q) {
+                by_block.entry(b).or_default().push(q);
+            }
+        }
+        let mut eqbi: Vec<(BlockId, Vec<RecordId>)> = by_block.into_iter().collect();
+        eqbi.sort_unstable_by_key(|&(b, _)| b);
+        eqbi
+    }
+
     /// Plain per-block pair generation (no EP): within each enriched
     /// block, each query entity is compared against every other entity,
     /// each distinct pair once across all blocks.
@@ -207,12 +223,15 @@ impl TableErIndex {
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
     ) -> Vec<(RecordId, RecordId)> {
-        let pruner = EdgePruner::new(self);
+        let mut pruner = EdgePruner::new(self);
+        // The pruner owns its own scratch for threshold neighbourhoods;
+        // this one serves the frontier scans, so the two never alias.
+        let mut scratch = CooccurrenceScratch::new();
         match self.config().ep_scope {
             EdgePruningScope::NodeCentric => {
                 let mut out = Vec::new();
                 for &q in frontier {
-                    for (c, cbs) in self.cooccurrences(q) {
+                    for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
                         if pair_seen.contains(q, c) {
                             continue;
                         }
@@ -228,7 +247,7 @@ impl TableErIndex {
                 let mut edges: Vec<(RecordId, RecordId, f64)> = Vec::new();
                 let mut edge_seen = PairSet::new();
                 for &q in frontier {
-                    for (c, cbs) in self.cooccurrences(q) {
+                    for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
                         if edge_seen.insert(q, c) {
                             edges.push((q, c, pruner.weight(q, c, cbs)));
                         }
@@ -244,60 +263,91 @@ impl TableErIndex {
 
     /// Runs the match decisions, fanning out across threads when the
     /// configuration asks for parallelism. Decisions are position-aligned
-    /// with `pairs`. Token sets are precomputed once per distinct record
-    /// — a record participates in many pairs across blocks, and
-    /// re-tokenizing per comparison dominated profiles.
-    fn execute_comparisons(
-        &self,
-        table: &Table,
-        matcher: &Matcher,
-        pairs: &[(RecordId, RecordId)],
-    ) -> Vec<bool> {
-        let empty: Vec<String> = Vec::new();
-        let tokens: FxHashMap<RecordId, Vec<String>> = if matcher.needs_tokens() {
-            let mut ids: Vec<RecordId> = pairs.iter().flat_map(|&(q, c)| [q, c]).collect();
-            ids.sort_unstable();
-            ids.dedup();
-            ids.into_iter()
-                .map(|id| (id, matcher.sorted_tokens(table.record_unchecked(id))))
-                .collect()
-        } else {
-            FxHashMap::default()
-        };
-        let toks = |id: RecordId| tokens.get(&id).unwrap_or(&empty).as_slice();
-
+    /// with `pairs`. Every comparison reads the interned profiles built
+    /// at index time (sorted symbol slices + pre-lowercased attributes),
+    /// so this stage tokenizes nothing and allocates nothing per pair.
+    fn execute_comparisons(&self, matcher: &Matcher, pairs: &[(RecordId, RecordId)]) -> Vec<bool> {
         let workers = self.config().parallelism.max(1);
         if workers == 1 || pairs.len() < 1024 {
             return pairs
                 .iter()
-                .map(|&(q, c)| {
-                    matcher.is_match_with(
-                        table.record_unchecked(q),
-                        table.record_unchecked(c),
-                        toks(q),
-                        toks(c),
-                    )
-                })
+                .map(|&(q, c)| matcher.is_match_interned(self.profile(q), self.profile(c)))
                 .collect();
         }
         let chunk = pairs.len().div_ceil(workers);
         let mut decisions = vec![false; pairs.len()];
         std::thread::scope(|scope| {
             for (slot, work) in decisions.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                let toks = &toks;
                 scope.spawn(move || {
                     for (d, &(q, c)) in slot.iter_mut().zip(work) {
-                        *d = matcher.is_match_with(
-                            table.record_unchecked(q),
-                            table.record_unchecked(c),
-                            toks(q),
-                            toks(c),
-                        );
+                        *d = matcher.is_match_interned(self.profile(q), self.profile(c));
                     }
                 });
             }
         });
         decisions
+    }
+
+    /// Finds the in-table duplicates of an ad-hoc `record` that is *not*
+    /// part of the indexed table (a foreign probe, e.g. a
+    /// Deduplicate-Join key assembled from another table's values). This
+    /// is the one path that still tokenizes at query time — the record
+    /// is unknown to the interner — so it runs Query Blocking via
+    /// [`TableErIndex::probe_blocks`] and compares through the string
+    /// matcher. The record's schema must be positionally compatible with
+    /// the indexed table's. Returns matching record ids, ascending.
+    pub fn duplicates_of_record(
+        &self,
+        table: &Table,
+        record: &Record,
+        metrics: &mut DedupMetrics,
+    ) -> Vec<RecordId> {
+        let mut sw = Stopwatch::new();
+        let blocks = sw.time(|| self.probe_blocks(record));
+        metrics.blocking += sw.elapsed();
+        metrics.qbi_tokenized_records += 1;
+
+        let matcher = Matcher::new(self.config(), self.skip_col());
+        let probe_tokens = if matcher.needs_tokens() {
+            matcher.sorted_tokens(record)
+        } else {
+            Vec::new()
+        };
+        let mut sw = Stopwatch::new();
+        sw.start();
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for b in blocks {
+            if self.config().meta.purging() && self.is_purged(b) {
+                continue;
+            }
+            let others = if self.config().meta.filtering() {
+                self.filtered_block(b)
+            } else {
+                self.raw_block(b)
+            };
+            for &c in others {
+                if !seen.insert(c) {
+                    continue;
+                }
+                metrics.candidate_pairs += 1;
+                metrics.comparisons += 1;
+                let cand = table.record_unchecked(c);
+                let cand_tokens = if matcher.needs_tokens() {
+                    matcher.sorted_tokens(cand)
+                } else {
+                    Vec::new()
+                };
+                if matcher.is_match_with(record, cand, &probe_tokens, &cand_tokens) {
+                    metrics.matches_found += 1;
+                    out.push(c);
+                }
+            }
+        }
+        sw.stop();
+        metrics.resolution += sw.elapsed();
+        out.sort_unstable();
+        out
     }
 
     /// Duplicate clusters among `ids` according to the links in `li`
@@ -366,6 +416,37 @@ mod tests {
         assert_eq!(out.dr, vec![0, 1]);
         assert!(li.are_linked(0, 1));
         assert!(!li.are_linked(0, 4));
+        assert!(m.comparisons > 0);
+    }
+
+    #[test]
+    fn in_table_resolve_never_tokenizes() {
+        let (_, m, _) = resolve_qe(&ErConfig::default(), &[0, 1, 2, 3, 4]);
+        assert_eq!(
+            m.qbi_tokenized_records, 0,
+            "in-table query entities must be served from the ITBI"
+        );
+        assert_eq!(m.blocking, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn foreign_record_probe_finds_duplicates() {
+        use queryer_storage::Value;
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let mut m = DedupMetrics::default();
+        // An ad-hoc record (not in the table) close to records 2/3.
+        let probe = Record::new(
+            0,
+            vec![
+                Value::Null,
+                Value::str("query driven entity resolution"),
+                Value::str("vldb"),
+            ],
+        );
+        let dups = idx.duplicates_of_record(&table, &probe, &mut m);
+        assert_eq!(dups, vec![2, 3]);
+        assert_eq!(m.qbi_tokenized_records, 1, "foreign probes do tokenize");
         assert!(m.comparisons > 0);
     }
 

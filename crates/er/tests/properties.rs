@@ -1,6 +1,7 @@
 //! Property-based tests on the ER substrate's core invariants.
 
 use proptest::prelude::*;
+use queryer_common::knobs::proptest_cases;
 use queryer_er::similarity::{
     jaccard_sorted, jaro, jaro_winkler, levenshtein, levenshtein_sim, overlap_sorted,
 };
@@ -12,6 +13,13 @@ fn word() -> impl Strategy<Value = String> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig {
+        // QUERYER_PROPTEST_CASES scales the suite (the resolution
+        // property below runs full cleanings per case).
+        cases: proptest_cases(256),
+        .. ProptestConfig::default()
+    })]
+
     #[test]
     fn jaro_bounded_symmetric_reflexive(a in word(), b in word()) {
         let s = jaro(&a, &b);

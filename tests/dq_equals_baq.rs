@@ -5,6 +5,7 @@
 //! data.
 
 use proptest::prelude::*;
+use queryer::common::knobs::proptest_cases;
 use queryer::core::engine::{ExecMode, QueryEngine};
 use queryer::datagen::{openaire, scholarly};
 use queryer::prelude::*;
@@ -30,7 +31,9 @@ const STRATEGIES: [ExecMode; 3] = [ExecMode::Nes, ExecMode::NesEager, ExecMode::
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 8, // each case runs several full cleanings
+        // Each case runs several full cleanings; QUERYER_PROPTEST_CASES
+        // scales the suite up (CI soaks) or down (quick local loops).
+        cases: proptest_cases(8),
         .. ProptestConfig::default()
     })]
 
