@@ -4,9 +4,15 @@
 //! can track the hot-path trajectory. Unlike the Criterion benches this
 //! is cheap enough to run on every push.
 //!
-//! Usage: `bench_resolve [OUT_PATH]` (default `BENCH_resolve.json` in the
-//! current directory). `QUERYER_BENCH_REPS` overrides the repetition
-//! count (default 7; medians want an odd number).
+//! Usage: `bench_resolve [OUT_PATH] [--check]` (default
+//! `BENCH_resolve.json` in the current directory). With `--check`, the
+//! decision counts (`comparisons`, `candidate_pairs`, `matches_found`)
+//! of a pre-existing OUT_PATH are captured before the run and diffed
+//! against the fresh results afterwards; any drift exits non-zero. CI
+//! runs this against the committed JSON, so decision regressions fail
+//! the build while timings (which flake on shared runners) stay
+//! informational. `QUERYER_BENCH_REPS` overrides the repetition count
+//! (default 7; medians want an odd number).
 
 use queryer_datagen::scholarly;
 use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
@@ -16,15 +22,60 @@ use std::time::{Duration, Instant};
 const RECORDS: usize = 2000;
 const SEED: u64 = 99;
 
+/// The decision counts `--check` pins (timings are never compared).
+const CHECKED_COUNTS: [&str; 3] = ["comparisons", "candidate_pairs", "matches_found"];
+
 fn median_ns(mut xs: Vec<u64>) -> u64 {
     xs.sort_unstable();
     xs[xs.len() / 2]
 }
 
+/// Extracts `"key": <u64>` from the hand-rolled JSON (no serde in the
+/// offline dependency set).
+fn json_u64(s: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = s.find(&pat)? + pat.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_resolve.json".to_string());
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            flag if flag.starts_with("--") => {
+                // A typo'd flag must not silently become the output path
+                // (it would skip the baseline diff and pass vacuously).
+                eprintln!("unknown flag {flag}; usage: bench_resolve [OUT_PATH] [--check]");
+                std::process::exit(2);
+            }
+            path => {
+                if out_path.replace(path.to_string()).is_some() {
+                    eprintln!(
+                        "more than one OUT_PATH given; usage: bench_resolve [OUT_PATH] [--check]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_resolve.json".to_string());
+    let baseline = if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                eprintln!("--check: no baseline at {out_path}; treating run as fresh");
+                None
+            }
+        }
+    } else {
+        None
+    };
     let reps: usize = std::env::var("QUERYER_BENCH_REPS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -123,4 +174,25 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_resolve.json");
     println!("{json}");
     println!("wrote {out_path}");
+
+    if let Some(base) = baseline {
+        let mut drift = false;
+        for key in CHECKED_COUNTS {
+            let old = json_u64(&base, key);
+            let new = json_u64(&json, key);
+            if old != new {
+                eprintln!(
+                    "--check: {key} drifted: baseline {} vs fresh {}",
+                    old.map_or_else(|| "<missing>".into(), |v| v.to_string()),
+                    new.map_or_else(|| "<missing>".into(), |v| v.to_string()),
+                );
+                drift = true;
+            }
+        }
+        if drift {
+            eprintln!("--check: decision counts drifted from the committed baseline");
+            std::process::exit(1);
+        }
+        println!("--check: decision counts match the baseline");
+    }
 }

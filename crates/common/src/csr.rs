@@ -1,0 +1,181 @@
+//! Compressed Sparse Row (CSR) packing of ragged row collections.
+//!
+//! A `Vec<Vec<T>>` costs one heap allocation and one pointer chase per
+//! row; the hot block-graph sweeps of the ER crate (Edge Pruning
+//! neighbourhood scans, co-occurrence counting) touch millions of rows
+//! per query, so the per-table indices pack every row into one
+//! contiguous `data` buffer addressed through an `offsets` table —
+//! `row(i)` is two loads and a bounds check, rows are adjacent in
+//! memory, and a full sweep is a linear scan of `data`.
+
+/// A read-mostly CSR matrix: `offsets[i]..offsets[i + 1]` delimits row
+/// `i` inside the flat `data` buffer.
+///
+/// Offsets are `u32` (matching the workspace-wide dense `u32` id types),
+/// capping total stored elements at `u32::MAX` — the same bound
+/// [`crate::TokenArena`] has always had.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr<T> {
+    offsets: Vec<u32>,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Csr<T> {
+    /// Creates an empty CSR with zero rows.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty CSR pre-sized for `rows` rows totalling
+    /// `data_cap` elements.
+    pub fn with_capacity(rows: usize, data_cap: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            data: Vec::with_capacity(data_cap),
+        }
+    }
+
+    /// Appends one row, returning its index. Rows must arrive in row
+    /// order — CSR construction is append-only.
+    pub fn push_row(&mut self, row: &[T]) -> usize {
+        self.data.extend_from_slice(row);
+        self.offsets.push(self.data.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// The row at `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.data[lo..hi]
+    }
+
+    /// Mutable view of the row at `i` (for in-place per-row sorting
+    /// during index construction).
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &mut self.data[lo..hi]
+    }
+
+    /// Length of the row at `i` without materializing the slice.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the CSR holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total elements across all rows.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates the rows in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.n_rows()).map(move |i| self.row(i))
+    }
+}
+
+impl<T: Copy + Default> Csr<T> {
+    /// Builds a CSR with `n_rows` rows from `(row, value)` pairs via a
+    /// stable two-pass counting sort: within each row, values keep the
+    /// order they appear in `pairs`. This is how the ER index inverts a
+    /// membership relation (entity→block into block→entity and back)
+    /// without ever allocating a `Vec` per row.
+    pub fn from_pairs(n_rows: usize, pairs: &[(u32, T)]) -> Self {
+        let mut offsets = vec![0u32; n_rows + 1];
+        for &(r, _) in pairs {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..n_rows].to_vec();
+        let mut data = vec![T::default(); pairs.len()];
+        for &(r, v) in pairs {
+            let c = &mut cursor[r as usize];
+            data[*c as usize] = v;
+            *c += 1;
+        }
+        Self { offsets, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut c: Csr<u32> = Csr::new();
+        assert!(c.is_empty());
+        assert_eq!(c.push_row(&[3, 1, 4]), 0);
+        assert_eq!(c.push_row(&[]), 1);
+        assert_eq!(c.push_row(&[1, 5]), 2);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.row(0), &[3, 1, 4]);
+        assert_eq!(c.row(1), &[] as &[u32]);
+        assert_eq!(c.row(2), &[1, 5]);
+        assert_eq!(c.row_len(0), 3);
+        assert_eq!(c.total_len(), 5);
+        let all: Vec<&[u32]> = c.rows().collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn row_mut_sorts_in_place() {
+        let mut c: Csr<u32> = Csr::new();
+        c.push_row(&[9, 2, 7]);
+        c.row_mut(0).sort_unstable();
+        assert_eq!(c.row(0), &[2, 7, 9]);
+    }
+
+    #[test]
+    fn from_pairs_is_stable_within_rows() {
+        // Pairs arrive scattered across rows; within a row, insertion
+        // order must be preserved (the ER inversions rely on it to keep
+        // block contents ascending by record id).
+        let pairs: &[(u32, u32)] = &[(1, 10), (0, 20), (1, 11), (2, 30), (1, 12)];
+        let c = Csr::from_pairs(4, pairs);
+        assert_eq!(c.n_rows(), 4);
+        assert_eq!(c.row(0), &[20]);
+        assert_eq!(c.row(1), &[10, 11, 12]);
+        assert_eq!(c.row(2), &[30]);
+        assert_eq!(c.row(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn from_pairs_empty() {
+        let c: Csr<u32> = Csr::from_pairs(0, &[]);
+        assert_eq!(c.n_rows(), 0);
+        let c: Csr<u32> = Csr::from_pairs(3, &[]);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.row(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut c: Csr<u16> = Csr::with_capacity(2, 8);
+        c.push_row(&[7]);
+        assert_eq!(c.row(0), &[7]);
+        assert_eq!(c.n_rows(), 1);
+    }
+}

@@ -63,64 +63,55 @@ impl TokenInterner {
     }
 }
 
-/// Flat arena of `u32` slices: one contiguous `data` buffer plus an
-/// offsets table, so `slot → &[u32]` is two loads and no pointer chase
-/// through per-record `Vec`s.
+/// Flat arena of `u32` slices — a thin wrapper over [`crate::Csr`] that
+/// keeps the historical slot-oriented API: one contiguous `data` buffer
+/// plus an offsets table, so `slot → &[u32]` is two loads and no pointer
+/// chase through per-record `Vec`s.
 #[derive(Debug, Default, Clone)]
 pub struct TokenArena {
-    data: Vec<u32>,
-    /// `offsets[i]..offsets[i + 1]` is slot `i`'s slice.
-    offsets: Vec<u32>,
+    csr: crate::Csr<u32>,
 }
 
 impl TokenArena {
     /// Creates an empty arena.
     pub fn new() -> Self {
         Self {
-            data: Vec::new(),
-            offsets: vec![0],
+            csr: crate::Csr::new(),
         }
     }
 
     /// Creates an empty arena pre-sized for `slots` slices of `data_cap`
     /// total elements.
     pub fn with_capacity(slots: usize, data_cap: usize) -> Self {
-        let mut offsets = Vec::with_capacity(slots + 1);
-        offsets.push(0);
         Self {
-            data: Vec::with_capacity(data_cap),
-            offsets,
+            csr: crate::Csr::with_capacity(slots, data_cap),
         }
     }
 
     /// Appends one slice, returning its slot index.
     pub fn push(&mut self, slice: &[u32]) -> usize {
-        self.data.extend_from_slice(slice);
-        self.offsets.push(self.data.len() as u32);
-        self.offsets.len() - 2
+        self.csr.push_row(slice)
     }
 
     /// The slice at `slot`.
     #[inline]
     pub fn get(&self, slot: usize) -> &[u32] {
-        let lo = self.offsets[slot] as usize;
-        let hi = self.offsets[slot + 1] as usize;
-        &self.data[lo..hi]
+        self.csr.row(slot)
     }
 
     /// Number of stored slices.
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.csr.n_rows()
     }
 
     /// `true` when no slices are stored.
     pub fn is_empty(&self) -> bool {
-        self.offsets.len() == 1
+        self.csr.is_empty()
     }
 
     /// Total elements across all slices.
     pub fn total_elements(&self) -> usize {
-        self.data.len()
+        self.csr.total_len()
     }
 }
 

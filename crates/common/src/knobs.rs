@@ -1,4 +1,6 @@
-//! Environment knobs shared by the heavy test suites.
+//! Environment knobs shared by the heavy test suites and the ER hot
+//! path: each knob is a plain env-var read with a hard-coded default, so
+//! CI, benches, and local runs can retune without recompiling.
 
 /// Number of property-test cases for the expensive suites, read from
 /// `QUERYER_PROPTEST_CASES` (falling back to `default` when unset or
@@ -9,6 +11,45 @@ pub fn proptest_cases(default: u32) -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Reads a `usize` knob, falling back to `default` when unset or
+/// unparsable.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a boolean knob (`1`/`true`/`yes` vs `0`/`false`/`no`,
+/// case-insensitive), falling back to `default` otherwise.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+/// Whether Edge Pruning builds its node-centric thresholds eagerly in
+/// one bulk sweep (`QUERYER_EP_BULK`, default `true`) instead of lazily
+/// caching them per entity. Bulk wins whenever the query touches a
+/// sizeable fraction of the table (the `resolve_all` / large-|QE| case);
+/// lazy wins for point queries that only ever examine a few
+/// neighbourhoods.
+pub fn ep_bulk_thresholds() -> bool {
+    env_flag("QUERYER_EP_BULK", true)
+}
+
+/// Worker-thread count for the Edge Pruning sweeps (`QUERYER_EP_THREADS`).
+/// `0` (the default) means "auto": use the machine's available
+/// parallelism.
+pub fn ep_threads() -> usize {
+    env_usize("QUERYER_EP_THREADS", 0)
 }
 
 #[cfg(test)]
@@ -22,6 +63,16 @@ mod tests {
         // tests, so only the unset path is asserted here.
         if std::env::var("QUERYER_PROPTEST_CASES").is_err() {
             assert_eq!(proptest_cases(17), 17);
+        }
+    }
+
+    #[test]
+    fn env_helpers_fall_back_when_unset() {
+        // Only the unset path is asserted (see above on set/restore races).
+        if std::env::var("QUERYER_NO_SUCH_KNOB").is_err() {
+            assert_eq!(env_usize("QUERYER_NO_SUCH_KNOB", 5), 5);
+            assert!(env_flag("QUERYER_NO_SUCH_KNOB", true));
+            assert!(!env_flag("QUERYER_NO_SUCH_KNOB", false));
         }
     }
 }

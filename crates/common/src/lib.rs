@@ -4,15 +4,18 @@
 //! hot-path utilities every other crate needs — a fast non-cryptographic
 //! hasher (the offline crate set has no `rustc-hash`, and the algorithm is
 //! tiny), canonical packing of unordered record-id pairs into `u64` keys,
+//! a generic CSR (offsets + data) packing for ragged row collections,
 //! build-once token interning with flat slice arenas, and a stopwatch for
 //! per-stage operator timing.
 
+pub mod csr;
 pub mod fxhash;
 pub mod intern;
 pub mod knobs;
 pub mod pairkey;
 pub mod timing;
 
+pub use csr::Csr;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Symbol, TokenArena, TokenInterner};
 pub use pairkey::{pack_pair, unpack_pair, PairSet};

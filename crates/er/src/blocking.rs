@@ -5,16 +5,19 @@
 
 use crate::config::BlockingKind;
 use crate::tokenizer::record_keys;
-use queryer_common::FxHashMap;
+use queryer_common::{Csr, FxHashMap};
 use queryer_storage::{RecordId, Table};
 
-/// Raw token blocks of a table, before any meta-blocking.
+/// Raw token blocks of a table, before any meta-blocking. Block contents
+/// are CSR-packed: one flat record-id buffer addressed by block id, so a
+/// full-TBI sweep is a linear scan instead of a pointer chase through
+/// per-block `Vec`s.
 #[derive(Debug, Clone)]
 pub struct RawBlocks {
     /// Block key (token) per block id.
     pub keys: Vec<String>,
     /// Block contents per block id (record ids, ascending).
-    pub blocks: Vec<Vec<RecordId>>,
+    pub blocks: Csr<RecordId>,
     /// Token → block id.
     pub key_to_block: FxHashMap<String, u32>,
 }
@@ -22,7 +25,7 @@ pub struct RawBlocks {
 impl RawBlocks {
     /// Number of blocks (the paper's |TBI|).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.blocks.n_rows()
     }
 
     /// `true` when no blocks exist.
@@ -32,7 +35,9 @@ impl RawBlocks {
 }
 
 /// Builds the Table Block Index contents by applying the configured
-/// blocking function over all records of `table`.
+/// blocking function over all records of `table`: one streaming pass
+/// collects flat `(block, record)` memberships, then a counting sort
+/// packs them into the CSR — no per-block `Vec` ever exists.
 pub fn build_blocks(
     table: &Table,
     kind: BlockingKind,
@@ -40,20 +45,20 @@ pub fn build_blocks(
     skip_col: Option<usize>,
 ) -> RawBlocks {
     let mut key_to_block: FxHashMap<String, u32> = FxHashMap::default();
-    let mut blocks: Vec<Vec<RecordId>> = Vec::new();
     let mut keys: Vec<String> = Vec::new();
+    let mut memberships: Vec<(u32, RecordId)> = Vec::new();
     for record in table.records() {
         for token in record_keys(record, kind, min_token_len, skip_col) {
             let bid = *key_to_block.entry(token.clone()).or_insert_with(|| {
                 keys.push(token);
-                blocks.push(Vec::new());
-                (blocks.len() - 1) as u32
+                (keys.len() - 1) as u32
             });
-            blocks[bid as usize].push(record.id);
+            memberships.push((bid, record.id));
         }
     }
     // record_keys deduplicates per record and records are visited in id
-    // order, so block contents are already sorted and unique.
+    // order, so each packed block row is already sorted and unique.
+    let blocks = Csr::from_pairs(keys.len(), &memberships);
     RawBlocks {
         keys,
         blocks,
@@ -106,9 +111,9 @@ mod tests {
     fn blocks_group_by_token() {
         let rb = build_blocks(&sample_table(), BlockingKind::Token, 1, None);
         let collective = rb.key_to_block["collective"];
-        assert_eq!(rb.blocks[collective as usize], vec![0, 1]);
+        assert_eq!(rb.blocks.row(collective as usize), &[0, 1]);
         let entity = rb.key_to_block["entity"];
-        assert_eq!(rb.blocks[entity as usize], vec![0]);
+        assert_eq!(rb.blocks.row(entity as usize), &[0]);
         assert!(rb.key_to_block.contains_key("e.r"));
         assert_eq!(rb.len(), 6); // collective, entity, resolution, e.r, big, data
     }
@@ -116,7 +121,7 @@ mod tests {
     #[test]
     fn block_contents_sorted_unique() {
         let rb = build_blocks(&sample_table(), BlockingKind::Token, 1, None);
-        for b in &rb.blocks {
+        for b in rb.blocks.rows() {
             assert!(b.windows(2).all(|w| w[0] < w[1]));
         }
     }

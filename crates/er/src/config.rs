@@ -139,6 +139,18 @@ pub struct ErConfig {
     /// Worker threads for Comparison-Execution (1 = sequential, matching
     /// the paper's single-machine measurements).
     pub parallelism: usize,
+    /// Build node-centric EP thresholds eagerly in one bulk sweep over
+    /// all nodes (`true`, the default — wins whenever a query touches a
+    /// sizeable fraction of the table) instead of lazily caching them per
+    /// examined entity (wins for point queries). Both modes produce
+    /// bit-identical thresholds and pair sets. Default comes from the
+    /// `QUERYER_EP_BULK` env knob.
+    pub ep_bulk_thresholds: bool,
+    /// Worker threads for the Edge Pruning sweeps (bulk threshold pass +
+    /// frontier scan). `0` = auto (available parallelism). Thread count
+    /// never affects results — partitions are merged in deterministic
+    /// order. Default comes from the `QUERYER_EP_THREADS` env knob.
+    pub ep_threads: usize,
 }
 
 impl Default for ErConfig {
@@ -156,6 +168,8 @@ impl Default for ErConfig {
             match_threshold: 0.85,
             transitive: true,
             parallelism: 1,
+            ep_bulk_thresholds: queryer_common::knobs::ep_bulk_thresholds(),
+            ep_threads: queryer_common::knobs::ep_threads(),
         }
     }
 }
@@ -172,6 +186,18 @@ impl ErConfig {
     pub fn with_threshold(mut self, t: f64) -> Self {
         self.match_threshold = t;
         self
+    }
+
+    /// The concrete EP worker-thread count: `ep_threads`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_ep_threads(&self) -> usize {
+        if self.ep_threads != 0 {
+            self.ep_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 }
 
@@ -195,5 +221,19 @@ mod tests {
         let c = ErConfig::default();
         assert_eq!(c.meta, MetaBlockingConfig::All);
         assert!((c.purging_smooth_factor - 1.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_ep_threads_resolves_auto() {
+        let pinned = ErConfig {
+            ep_threads: 3,
+            ..ErConfig::default()
+        };
+        assert_eq!(pinned.effective_ep_threads(), 3);
+        let auto = ErConfig {
+            ep_threads: 0,
+            ..ErConfig::default()
+        };
+        assert!(auto.effective_ep_threads() >= 1);
     }
 }

@@ -11,6 +11,17 @@ use crate::config::WeightScheme;
 use crate::index::{CooccurrenceScratch, TableErIndex};
 use queryer_storage::RecordId;
 
+/// Numeric slack for threshold comparisons, shared by every pruning
+/// rule so the bulk and lazy paths can never drift apart.
+pub(crate) const EPS: f64 = 1e-12;
+
+/// The one threshold comparison all pruning rules are built from: the
+/// edge survives a threshold when its weight reaches it within [`EPS`].
+#[inline]
+pub(crate) fn keeps(w: f64, threshold: f64) -> bool {
+    w + EPS >= threshold
+}
+
 /// Edge-weight and pruning computations over a table's blocking graph.
 ///
 /// Owns a reusable [`CooccurrenceScratch`], so neighbourhood scans are
@@ -27,7 +38,7 @@ pub struct EdgePruner<'a> {
 /// count `cbs` (free function so neighbourhood scans can weight while
 /// the pruner's scratch is borrowed).
 #[inline]
-fn weight_of(
+pub(crate) fn weight_of(
     idx: &TableErIndex,
     scheme: WeightScheme,
     n_blocks: f64,
@@ -90,26 +101,96 @@ impl<'a> EdgePruner<'a> {
     /// Node-centric EP threshold of `e`: the mean weight over its
     /// table-level neighbourhood (0 when isolated). Cached per entity on
     /// the index — the cost the paper observes dominating small-|QE|
-    /// queries (Sec. 9.3) is exactly these neighbourhood scans.
+    /// queries (Sec. 9.3) is exactly these neighbourhood scans. Large
+    /// frontiers should prefer the one-shot
+    /// [`bulk_node_thresholds`] sweep (bit-identical values).
     pub fn node_threshold(&mut self, e: RecordId) -> f64 {
-        let idx = self.idx;
+        let Self {
+            idx,
+            scheme,
+            n_blocks,
+            scratch,
+        } = self;
         idx.ep_threshold_cached(e, || {
-            let nbh = self.neighborhood(e);
-            if nbh.is_empty() {
-                0.0
-            } else {
-                nbh.iter().map(|(_, w)| w).sum::<f64>() / nbh.len() as f64
-            }
+            node_threshold_uncached(idx, *scheme, *n_blocks, e, scratch)
         })
     }
 
     /// Node-centric pair survival: the edge is kept when either incident
     /// node keeps it (weight ≥ that node's mean) — the redefined-WNP
-    /// union semantics of the meta-blocking literature.
+    /// union semantics of the meta-blocking literature. Short-circuits so
+    /// `b`'s threshold is only computed when `a`'s vote fails.
     pub fn survives_node_centric(&mut self, a: RecordId, b: RecordId, w: f64) -> bool {
-        const EPS: f64 = 1e-12;
-        w + EPS >= self.node_threshold(a) || w + EPS >= self.node_threshold(b)
+        keeps(w, self.node_threshold(a)) || keeps(w, self.node_threshold(b))
     }
+}
+
+/// Uncached node-centric WNP threshold of `e`: mean edge weight over its
+/// neighbourhood, scanned through `scratch`. This is the single
+/// definition both build modes share — the lazy per-entity cache and the
+/// bulk sweep call it with identical iteration order (the CSR retained
+/// blocks of `e`, then each filtered block's contents), so their `f64`
+/// accumulation is bit-identical.
+fn node_threshold_uncached(
+    idx: &TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+    e: RecordId,
+    scratch: &mut CooccurrenceScratch,
+) -> f64 {
+    let nbh = idx.cooccurrences_into(e, scratch);
+    if nbh.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for &(other, cbs) in nbh {
+        sum += weight_of(idx, scheme, n_blocks, e, other, cbs);
+    }
+    sum / nbh.len() as f64
+}
+
+/// Bulk node-centric threshold pass: computes the WNP threshold of
+/// *every* node of the table in one sweep, partitioning the node set
+/// across `threads` workers (each with its own [`CooccurrenceScratch`])
+/// via `std::thread::scope`. Each slot of the returned vector depends
+/// only on its own node's neighbourhood, so the result is independent of
+/// the partitioning and bit-identical to the lazy per-entity path.
+///
+/// This replaces the per-entity locked threshold cache on the resolve
+/// hot path: one contiguous `Vec<f64>` instead of a mutex + hash lookup
+/// per examined edge endpoint.
+pub fn bulk_node_thresholds(idx: &TableErIndex, threads: usize) -> Vec<f64> {
+    let n = idx.n_records();
+    let scheme = idx.config().weight_scheme;
+    let n_blocks = idx.n_unpurged_blocks().max(1) as f64;
+    let mut out = vec![0.0f64; n];
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut scratch = CooccurrenceScratch::new();
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = node_threshold_uncached(idx, scheme, n_blocks, e as RecordId, &mut scratch);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, slots) in out.chunks_mut(chunk).enumerate() {
+            let base = i * chunk;
+            scope.spawn(move || {
+                let mut scratch = CooccurrenceScratch::new();
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = node_threshold_uncached(
+                        idx,
+                        scheme,
+                        n_blocks,
+                        (base + j) as RecordId,
+                        &mut scratch,
+                    );
+                }
+            });
+        }
+    });
+    out
 }
 
 /// Global (WEP-style) pruning over an explicit edge list: keeps edges
@@ -118,11 +199,10 @@ pub fn prune_global(edges: &[(RecordId, RecordId, f64)]) -> Vec<(RecordId, Recor
     if edges.is_empty() {
         return Vec::new();
     }
-    const EPS: f64 = 1e-12;
     let mean = edges.iter().map(|(_, _, w)| w).sum::<f64>() / edges.len() as f64;
     edges
         .iter()
-        .filter(|(_, _, w)| *w + EPS >= mean)
+        .filter(|(_, _, w)| keeps(*w, mean))
         .map(|&(a, b, _)| (a, b))
         .collect()
 }
@@ -192,6 +272,39 @@ mod tests {
         let t1 = ep.node_threshold(0);
         let t2 = ep.node_threshold(0);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn bulk_thresholds_equal_lazy_bitwise() {
+        for scheme in [WeightScheme::Cbs, WeightScheme::Ecbs, WeightScheme::Js] {
+            let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
+            cfg.weight_scheme = scheme;
+            let idx = TableErIndex::build(&table(), &cfg);
+            for threads in [1, 2, 7] {
+                let bulk = bulk_node_thresholds(&idx, threads);
+                idx.clear_ep_cache();
+                let mut ep = EdgePruner::new(&idx);
+                for e in 0..idx.n_records() as RecordId {
+                    assert_eq!(
+                        bulk[e as usize].to_bits(),
+                        ep.node_threshold(e).to_bits(),
+                        "node {e} scheme {scheme:?} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_vector_cached_on_index_until_cleared() {
+        let idx = idx();
+        let a = idx.bulk_ep_thresholds();
+        let b = idx.bulk_ep_thresholds();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second call must be cached");
+        idx.clear_ep_cache();
+        let c = idx.bulk_ep_thresholds();
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "clear must drop the cache");
+        assert_eq!(a.as_slice(), c.as_slice());
     }
 
     #[test]

@@ -8,11 +8,12 @@
 
 use crate::blocking::{build_blocks, RawBlocks};
 use crate::config::ErConfig;
-use crate::purging::purge_threshold;
+use crate::purging::purge_flags;
 use crate::tokenizer::{record_keys, record_tokens};
 use parking_lot::Mutex;
-use queryer_common::{FxHashMap, FxHashSet, TokenArena, TokenInterner};
+use queryer_common::{Csr, FxHashMap, FxHashSet, TokenArena, TokenInterner};
 use queryer_storage::{Record, RecordId, Table};
+use std::sync::Arc;
 
 /// Identifier of a block within a table's TBI.
 pub type BlockId = u32;
@@ -52,7 +53,23 @@ impl CooccurrenceScratch {
     }
 }
 
+/// Cache of node-centric Edge Pruning thresholds, in either of its two
+/// build modes: a `bulk` vector covering every node (filled by one
+/// parallel sweep, the large-|QE| path) or `lazy` per-entity entries
+/// (point queries that only examine a few neighbourhoods). When `bulk`
+/// is present it wins — both modes compute bit-identical values.
+#[derive(Debug, Default)]
+struct EpThresholdCache {
+    lazy: FxHashMap<RecordId, f64>,
+    bulk: Option<Arc<Vec<f64>>>,
+}
+
 /// Immutable per-table ER index. Build once, share freely (`Sync`).
+///
+/// The blocking graph is CSR-packed in both directions: block→records
+/// (`raw_blocks`, `filtered_blocks`) and record→blocks (`entity_blocks`,
+/// `entity_retained`) are flat offsets+data buffers, so a neighbourhood
+/// scan is a contiguous slice sweep with no per-row heap indirection.
 #[derive(Debug)]
 pub struct TableErIndex {
     cfg: ErConfig,
@@ -63,18 +80,18 @@ pub struct TableErIndex {
     /// Token → block id (the TBI hash index).
     key_to_block: FxHashMap<String, BlockId>,
     /// Full block contents (pre meta-blocking), ids ascending.
-    raw_blocks: Vec<Vec<RecordId>>,
+    raw_blocks: Csr<RecordId>,
     /// Table-level Block Purging decision per block.
     purged: Vec<bool>,
     /// The BP cardinality threshold (`u64::MAX` = nothing purged).
     purge_threshold: u64,
     /// Block contents after BP + BF: the entities that *retain* the block.
     /// Empty for purged blocks. Ids ascending.
-    filtered_blocks: Vec<Vec<RecordId>>,
+    filtered_blocks: Csr<RecordId>,
     /// ITBI: per record, its blocks sorted ascending by (size, id).
-    entity_blocks: Vec<Vec<BlockId>>,
+    entity_blocks: Csr<BlockId>,
     /// Per record, the retained (post BP+BF) prefix of `entity_blocks`.
-    entity_retained: Vec<Vec<BlockId>>,
+    entity_retained: Csr<BlockId>,
     /// Interner over the table's profile tokens.
     interner: TokenInterner,
     /// Per record, its sorted interned profile-token slice.
@@ -84,8 +101,8 @@ pub struct TableErIndex {
     lower_attrs: Vec<Option<Box<str>>>,
     /// Schema width (the `lower_attrs` stride).
     n_cols: usize,
-    /// Lazy cache of node-centric Edge Pruning thresholds.
-    ep_thresholds: Mutex<FxHashMap<RecordId, f64>>,
+    /// Node-centric Edge Pruning thresholds (bulk vector or lazy map).
+    ep_thresholds: Mutex<EpThresholdCache>,
 }
 
 impl TableErIndex {
@@ -108,54 +125,64 @@ impl TableErIndex {
             key_to_block,
         } = build_blocks(table, cfg.blocking, cfg.min_token_len, skip_col);
 
+        let n_blocks = raw_blocks.n_rows();
+
         // Block Purging: one table-level threshold (query-stable).
         let (purge_thr, purged) = if cfg.meta.purging() {
-            let cards: Vec<u64> = raw_blocks.iter().map(|b| cardinality(b.len())).collect();
-            let thr = purge_threshold(&cards, cfg.purging_smooth_factor);
-            let flags = cards.iter().map(|&c| c > thr).collect();
-            (thr, flags)
+            let cards: Vec<u64> = raw_blocks.rows().map(|b| cardinality(b.len())).collect();
+            purge_flags(&cards, cfg.purging_smooth_factor)
         } else {
-            (u64::MAX, vec![false; raw_blocks.len()])
+            (u64::MAX, vec![false; n_blocks])
         };
 
-        // ITBI: per-entity block lists sorted ascending by (size, id).
-        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); table.len()];
-        for (bid, block) in raw_blocks.iter().enumerate() {
+        // ITBI: invert the CSR block→record memberships into
+        // record→blocks (counting sort), then sort each row ascending by
+        // (size, id) in place.
+        let mut inv: Vec<(u32, BlockId)> = Vec::with_capacity(raw_blocks.total_len());
+        for (bid, block) in raw_blocks.rows().enumerate() {
             for &rid in block {
-                entity_blocks[rid as usize].push(bid as BlockId);
+                inv.push((rid, bid as BlockId));
             }
         }
-        for list in &mut entity_blocks {
-            list.sort_unstable_by_key(|&b| (raw_blocks[b as usize].len(), b));
+        let mut entity_blocks: Csr<BlockId> = Csr::from_pairs(table.len(), &inv);
+        for rid in 0..table.len() {
+            entity_blocks
+                .row_mut(rid)
+                .sort_unstable_by_key(|&b| (raw_blocks.row_len(b as usize), b));
         }
 
         // Block Filtering: per entity, retain the first ⌈p·m⌉ of its m
         // unpurged blocks (smallest first) — also table-level.
-        let mut entity_retained: Vec<Vec<BlockId>> = Vec::with_capacity(table.len());
-        for list in &entity_blocks {
-            let unpurged: Vec<BlockId> = list
-                .iter()
-                .copied()
-                .filter(|&b| !purged[b as usize])
-                .collect();
+        let mut entity_retained: Csr<BlockId> =
+            Csr::with_capacity(table.len(), entity_blocks.total_len());
+        let mut unpurged: Vec<BlockId> = Vec::new();
+        for rid in 0..table.len() {
+            unpurged.clear();
+            unpurged.extend(
+                entity_blocks
+                    .row(rid)
+                    .iter()
+                    .copied()
+                    .filter(|&b| !purged[b as usize]),
+            );
             let keep = if cfg.meta.filtering() {
                 ((cfg.filtering_ratio * unpurged.len() as f64).ceil() as usize).min(unpurged.len())
             } else {
                 unpurged.len()
             };
-            entity_retained.push(unpurged[..keep].to_vec());
+            entity_retained.push_row(&unpurged[..keep]);
         }
 
-        // Invert retention: per block, the entities that retain it.
-        let mut filtered_blocks: Vec<Vec<RecordId>> = vec![Vec::new(); raw_blocks.len()];
-        for (rid, retained) in entity_retained.iter().enumerate() {
-            for &b in retained {
-                filtered_blocks[b as usize].push(rid as RecordId);
+        // Invert retention: per block, the entities that retain it —
+        // record ids ascend because the pairs are emitted in record order
+        // and the counting sort is stable.
+        let mut ret: Vec<(u32, RecordId)> = Vec::with_capacity(entity_retained.total_len());
+        for rid in 0..table.len() {
+            for &b in entity_retained.row(rid) {
+                ret.push((b, rid as RecordId));
             }
         }
-        for fb in &mut filtered_blocks {
-            fb.sort_unstable();
-        }
+        let filtered_blocks: Csr<RecordId> = Csr::from_pairs(n_blocks, &ret);
 
         // Interned comparison profiles: every profile token becomes a
         // dense symbol, every attribute is rendered + lowercased exactly
@@ -198,7 +225,7 @@ impl TableErIndex {
             profile_tokens,
             lower_attrs,
             n_cols,
-            ep_thresholds: Mutex::new(FxHashMap::default()),
+            ep_thresholds: Mutex::new(EpThresholdCache::default()),
         }
     }
 
@@ -219,7 +246,7 @@ impl TableErIndex {
 
     /// Number of blocks — the paper's |TBI| (Table 7).
     pub fn n_blocks(&self) -> usize {
-        self.raw_blocks.len()
+        self.raw_blocks.n_rows()
     }
 
     /// Number of blocks that survive Block Purging.
@@ -243,13 +270,15 @@ impl TableErIndex {
     }
 
     /// Full (pre meta-blocking) contents of a block.
+    #[inline]
     pub fn raw_block(&self, b: BlockId) -> &[RecordId] {
-        &self.raw_blocks[b as usize]
+        self.raw_blocks.row(b as usize)
     }
 
     /// Post BP+BF contents of a block (empty when purged).
+    #[inline]
     pub fn filtered_block(&self, b: BlockId) -> &[RecordId] {
-        &self.filtered_blocks[b as usize]
+        self.filtered_blocks.row(b as usize)
     }
 
     /// Whether BP removed this block.
@@ -258,29 +287,34 @@ impl TableErIndex {
     }
 
     /// ITBI lookup: all blocks of a record, ascending by size.
+    #[inline]
     pub fn blocks_of(&self, id: RecordId) -> &[BlockId] {
-        &self.entity_blocks[id as usize]
+        self.entity_blocks.row(id as usize)
     }
 
     /// Blocks the record retains after BP+BF (prefix of `blocks_of`).
+    #[inline]
     pub fn retained_blocks(&self, id: RecordId) -> &[BlockId] {
-        &self.entity_retained[id as usize]
+        self.entity_retained.row(id as usize)
     }
 
     /// Whether `id` retains block `b` (binary search on the filtered
     /// contents, which are sorted by record id).
     pub fn retains(&self, id: RecordId, b: BlockId) -> bool {
-        self.filtered_blocks[b as usize].binary_search(&id).is_ok()
+        self.filtered_blocks
+            .row(b as usize)
+            .binary_search(&id)
+            .is_ok()
     }
 
     /// Total block assignments Σ|b| over raw blocks.
     pub fn total_assignments(&self) -> u64 {
-        self.raw_blocks.iter().map(|b| b.len() as u64).sum()
+        self.raw_blocks.total_len() as u64
     }
 
     /// Total comparisons ‖B‖ = Σ‖b‖ over raw blocks.
     pub fn total_comparisons(&self) -> u64 {
-        self.raw_blocks.iter().map(|b| cardinality(b.len())).sum()
+        self.raw_blocks.rows().map(|b| cardinality(b.len())).sum()
     }
 
     /// The record's interned comparison profile (pre-lowercased
@@ -304,25 +338,6 @@ impl TableErIndex {
     /// The profile-token interner (diagnostics and foreign probes).
     pub fn interner(&self) -> &TokenInterner {
         &self.interner
-    }
-
-    /// Distinct co-occurring entities of `id` in its retained blocks,
-    /// with the number of shared retained blocks (the CBS count).
-    ///
-    /// Allocates a fresh map per call (map-based on purpose: a one-shot
-    /// call should touch only the neighbourhood, not an `n_records`-sized
-    /// counter array); hot loops should prefer
-    /// [`TableErIndex::cooccurrences_into`] with a reused scratch.
-    pub fn cooccurrences(&self, id: RecordId) -> FxHashMap<RecordId, u32> {
-        let mut counts: FxHashMap<RecordId, u32> = FxHashMap::default();
-        for &b in self.retained_blocks(id) {
-            for &other in self.filtered_block(b) {
-                if other != id {
-                    *counts.entry(other).or_insert(0) += 1;
-                }
-            }
-        }
-        counts
     }
 
     /// Scratch-based co-occurrence counting: fills `scratch` with the
@@ -377,16 +392,42 @@ impl TableErIndex {
     }
 
     /// Cached node-centric EP threshold accessor; computes via `f` on
-    /// miss. The lock is held across the computation (entry-style), so a
-    /// concurrent caller waits for the first computation instead of
-    /// redundantly recomputing the threshold.
+    /// miss. A completed bulk sweep wins over the lazy map (the two build
+    /// modes are bit-identical). The lock is held across the computation
+    /// (entry-style), so a concurrent caller waits for the first
+    /// computation instead of redundantly recomputing the threshold.
     pub(crate) fn ep_threshold_cached(&self, id: RecordId, f: impl FnOnce() -> f64) -> f64 {
-        *self.ep_thresholds.lock().entry(id).or_insert_with(f)
+        let mut cache = self.ep_thresholds.lock();
+        if let Some(bulk) = &cache.bulk {
+            return bulk[id as usize];
+        }
+        *cache.lazy.entry(id).or_insert_with(f)
     }
 
-    /// Drops all cached EP thresholds (test/ablation helper).
+    /// The bulk node-centric EP threshold vector — one entry per record,
+    /// computed on first use by a single multi-threaded sweep over the
+    /// CSR blocking graph ([`crate::edge_pruning::bulk_node_thresholds`])
+    /// and cached until [`TableErIndex::clear_ep_cache`]. The lock is
+    /// held across the sweep so concurrent resolvers share one pass.
+    pub fn bulk_ep_thresholds(&self) -> Arc<Vec<f64>> {
+        let mut cache = self.ep_thresholds.lock();
+        if let Some(bulk) = &cache.bulk {
+            return Arc::clone(bulk);
+        }
+        let bulk = Arc::new(crate::edge_pruning::bulk_node_thresholds(
+            self,
+            self.cfg.effective_ep_threads(),
+        ));
+        cache.bulk = Some(Arc::clone(&bulk));
+        bulk
+    }
+
+    /// Drops all cached EP thresholds, bulk and lazy (test/ablation
+    /// helper; the perf smoke bench uses it to measure cold queries).
     pub fn clear_ep_cache(&self) {
-        self.ep_thresholds.lock().clear();
+        let mut cache = self.ep_thresholds.lock();
+        cache.lazy.clear();
+        cache.bulk = None;
     }
 
     /// The set of distinct entities appearing in a set of blocks
@@ -485,11 +526,30 @@ mod tests {
         }
     }
 
+    /// Map-based reference co-occurrence counting (what the removed
+    /// allocating `cooccurrences` used to compute).
+    fn cooccurrence_map(idx: &TableErIndex, id: RecordId) -> FxHashMap<RecordId, u32> {
+        let mut counts: FxHashMap<RecordId, u32> = FxHashMap::default();
+        for &b in idx.retained_blocks(id) {
+            for &other in idx.filtered_block(b) {
+                if other != id {
+                    *counts.entry(other).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
     #[test]
     fn cooccurrence_counts() {
         let cfg = ErConfig::default().with_meta(MetaBlockingConfig::None);
         let idx = TableErIndex::build(&table(), &cfg);
-        let co = idx.cooccurrences(0);
+        let mut scratch = CooccurrenceScratch::new();
+        let co: FxHashMap<RecordId, u32> = idx
+            .cooccurrences_into(0, &mut scratch)
+            .iter()
+            .copied()
+            .collect();
         // record 0 shares "collective" with 1, "entity"+"resolution" with 2.
         assert_eq!(co.get(&1), Some(&1));
         assert_eq!(co.get(&2), Some(&2));
@@ -504,7 +564,7 @@ mod tests {
         // Reuse the same scratch across every record: stale counters from
         // a previous call must never leak into the next one.
         for rid in 0..idx.n_records() as u32 {
-            let via_map = idx.cooccurrences(rid);
+            let via_map = cooccurrence_map(&idx, rid);
             let via_scratch: FxHashMap<RecordId, u32> = idx
                 .cooccurrences_into(rid, &mut scratch)
                 .iter()

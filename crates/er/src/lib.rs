@@ -42,15 +42,37 @@
 //!   lookups: `DedupMetrics::qbi_tokenized_records` stays 0.
 //!   [`blocking::build_query_blocks`] still exists for foreign/ad-hoc
 //!   records ([`TableErIndex::duplicates_of_record`]), which are unknown
-//!   to the interner and must tokenize.
+//!   to the interner and must tokenize. The enriched QBI itself is one
+//!   flat `(block, entity)` vector grouped by a stable sort — no
+//!   per-block candidate `Vec` is allocated per query.
+//! * **CSR-packed blocking graph** — all four block-graph relations
+//!   (block→records raw and filtered, record→blocks full and retained)
+//!   are flat [`queryer_common::Csr`] offsets+data buffers built once at
+//!   index time, so a neighbourhood scan is a contiguous slice sweep
+//!   with no `Vec<Vec<_>>` pointer chase.
 //! * **Dense co-occurrence scratch** — Edge Pruning's neighbourhood
 //!   scans count common blocks in a reusable [`index::CooccurrenceScratch`]
 //!   (dense counters + first-touch list) instead of allocating a hash
 //!   map per frontier entity.
+//! * **Bulk-parallel EP thresholds** — node-centric Edge Pruning reads a
+//!   `Vec<f64>` of WNP thresholds computed for *every* node by one
+//!   `std::thread::scope` sweep over the CSR graph
+//!   ([`edge_pruning::bulk_node_thresholds`], cached on the index), so a
+//!   survival check is two array loads instead of a mutex + hash lookup
+//!   per edge endpoint. The frontier scan fans out across the same
+//!   worker partitioning, and a frontier-rank ownership rule (each edge
+//!   is emitted only by its first-scanned endpoint) replaces the
+//!   per-edge-occurrence `PairSet` probe. `ErConfig::ep_bulk_thresholds`
+//!   / `ErConfig::ep_threads` (env knobs `QUERYER_EP_BULK`,
+//!   `QUERYER_EP_THREADS`) select eager-vs-lazy build and worker count;
+//!   both modes — and any thread count — are bit-identical.
 //!
 //! The interned path is decision-identical to the record/string path
 //! (`Matcher::similarity`); `tests/interned_equivalence.rs` property-
-//! tests that equivalence across similarity kinds and random corpora.
+//! tests that equivalence across similarity kinds and random corpora,
+//! and `tests/ep_equivalence.rs` pins the bulk-parallel EP path to the
+//! lazy per-entity path (thresholds, pair sequences, DR/links) across
+//! weight schemes, pruning scopes, frontier sizes, and thread counts.
 
 pub mod blocking;
 pub mod config;

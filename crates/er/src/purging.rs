@@ -67,6 +67,15 @@ pub fn purge_threshold(cardinalities: &[u64], smooth_factor: f64) -> u64 {
     threshold
 }
 
+/// Computes the table-level BP decision in one shot: the purging
+/// threshold plus one flag per block (`true` = purged). `cardinalities`
+/// holds every block's comparison cardinality in block-id order.
+pub fn purge_flags(cardinalities: &[u64], smooth_factor: f64) -> (u64, Vec<bool>) {
+    let threshold = purge_threshold(cardinalities, smooth_factor);
+    let flags = cardinalities.iter().map(|&c| c > threshold).collect();
+    (threshold, flags)
+}
+
 /// Inverse of `c = n(n-1)/2`, as a float (exact for real block sizes).
 fn block_size_for_cardinality(c: u64) -> f64 {
     (1.0 + (1.0 + 8.0 * c as f64).sqrt()) / 2.0
@@ -137,5 +146,23 @@ mod tests {
     fn empty_input() {
         assert_eq!(purge_threshold(&[], 1.025), u64::MAX);
         assert_eq!(purge_threshold(&[0, 0], 1.025), u64::MAX);
+    }
+
+    #[test]
+    fn flags_match_threshold() {
+        let mut cards: Vec<u64> = Vec::new();
+        for n in 2..40u64 {
+            let copies = (4000 / (n * n)).max(1);
+            for _ in 0..copies {
+                cards.push(card(n));
+            }
+        }
+        cards.push(card(5000));
+        let (t, flags) = purge_flags(&cards, 1.025);
+        assert_eq!(flags.len(), cards.len());
+        for (&c, &purged) in cards.iter().zip(&flags) {
+            assert_eq!(purged, c > t);
+        }
+        assert!(flags.iter().any(|&p| p), "the outlier must be flagged");
     }
 }

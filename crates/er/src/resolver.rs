@@ -12,13 +12,25 @@
 //! / [`crate::blocking::build_query_blocks`]).
 
 use crate::config::EdgePruningScope;
-use crate::edge_pruning::{prune_global, EdgePruner};
+use crate::edge_pruning::{keeps, prune_global, EdgePruner};
 use crate::index::{BlockId, CooccurrenceScratch, TableErIndex};
 use crate::link_index::LinkIndex;
 use crate::matching::Matcher;
 use crate::metrics::DedupMetrics;
 use queryer_common::{FxHashMap, FxHashSet, PairSet, Stopwatch};
 use queryer_storage::{Record, RecordId, Table};
+
+/// Minimum frontier size before the Edge Pruning scans fan out across
+/// threads; below this the per-thread scratch setup outweighs the win
+/// (transitive-expansion rounds typically have tiny frontiers).
+const PAR_MIN_FRONTIER: usize = 256;
+
+/// A sequential EP scan builds the O(`n_records`) frontier-rank array
+/// only when the frontier covers at least 1/`RANK_AMORTIZE` of the
+/// table; below that a point query's handful of neighbourhoods is
+/// cheaper to dedup with per-edge `PairSet` probes than to pay a
+/// table-sized fill per round.
+const RANK_AMORTIZE: usize = 32;
 
 /// Result of resolving a query entity set against its table.
 #[derive(Debug, Clone)]
@@ -65,44 +77,46 @@ impl TableErIndex {
         while !frontier.is_empty() {
             metrics.entities_processed += frontier.len() as u64;
 
-            // (i) Query Blocking + (ii) Block-Join — for in-table query
-            // entities the ITBI row of each record is exactly the QBI of
-            // that record already joined against the TBI (same blocking
-            // function, joined at build time). Assembling the enriched
-            // QBI is therefore a pure index lookup: no tokenization, no
-            // string hashing — `metrics.qbi_tokenized_records` stays 0.
-            let mut sw = Stopwatch::new();
-            let mut eqbi: Vec<(BlockId, Vec<RecordId>)> =
-                sw.time(|| self.itbi_query_blocks(&frontier));
-            metrics.block_join += sw.elapsed();
-
-            // (iii) Meta-Blocking, in the strict order BP → BF → EP.
-            let mut sw = Stopwatch::new();
-            if self.config().meta.purging() {
-                sw.time(|| eqbi.retain(|(b, _)| !self.is_purged(*b)));
-            }
-            metrics.purging += sw.elapsed();
-
-            let mut sw = Stopwatch::new();
-            if self.config().meta.filtering() {
-                sw.time(|| {
-                    for (b, q_list) in &mut eqbi {
-                        q_list.retain(|&q| self.retains(q, *b));
-                    }
-                    eqbi.retain(|(_, q_list)| !q_list.is_empty());
-                });
-            }
-            metrics.filtering += sw.elapsed();
-
-            // Pair generation: either EP over the blocking graph or the
-            // plain per-block Cartesian restriction to query entities.
-            let mut sw = Stopwatch::new();
+            // Pair generation. With Edge Pruning on, the frontier's
+            // neighbourhoods are read straight off the CSR blocking
+            // graph — BP and BF are already baked into the retained /
+            // filtered rows, so the enriched QBI would be dead work and
+            // is only assembled for the per-block pair path below.
             let pairs: Vec<(RecordId, RecordId)> = if self.config().meta.edge_pruning() {
-                sw.time(|| self.edge_pruned_pairs(&frontier, &mut pair_seen))
+                let mut sw = Stopwatch::new();
+                let pairs = sw.time(|| self.edge_pruned_pairs(&frontier, &mut pair_seen));
+                metrics.edge_pruning += sw.elapsed();
+                pairs
             } else {
+                // (i) Query Blocking + (ii) Block-Join — for in-table
+                // query entities the ITBI row of each record is exactly
+                // the QBI of that record already joined against the TBI
+                // (same blocking function, joined at build time).
+                // Assembling the enriched QBI is therefore a pure index
+                // lookup: no tokenization, no string hashing —
+                // `metrics.qbi_tokenized_records` stays 0.
+                let mut sw = Stopwatch::new();
+                let mut eqbi: Vec<(BlockId, RecordId)> =
+                    sw.time(|| self.itbi_query_blocks(&frontier));
+                metrics.block_join += sw.elapsed();
+
+                // (iii) Meta-Blocking, in the strict order BP → BF —
+                // flat retains over the (block, entity) entries; blocks
+                // whose last entry goes vanish implicitly.
+                let mut sw = Stopwatch::new();
+                if self.config().meta.purging() {
+                    sw.time(|| eqbi.retain(|&(b, _)| !self.is_purged(b)));
+                }
+                metrics.purging += sw.elapsed();
+
+                let mut sw = Stopwatch::new();
+                if self.config().meta.filtering() {
+                    sw.time(|| eqbi.retain(|&(b, q)| self.retains(q, b)));
+                }
+                metrics.filtering += sw.elapsed();
+
                 self.block_pairs(&eqbi, &mut pair_seen)
             };
-            metrics.edge_pruning += sw.elapsed();
             metrics.candidate_pairs += pairs.len() as u64;
 
             // (iv) Comparison-Execution. Pairs already linked by previous
@@ -176,49 +190,86 @@ impl TableErIndex {
     }
 
     /// Assembles the enriched QBI of in-table query entities from the
-    /// ITBI: groups each frontier record's pre-joined block list by
-    /// block, ascending by block id for deterministic downstream order.
-    fn itbi_query_blocks(&self, frontier: &[RecordId]) -> Vec<(BlockId, Vec<RecordId>)> {
-        let mut by_block: FxHashMap<BlockId, Vec<RecordId>> = FxHashMap::default();
+    /// ITBI as one flat `(block, entity)` vector, grouped by block id
+    /// via a stable sort (so entities within a block keep frontier
+    /// order, exactly like the old per-block grouping). One vector, one
+    /// sort — no per-block allocation per query.
+    fn itbi_query_blocks(&self, frontier: &[RecordId]) -> Vec<(BlockId, RecordId)> {
+        let mut eqbi: Vec<(BlockId, RecordId)> = Vec::new();
         for &q in frontier {
             for &b in self.blocks_of(q) {
-                by_block.entry(b).or_default().push(q);
+                eqbi.push((b, q));
             }
         }
-        let mut eqbi: Vec<(BlockId, Vec<RecordId>)> = by_block.into_iter().collect();
-        eqbi.sort_unstable_by_key(|&(b, _)| b);
+        eqbi.sort_by_key(|&(b, _)| b);
         eqbi
     }
 
     /// Plain per-block pair generation (no EP): within each enriched
     /// block, each query entity is compared against every other entity,
-    /// each distinct pair once across all blocks.
+    /// each distinct pair once across all blocks. `eqbi` is grouped by
+    /// block id, so block contents are looked up once per group.
     fn block_pairs(
         &self,
-        eqbi: &[(BlockId, Vec<RecordId>)],
+        eqbi: &[(BlockId, RecordId)],
         pair_seen: &mut PairSet,
     ) -> Vec<(RecordId, RecordId)> {
         let mut out = Vec::new();
-        for (b, q_list) in eqbi {
+        let mut i = 0;
+        while i < eqbi.len() {
+            let b = eqbi[i].0;
             let others = if self.config().meta.filtering() {
-                self.filtered_block(*b)
+                self.filtered_block(b)
             } else {
-                self.raw_block(*b)
+                self.raw_block(b)
             };
-            for &q in q_list {
+            while i < eqbi.len() && eqbi[i].0 == b {
+                let q = eqbi[i].1;
                 for &c in others {
                     if c != q && pair_seen.insert(q, c) {
                         out.push((q, c));
                     }
                 }
+                i += 1;
             }
         }
         out
     }
 
     /// EP pair generation: weight every edge incident to a frontier
-    /// entity and keep it per the configured pruning scope.
-    fn edge_pruned_pairs(
+    /// entity and keep it per the configured pruning scope. Exposed so
+    /// the equivalence suites can pin the candidate pair sets of the
+    /// bulk/parallel and lazy/sequential paths against each other.
+    ///
+    /// With `ep_bulk_thresholds` set (the default), node-centric pruning
+    /// reads the index's bulk threshold vector and fans the frontier scan
+    /// out across `effective_ep_threads()` workers, merging per-chunk
+    /// results in frontier order — the output is bit-identical to the
+    /// sequential lazy path for any thread count.
+    ///
+    /// `frontier` entries must be distinct (the resolve loop always
+    /// deduplicates): the scans assign each edge to its first-scanned
+    /// endpoint, and a repeated entity would own its edges twice.
+    pub fn edge_pruned_pairs(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+    ) -> Vec<(RecordId, RecordId)> {
+        match self.config().ep_scope {
+            EdgePruningScope::NodeCentric => {
+                if self.config().ep_bulk_thresholds {
+                    self.node_centric_pairs_bulk(frontier, pair_seen)
+                } else {
+                    self.node_centric_pairs_lazy(frontier, pair_seen)
+                }
+            }
+            EdgePruningScope::Global => self.global_pairs(frontier, pair_seen),
+        }
+    }
+
+    /// Node-centric EP over the lazy per-entity threshold cache — the
+    /// point-query path: only the examined neighbourhoods are scanned.
+    fn node_centric_pairs_lazy(
         &self,
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
@@ -227,24 +278,144 @@ impl TableErIndex {
         // The pruner owns its own scratch for threshold neighbourhoods;
         // this one serves the frontier scans, so the two never alias.
         let mut scratch = CooccurrenceScratch::new();
-        match self.config().ep_scope {
-            EdgePruningScope::NodeCentric => {
-                let mut out = Vec::new();
+        let mut out = Vec::new();
+        for &q in frontier {
+            for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                if pair_seen.contains(q, c) {
+                    continue;
+                }
+                let w = pruner.weight(q, c, cbs);
+                if pruner.survives_node_centric(q, c, w) && pair_seen.insert(q, c) {
+                    out.push((q, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Frontier scan positions: `rank[e]` is the index of `e`'s first
+    /// occurrence in `frontier` (`u32::MAX` when absent). An edge whose
+    /// endpoints are both in the frontier is visited twice by the scan;
+    /// the endpoint with the lower rank *owns* it — emitting only at the
+    /// owner reproduces the first-occurrence order (and the dedup) of
+    /// the lazy path's per-edge `pair_seen` probes without paying a hash
+    /// lookup per edge occurrence.
+    fn frontier_ranks(&self, frontier: &[RecordId]) -> Vec<u32> {
+        let mut rank = vec![u32::MAX; self.n_records()];
+        for (i, &q) in frontier.iter().enumerate() {
+            let slot = &mut rank[q as usize];
+            if *slot == u32::MAX {
+                *slot = i as u32;
+            }
+        }
+        rank
+    }
+
+    /// Node-centric EP over the bulk threshold vector: every survival
+    /// check is two array loads, and the frontier scan fans out across
+    /// threads when the frontier is large enough to pay for them.
+    fn node_centric_pairs_bulk(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+    ) -> Vec<(RecordId, RecordId)> {
+        let th = self.bulk_ep_thresholds();
+        let pruner = EdgePruner::new(self);
+        let workers = self.config().effective_ep_threads();
+        if workers == 1 || frontier.len() < PAR_MIN_FRONTIER {
+            let mut scratch = CooccurrenceScratch::new();
+            let mut out = Vec::new();
+            if frontier.len() * RANK_AMORTIZE < self.n_records() {
+                // Point-query shape: per-edge `pair_seen` probes dedup
+                // the two visits of an in-frontier edge — emission stays
+                // at the first visit, exactly like the rank rule below.
                 for &q in frontier {
                     for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
                         if pair_seen.contains(q, c) {
                             continue;
                         }
                         let w = pruner.weight(q, c, cbs);
-                        if pruner.survives_node_centric(q, c, w) && pair_seen.insert(q, c) {
+                        if (keeps(w, th[q as usize]) || keeps(w, th[c as usize]))
+                            && pair_seen.insert(q, c)
+                        {
                             out.push((q, c));
                         }
                     }
                 }
-                out
+                return out;
             }
-            EdgePruningScope::Global => {
-                let mut edges: Vec<(RecordId, RecordId, f64)> = Vec::new();
+            let rank = self.frontier_ranks(frontier);
+            for &q in frontier {
+                let rq = rank[q as usize];
+                for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                    if rank[c as usize] < rq {
+                        continue; // c's scan owns this edge
+                    }
+                    let w = pruner.weight(q, c, cbs);
+                    if (keeps(w, th[q as usize]) || keeps(w, th[c as usize]))
+                        && pair_seen.insert(q, c)
+                    {
+                        out.push((q, c));
+                    }
+                }
+            }
+            return out;
+        }
+        let rank = self.frontier_ranks(frontier);
+        // Parallel frontier scan: each worker chunk collects its owned
+        // survivors; the sequential merge below applies `pair_seen`
+        // insertion in frontier order, so pairs recorded by previous
+        // rounds/queries drop exactly as the sequential loop drops them.
+        let chunk = frontier.len().div_ceil(workers);
+        let mut parts: Vec<Vec<(RecordId, RecordId)>> =
+            vec![Vec::new(); frontier.len().div_ceil(chunk)];
+        let (th_ref, pruner_ref, rank_ref) = (&th, &pruner, &rank);
+        std::thread::scope(|scope| {
+            for (part, work) in parts.iter_mut().zip(frontier.chunks(chunk)) {
+                scope.spawn(move || {
+                    let mut scratch = CooccurrenceScratch::new();
+                    for &q in work {
+                        let rq = rank_ref[q as usize];
+                        for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                            if rank_ref[c as usize] < rq {
+                                continue;
+                            }
+                            let w = pruner_ref.weight(q, c, cbs);
+                            if keeps(w, th_ref[q as usize]) || keeps(w, th_ref[c as usize]) {
+                                part.push((q, c));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        for part in parts {
+            for (q, c) in part {
+                if pair_seen.insert(q, c) {
+                    out.push((q, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Global (WEP-style) EP: collect every distinct edge of the
+    /// examined subgraph (fanning out like the node-centric scan), prune
+    /// against the global mean, then de-duplicate against prior queries.
+    fn global_pairs(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+    ) -> Vec<(RecordId, RecordId)> {
+        let pruner = EdgePruner::new(self);
+        let workers = self.config().effective_ep_threads();
+        let mut edges: Vec<(RecordId, RecordId, f64)> = Vec::new();
+        if workers == 1 || frontier.len() < PAR_MIN_FRONTIER {
+            let mut scratch = CooccurrenceScratch::new();
+            if frontier.len() * RANK_AMORTIZE < self.n_records() {
+                // Point-query shape: hash-probe dedup instead of the
+                // O(n_records) rank fill (see `node_centric_pairs_bulk`).
                 let mut edge_seen = PairSet::new();
                 for &q in frontier {
                     for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
@@ -253,12 +424,54 @@ impl TableErIndex {
                         }
                     }
                 }
-                prune_global(&edges)
+                return prune_global(&edges)
                     .into_iter()
                     .filter(|&(a, b)| pair_seen.insert(a, b))
-                    .collect()
+                    .collect();
+            }
+            let rank = self.frontier_ranks(frontier);
+            for &q in frontier {
+                let rq = rank[q as usize];
+                for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                    if rank[c as usize] < rq {
+                        continue; // c's scan owns this edge
+                    }
+                    edges.push((q, c, pruner.weight(q, c, cbs)));
+                }
+            }
+        } else {
+            let rank = self.frontier_ranks(frontier);
+            let chunk = frontier.len().div_ceil(workers);
+            let mut parts: Vec<Vec<(RecordId, RecordId, f64)>> =
+                vec![Vec::new(); frontier.len().div_ceil(chunk)];
+            let (pruner_ref, rank_ref) = (&pruner, &rank);
+            std::thread::scope(|scope| {
+                for (part, work) in parts.iter_mut().zip(frontier.chunks(chunk)) {
+                    scope.spawn(move || {
+                        let mut scratch = CooccurrenceScratch::new();
+                        for &q in work {
+                            let rq = rank_ref[q as usize];
+                            for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                                if rank_ref[c as usize] < rq {
+                                    continue;
+                                }
+                                part.push((q, c, pruner_ref.weight(q, c, cbs)));
+                            }
+                        }
+                    });
+                }
+            });
+            // Concatenate in frontier order: ownership already made each
+            // edge unique, so the merged list (and hence the pruning
+            // mean) equals the sequential collection exactly.
+            for part in parts {
+                edges.extend(part);
             }
         }
+        prune_global(&edges)
+            .into_iter()
+            .filter(|&(a, b)| pair_seen.insert(a, b))
+            .collect()
     }
 
     /// Runs the match decisions, fanning out across threads when the

@@ -1,0 +1,300 @@
+//! Equivalence of the CSR + bulk-parallel Edge Pruning path and the
+//! lazy per-entity path.
+//!
+//! The resolve hot path prunes edges against a bulk-computed threshold
+//! vector (one multi-threaded sweep over the CSR blocking graph) and
+//! fans the frontier scan out across worker threads; the point-query
+//! path computes thresholds lazily per examined entity under a lock.
+//! These properties pin the two modes together over random dirty
+//! corpora: bit-identical thresholds for every node, identical candidate
+//! pair sets for every frontier size from 1 to the whole table, and
+//! identical DR sets / links / metrics counts after a full resolve —
+//! across every `WeightScheme`, both `EdgePruningScope`s, and several
+//! thread counts.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+
+use proptest::prelude::*;
+use queryer_common::knobs::proptest_cases;
+use queryer_common::PairSet;
+use queryer_er::edge_pruning::{bulk_node_thresholds, EdgePruner};
+use queryer_er::{
+    DedupMetrics, EdgePruningScope, ErConfig, LinkIndex, MetaBlockingConfig, TableErIndex,
+    WeightScheme,
+};
+use queryer_storage::{RecordId, Schema, Table, Value};
+
+/// Small vocabulary so random records actually share blocking tokens.
+const VOCAB: [&str; 12] = [
+    "entity",
+    "resolution",
+    "collective",
+    "query",
+    "driven",
+    "deep",
+    "learning",
+    "data",
+    "big",
+    "edbt",
+    "vldb",
+    "2008",
+];
+
+fn cell() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..4)
+}
+
+fn rows() -> impl Strategy<Value = Vec<(Vec<usize>, Vec<usize>)>> {
+    proptest::collection::vec((cell(), cell()), 2..24)
+}
+
+fn build_table(rows: &[(Vec<usize>, Vec<usize>)]) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    for (i, (a, b)) in rows.iter().enumerate() {
+        let render = |words: &[usize]| {
+            if words.is_empty() {
+                Value::Null
+            } else {
+                let text: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Value::str(text.join(" "))
+            }
+        };
+        t.push_row(vec![format!("{i}").into(), render(a), render(b)])
+            .unwrap();
+    }
+    t
+}
+
+fn scheme_of(w: usize) -> WeightScheme {
+    match w % 3 {
+        0 => WeightScheme::Cbs,
+        1 => WeightScheme::Ecbs,
+        _ => WeightScheme::Js,
+    }
+}
+
+fn scope_of(s: usize) -> EdgePruningScope {
+    if s.is_multiple_of(2) {
+        EdgePruningScope::NodeCentric
+    } else {
+        EdgePruningScope::Global
+    }
+}
+
+fn meta_of(m: usize) -> MetaBlockingConfig {
+    // Only the EP-running configs matter here.
+    if m.is_multiple_of(2) {
+        MetaBlockingConfig::All
+    } else {
+        MetaBlockingConfig::BpEp
+    }
+}
+
+/// Builds two indexes over the same table: one on the bulk-parallel EP
+/// path (with `threads` workers), one on the lazy sequential path.
+fn build_pair(
+    table: &Table,
+    scheme: WeightScheme,
+    scope: EdgePruningScope,
+    meta: MetaBlockingConfig,
+    threads: usize,
+) -> (TableErIndex, TableErIndex) {
+    let mut bulk_cfg = ErConfig::default().with_meta(meta);
+    bulk_cfg.weight_scheme = scheme;
+    bulk_cfg.ep_scope = scope;
+    bulk_cfg.ep_bulk_thresholds = true;
+    bulk_cfg.ep_threads = threads;
+    let mut lazy_cfg = bulk_cfg.clone();
+    lazy_cfg.ep_bulk_thresholds = false;
+    lazy_cfg.ep_threads = 1;
+    (
+        TableErIndex::build(table, &bulk_cfg),
+        TableErIndex::build(table, &lazy_cfg),
+    )
+}
+
+/// A deterministic pseudo-random table large enough (> the resolver's
+/// parallel-scan cutoff of 256) that the bulk path actually takes the
+/// multi-threaded frontier scan, which the small proptest corpora never
+/// reach.
+fn large_table(n: usize) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        let words: Vec<&str> = (0..1 + (next() as usize % 3))
+            .map(|_| VOCAB[next() as usize % VOCAB.len()])
+            .collect();
+        let venue = VOCAB[9 + (next() as usize % 3)];
+        t.push_row(vec![
+            format!("{i}").into(),
+            Value::str(words.join(" ")),
+            Value::str(venue),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+/// The bulk path's three scan shapes — hash-probe point query (frontier
+/// well under `n_records`/32), sequential rank scan, and the parallel
+/// fan-out (frontier ≥ 256 with several workers) — all emit exactly the
+/// lazy sequential pair sequence, for both EP scopes.
+#[test]
+fn parallel_frontier_scan_matches_sequential() {
+    let table = large_table(420);
+    let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+    for scope in [EdgePruningScope::NodeCentric, EdgePruningScope::Global] {
+        for scheme in [WeightScheme::Cbs, WeightScheme::Ecbs, WeightScheme::Js] {
+            let (bulk_idx, lazy_idx) =
+                build_pair(&table, scheme, scope, MetaBlockingConfig::All, 4);
+            for frontier in [&all[..5], &all[..300], &all[..]] {
+                let mut seen_bulk = PairSet::new();
+                let mut seen_lazy = PairSet::new();
+                let pairs_bulk = bulk_idx.edge_pruned_pairs(frontier, &mut seen_bulk);
+                let pairs_lazy = lazy_idx.edge_pruned_pairs(frontier, &mut seen_lazy);
+                assert_eq!(
+                    pairs_bulk,
+                    pairs_lazy,
+                    "scope {scope:?} scheme {scheme:?} frontier {}",
+                    frontier.len()
+                );
+                if frontier.len() == all.len() {
+                    assert!(!pairs_bulk.is_empty(), "workload must generate pairs");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: proptest_cases(16),
+        .. ProptestConfig::default()
+    })]
+
+    /// The bulk sweep computes, for every node and any thread count, the
+    /// exact bits the lazy per-entity threshold path computes.
+    #[test]
+    fn bulk_thresholds_bit_equal_lazy(
+        rows in rows(),
+        scheme in 0usize..3,
+        meta in 0usize..2,
+    ) {
+        let table = build_table(&rows);
+        let mut cfg = ErConfig::default().with_meta(meta_of(meta));
+        cfg.weight_scheme = scheme_of(scheme);
+        let idx = TableErIndex::build(&table, &cfg);
+        let reference = bulk_node_thresholds(&idx, 1);
+        for threads in [2usize, 3, 8] {
+            let swept = bulk_node_thresholds(&idx, threads);
+            prop_assert_eq!(swept.len(), reference.len());
+            for (e, (a, b)) in swept.iter().zip(&reference).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "threads {} diverged at node {}", threads, e
+                );
+            }
+        }
+        idx.clear_ep_cache();
+        let mut ep = EdgePruner::new(&idx);
+        for e in 0..idx.n_records() as RecordId {
+            prop_assert_eq!(
+                reference[e as usize].to_bits(),
+                ep.node_threshold(e).to_bits(),
+                "lazy threshold diverged at node {}", e
+            );
+        }
+    }
+
+    /// `edge_pruned_pairs` emits the identical pair sequence on the
+    /// bulk-parallel and lazy-sequential paths for every frontier prefix
+    /// of sizes 1..=n — including pairs carried over in `pair_seen`.
+    #[test]
+    fn pair_sets_identical_for_all_frontier_sizes(
+        rows in rows(),
+        scheme in 0usize..3,
+        scope in 0usize..2,
+        threads in 1usize..5,
+    ) {
+        let table = build_table(&rows);
+        let (bulk_idx, lazy_idx) = build_pair(
+            &table,
+            scheme_of(scheme),
+            scope_of(scope),
+            MetaBlockingConfig::All,
+            threads,
+        );
+        let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+        for size in 1..=all.len() {
+            let frontier = &all[..size];
+            let mut seen_bulk = PairSet::new();
+            let mut seen_lazy = PairSet::new();
+            let pairs_bulk = bulk_idx.edge_pruned_pairs(frontier, &mut seen_bulk);
+            let pairs_lazy = lazy_idx.edge_pruned_pairs(frontier, &mut seen_lazy);
+            prop_assert_eq!(
+                &pairs_bulk, &pairs_lazy,
+                "pair sequences diverged at frontier size {}", size
+            );
+            // A second call with the same carried pair_seen must emit
+            // nothing on either path (all pairs already recorded).
+            let again = bulk_idx.edge_pruned_pairs(frontier, &mut seen_bulk);
+            prop_assert!(again.is_empty());
+            let again = lazy_idx.edge_pruned_pairs(frontier, &mut seen_lazy);
+            prop_assert!(again.is_empty());
+        }
+    }
+
+    /// Full resolve: DR sets, links, and decision counts
+    /// (candidate pairs, comparisons, matches) are identical between the
+    /// bulk-parallel and lazy paths.
+    #[test]
+    fn resolve_decisions_identical(
+        rows in rows(),
+        scheme in 0usize..3,
+        scope in 0usize..2,
+        meta in 0usize..2,
+        threads in 1usize..5,
+        qe_mask in 1u32..255,
+    ) {
+        let table = build_table(&rows);
+        let (bulk_idx, lazy_idx) = build_pair(
+            &table,
+            scheme_of(scheme),
+            scope_of(scope),
+            meta_of(meta),
+            threads,
+        );
+        let qe: Vec<RecordId> = (0..table.len() as RecordId)
+            .filter(|&r| qe_mask & (1 << (r % 8)) != 0)
+            .collect();
+
+        let mut li_bulk = LinkIndex::new(table.len());
+        let mut m_bulk = DedupMetrics::default();
+        let out_bulk = bulk_idx.resolve(&table, &qe, &mut li_bulk, &mut m_bulk);
+
+        let mut li_lazy = LinkIndex::new(table.len());
+        let mut m_lazy = DedupMetrics::default();
+        let out_lazy = lazy_idx.resolve(&table, &qe, &mut li_lazy, &mut m_lazy);
+
+        prop_assert_eq!(&out_bulk.dr, &out_lazy.dr, "DR sets diverged (qe {:?})", &qe);
+        prop_assert_eq!(out_bulk.new_links, out_lazy.new_links);
+        prop_assert_eq!(m_bulk.candidate_pairs, m_lazy.candidate_pairs);
+        prop_assert_eq!(m_bulk.comparisons, m_lazy.comparisons);
+        prop_assert_eq!(m_bulk.matches_found, m_lazy.matches_found);
+        for a in 0..table.len() as RecordId {
+            for b in 0..table.len() as RecordId {
+                prop_assert_eq!(
+                    li_bulk.are_linked(a, b),
+                    li_lazy.are_linked(a, b),
+                    "links diverged at ({}, {})", a, b
+                );
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@ use queryer_common::{FxHashSet, PairSet};
 use queryer_er::blocking::build_query_blocks;
 use queryer_er::config::EdgePruningScope;
 use queryer_er::edge_pruning::{prune_global, EdgePruner};
-use queryer_er::index::BlockId;
+use queryer_er::index::{BlockId, CooccurrenceScratch};
 use queryer_er::{
     BlockingKind, DedupMetrics, ErConfig, LinkIndex, Matcher, MetaBlockingConfig, SimilarityKind,
     TableErIndex,
@@ -151,11 +151,12 @@ fn reference_resolve(
         }
         let pairs: Vec<(RecordId, RecordId)> = if cfg.meta.edge_pruning() {
             let mut pruner = EdgePruner::new(idx);
+            let mut scratch = CooccurrenceScratch::new();
             match cfg.ep_scope {
                 EdgePruningScope::NodeCentric => {
                     let mut out = Vec::new();
                     for &q in &frontier {
-                        for (c, cbs) in idx.cooccurrences(q) {
+                        for &(c, cbs) in idx.cooccurrences_into(q, &mut scratch) {
                             if pair_seen.contains(q, c) {
                                 continue;
                             }
@@ -171,7 +172,7 @@ fn reference_resolve(
                     let mut edges = Vec::new();
                     let mut edge_seen = PairSet::new();
                     for &q in &frontier {
-                        for (c, cbs) in idx.cooccurrences(q) {
+                        for &(c, cbs) in idx.cooccurrences_into(q, &mut scratch) {
                             if edge_seen.insert(q, c) {
                                 edges.push((q, c, pruner.weight(q, c, cbs)));
                             }
