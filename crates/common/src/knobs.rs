@@ -52,6 +52,15 @@ pub fn ep_threads() -> usize {
     env_usize("QUERYER_EP_THREADS", 0)
 }
 
+/// Worker-thread count for Comparison-Execution (`QUERYER_CMP_THREADS`).
+/// `0` (the default) means "auto": use the machine's available
+/// parallelism. Thread count never affects decisions — the executor
+/// chunks the pair list and every chunk's decisions land in their
+/// original positions.
+pub fn cmp_threads() -> usize {
+    env_usize("QUERYER_CMP_THREADS", 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

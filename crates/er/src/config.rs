@@ -102,6 +102,11 @@ pub enum SimilarityKind {
     TokenJaccard,
     /// Overlap coefficient of the records' token sets.
     TokenOverlap,
+    /// Mean Levenshtein similarity (`1 - dist/max_len`) over attributes
+    /// where both sides are non-null — an edit-distance alternate whose
+    /// compiled kernel runs a banded two-row DP with a threshold-derived
+    /// cutoff.
+    MeanLevenshtein,
     /// `max(MeanJaroWinkler, TokenOverlap)` — robust to both typos and
     /// abbreviation/containment (e.g. "EDBT" vs its full venue name).
     #[default]
@@ -136,8 +141,11 @@ pub struct ErConfig {
     /// Resolve newly-found duplicates transitively until fixpoint, so the
     /// result groups equal the batch approach's connected components.
     pub transitive: bool,
-    /// Worker threads for Comparison-Execution (1 = sequential, matching
-    /// the paper's single-machine measurements).
+    /// Worker threads for Comparison-Execution. `0` = auto (machine
+    /// cores), `1` = sequential (the paper's single-machine setting).
+    /// Thread count never affects decisions — the chunked executor keeps
+    /// every decision at its pair's position. Default comes from the
+    /// `QUERYER_CMP_THREADS` env knob (`0`, i.e. auto).
     pub parallelism: usize,
     /// Build node-centric EP thresholds eagerly in one bulk sweep over
     /// all nodes (`true`, the default — wins whenever a query touches a
@@ -167,7 +175,7 @@ impl Default for ErConfig {
             similarity: SimilarityKind::Hybrid,
             match_threshold: 0.85,
             transitive: true,
-            parallelism: 1,
+            parallelism: queryer_common::knobs::cmp_threads(),
             ep_bulk_thresholds: queryer_common::knobs::ep_bulk_thresholds(),
             ep_threads: queryer_common::knobs::ep_threads(),
         }
@@ -191,8 +199,18 @@ impl ErConfig {
     /// The concrete EP worker-thread count: `ep_threads`, with `0`
     /// resolved to the machine's available parallelism.
     pub fn effective_ep_threads(&self) -> usize {
-        if self.ep_threads != 0 {
-            self.ep_threads
+        Self::resolve_auto(self.ep_threads)
+    }
+
+    /// The concrete Comparison-Execution worker count: `parallelism`,
+    /// with `0` resolved to the machine's available parallelism.
+    pub fn effective_parallelism(&self) -> usize {
+        Self::resolve_auto(self.parallelism)
+    }
+
+    fn resolve_auto(n: usize) -> usize {
+        if n != 0 {
+            n
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -221,6 +239,20 @@ mod tests {
         let c = ErConfig::default();
         assert_eq!(c.meta, MetaBlockingConfig::All);
         assert!((c.purging_smooth_factor - 1.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_auto() {
+        let pinned = ErConfig {
+            parallelism: 2,
+            ..ErConfig::default()
+        };
+        assert_eq!(pinned.effective_parallelism(), 2);
+        let auto = ErConfig {
+            parallelism: 0,
+            ..ErConfig::default()
+        };
+        assert!(auto.effective_parallelism() >= 1);
     }
 
     #[test]

@@ -33,6 +33,98 @@ pub struct InternedProfile<'a> {
     pub tokens: &'a [u32],
 }
 
+/// Kernel-ready per-attribute metadata, precomputed at index-build time
+/// alongside [`InternedProfile`] so the compiled comparison kernels
+/// ([`crate::kernel`]) can evaluate their threshold-aware upper bounds
+/// without touching the attribute text: the character length feeds the
+/// Jaro length-difference and Levenshtein band bounds, and the prefix
+/// bytes feed the Jaro-Winkler common-prefix bound.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrMeta {
+    /// Character count of the lowered attribute (0 for NULL / skipped).
+    pub chars: u32,
+    /// First (up to) 4 bytes of the lowered text, zero-padded.
+    pub prefix: [u8; 4],
+    /// Number of meaningful bytes in `prefix`.
+    pub prefix_len: u8,
+    /// Whether the `prefix` bytes are pure ASCII — then byte equality
+    /// over two prefixes equals character equality, and the Winkler
+    /// common-prefix count derived from them is exact rather than the
+    /// conservative maximum of 4.
+    pub ascii_prefix: bool,
+    /// Whether `hist` is meaningful: the whole attribute is ASCII and at
+    /// most 128 bytes (so counts cannot saturate and byte matches equal
+    /// character matches — the same precondition as the fast Jaro path).
+    pub hist_valid: bool,
+    /// Character-class counts (26 letters, 10 digits, 1 other): the
+    /// summed per-class minimum of two histograms upper-bounds the Jaro
+    /// match count and lower-bounds the Levenshtein distance via
+    /// `d ≥ max_len − Σ min` — a multiset-intersection bound computed
+    /// without touching the strings.
+    pub hist: [u8; HIST_CLASSES],
+}
+
+/// Character classes tracked by [`AttrMeta::hist`].
+pub const HIST_CLASSES: usize = 37;
+
+#[inline]
+fn hist_class(b: u8) -> usize {
+    match b {
+        b'a'..=b'z' => (b - b'a') as usize,
+        b'0'..=b'9' => 26 + (b - b'0') as usize,
+        _ => 36, // merging rarer bytes only loosens (never breaks) bounds
+    }
+}
+
+impl Default for AttrMeta {
+    fn default() -> Self {
+        Self {
+            chars: 0,
+            prefix: [0; 4],
+            prefix_len: 0,
+            ascii_prefix: false,
+            hist_valid: false,
+            hist: [0; HIST_CLASSES],
+        }
+    }
+}
+
+impl AttrMeta {
+    fn of(text: &str) -> Self {
+        let bytes = text.as_bytes();
+        let plen = bytes.len().min(4);
+        let mut prefix = [0u8; 4];
+        prefix[..plen].copy_from_slice(&bytes[..plen]);
+        let hist_valid = text.is_ascii() && bytes.len() <= 128;
+        let mut hist = [0u8; HIST_CLASSES];
+        if hist_valid {
+            for &b in bytes {
+                hist[hist_class(b)] += 1;
+            }
+        }
+        Self {
+            chars: text.chars().count() as u32,
+            prefix,
+            prefix_len: plen as u8,
+            ascii_prefix: bytes[..plen].is_ascii(),
+            hist_valid,
+            hist,
+        }
+    }
+
+    /// Σ per-class min of two histograms: an upper bound on the number
+    /// of equal-character pairings between the two attributes. Only
+    /// meaningful when both sides are `hist_valid`.
+    #[inline]
+    pub fn hist_common(&self, other: &AttrMeta) -> usize {
+        self.hist
+            .iter()
+            .zip(other.hist.iter())
+            .map(|(&x, &y)| x.min(y) as usize)
+            .sum()
+    }
+}
+
 /// Reusable dense scratch for co-occurrence counting: a counts array
 /// indexed by record id plus a first-touch list, so each frontier entity
 /// is counted without allocating a fresh hash map.
@@ -99,6 +191,10 @@ pub struct TableErIndex {
     /// Per record × column (stride = schema width), the pre-lowercased
     /// rendered attribute text; `None` for NULLs and the id column.
     lower_attrs: Vec<Option<Box<str>>>,
+    /// Per record × column (same stride), kernel-ready attribute
+    /// metadata (char lengths, Winkler prefix bytes) for the compiled
+    /// comparison kernels' upper bounds.
+    attr_meta: Vec<AttrMeta>,
     /// Schema width (the `lower_attrs` stride).
     n_cols: usize,
     /// Node-centric Edge Pruning thresholds (bulk vector or lazy map).
@@ -192,6 +288,7 @@ impl TableErIndex {
         let mut interner = TokenInterner::new();
         let mut profile_tokens = TokenArena::with_capacity(table.len(), table.len() * 8);
         let mut lower_attrs: Vec<Option<Box<str>>> = Vec::with_capacity(table.len() * n_cols);
+        let mut attr_meta: Vec<AttrMeta> = Vec::with_capacity(table.len() * n_cols);
         let mut syms: Vec<u32> = Vec::new();
         for record in table.records() {
             syms.clear();
@@ -201,11 +298,14 @@ impl TableErIndex {
             syms.sort_unstable();
             profile_tokens.push(&syms);
             for (i, v) in record.values.iter().enumerate() {
-                lower_attrs.push(if Some(i) == skip_col || v.is_null() {
-                    None
+                if Some(i) == skip_col || v.is_null() {
+                    lower_attrs.push(None);
+                    attr_meta.push(AttrMeta::default());
                 } else {
-                    Some(v.render().to_lowercase().into_boxed_str())
-                });
+                    let lowered = v.render().to_lowercase().into_boxed_str();
+                    attr_meta.push(AttrMeta::of(&lowered));
+                    lower_attrs.push(Some(lowered));
+                }
             }
         }
 
@@ -224,6 +324,7 @@ impl TableErIndex {
             interner,
             profile_tokens,
             lower_attrs,
+            attr_meta,
             n_cols,
             ep_thresholds: Mutex::new(EpThresholdCache::default()),
         }
@@ -333,6 +434,14 @@ impl TableErIndex {
     #[inline]
     pub fn profile_tokens(&self, id: RecordId) -> &[u32] {
         self.profile_tokens.get(id as usize)
+    }
+
+    /// Kernel-ready per-attribute metadata of a record, one entry per
+    /// schema column aligned with [`TableErIndex::profile`]'s `attrs`.
+    #[inline]
+    pub fn attr_meta(&self, id: RecordId) -> &[AttrMeta] {
+        let base = id as usize * self.n_cols;
+        &self.attr_meta[base..base + self.n_cols]
     }
 
     /// The profile-token interner (diagnostics and foreign probes).

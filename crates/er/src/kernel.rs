@@ -1,0 +1,505 @@
+//! Compiled comparison kernels: the Comparison-Execution decision
+//! function specialized once per resolve instead of re-resolved per
+//! pair.
+//!
+//! [`crate::matching::Matcher::compile`] turns the configured
+//! [`SimilarityKind`] + threshold into a [`CompareKernel`] operating on
+//! the index's kernel-ready per-record data — pre-lowercased attribute
+//! text, per-attribute [`AttrMeta`] (character lengths, Winkler prefix
+//! bytes), and interned sorted token slices. Each kernel carries
+//! *threshold-aware early exits* that reject a pair before the
+//! O(len²)-ish similarity work whenever a cheap upper bound already
+//! proves the similarity cannot reach the threshold:
+//!
+//! * **JW-mean / hybrid** — per-attribute Jaro upper bounds from the
+//!   length difference (a match count can never exceed the shorter
+//!   length) plus the exact Winkler common prefix read off the stored
+//!   prefix bytes; a whole pair is rejected when the bounds cannot lift
+//!   the attribute mean to the threshold, and each attribute's Jaro scan
+//!   itself aborts once the matches found plus the characters left
+//!   cannot reach the per-attribute requirement
+//!   ([`crate::similarity::jaro_winkler_ge`]).
+//! * **Jaccard-interned** — the size-ratio bound
+//!   `|A∩B|/|A∪B| ≤ min(|A|,|B|)/max(|A|,|B|)` over the token-slice
+//!   lengths, read off the interned profiles with no merge at all.
+//! * **Levenshtein-mean** — the length-difference lower bound on edit
+//!   distance plus a banded two-row DP with a threshold-derived cutoff
+//!   ([`crate::similarity::levenshtein_within`]).
+//!
+//! # Decision equivalence
+//!
+//! Decisions are **bit-identical** to the uncompiled
+//! [`Matcher::is_match_interned`](crate::matching::Matcher) path, pinned
+//! the same way `ep_equivalence.rs` pins Edge Pruning
+//! (`tests/kernel_equivalence.rs`). The argument has two halves:
+//!
+//! * *Exact when completed*: every value a kernel feeds into a decision
+//!   is produced by the same expressions the canonical path runs (the
+//!   `matching::mean_lowered` accumulation and the
+//!   `matching::similarity_interned_raw` dispatch are shared verbatim;
+//!   `jaro_winkler_ge` / `levenshtein_within` return bit-identical
+//!   scores when they return at all), so a pair that survives the
+//!   bounds gets the canonical comparison.
+//! * *Sound when rejected*: every upper bound is shaped like the exact
+//!   expression it bounds, so IEEE-754 monotonicity of `+`, `/`, `min`
+//!   carries the mathematical inequality into f64 — and each comparison
+//!   against the threshold additionally leaves
+//!   [`BOUND_SLACK`](crate::similarity::BOUND_SLACK) (1e-9, six orders
+//!   of magnitude above the accumulated rounding error), so a bound only
+//!   rejects a pair whose canonical similarity is certainly below the
+//!   threshold. Bounds inside the slack band fall through to the exact
+//!   computation.
+
+use crate::config::SimilarityKind;
+use crate::index::{AttrMeta, InternedProfile, TableErIndex};
+use crate::matching::similarity_interned_raw;
+use crate::similarity::{
+    jaccard_sorted, jaro_winkler_ge, levenshtein_within, JaroScratch, BOUND_SLACK,
+};
+use queryer_storage::RecordId;
+
+/// Winkler prefix scale — must match `similarity::jaro_winkler`.
+const PREFIX_SCALE: f64 = 0.1;
+
+/// Per-worker scratch for the compiled kernels: the Jaro positions
+/// table plus the per-attribute buffers of the mean kernels. The
+/// parallel executor owns one per thread.
+#[derive(Default)]
+pub struct KernelScratch {
+    jaro: JaroScratch,
+    /// Per-column upper bound (0.0 for non-comparable columns).
+    ub: Vec<f64>,
+    /// Per-column exact similarity, filled in evaluation order.
+    sims: Vec<f64>,
+    /// Comparable column indices, cheapest string comparison first.
+    order: Vec<u32>,
+}
+
+impl KernelScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The per-attribute comparison kernel a [`SimilarityKind`] compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareKernel {
+    /// Mean Jaro-Winkler over comparable attributes with
+    /// length-difference + common-prefix upper bounds and an in-scan
+    /// match-count cutoff.
+    JwMean,
+    /// Mean Levenshtein similarity with the length-difference distance
+    /// bound and a banded, cutoff-carrying DP.
+    LevMean,
+    /// Jaccard over interned token slices with the size-ratio bound.
+    JaccardInterned,
+    /// Overlap coefficient over interned token slices (already a single
+    /// cheap sorted merge; 1.0-capped, so no useful upper bound exists).
+    OverlapInterned,
+    /// `max(JW-mean, overlap)` — the overlap half is the cheap one, so
+    /// the kernel decides it first and only falls into the JW-mean
+    /// kernel when containment alone does not already match.
+    Hybrid,
+}
+
+/// A matcher compiled against one [`TableErIndex`]: similarity kind and
+/// attribute layout resolved once, decisions executed over kernel-ready
+/// per-record data. `Sync`, so the Comparison-Execution executor shares
+/// one across worker threads (each with its own [`KernelScratch`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledMatcher<'idx> {
+    idx: &'idx TableErIndex,
+    kind: SimilarityKind,
+    kernel: CompareKernel,
+    threshold: f64,
+}
+
+impl<'idx> CompiledMatcher<'idx> {
+    pub(crate) fn new(kind: SimilarityKind, threshold: f64, idx: &'idx TableErIndex) -> Self {
+        let kernel = match kind {
+            SimilarityKind::MeanJaroWinkler => CompareKernel::JwMean,
+            SimilarityKind::MeanLevenshtein => CompareKernel::LevMean,
+            SimilarityKind::TokenJaccard => CompareKernel::JaccardInterned,
+            SimilarityKind::TokenOverlap => CompareKernel::OverlapInterned,
+            SimilarityKind::Hybrid => CompareKernel::Hybrid,
+        };
+        Self {
+            idx,
+            kind,
+            kernel,
+            threshold,
+        }
+    }
+
+    /// The kernel this matcher compiled to.
+    pub fn kernel(&self) -> CompareKernel {
+        self.kernel
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Match decision for an indexed record pair — bit-identical to
+    /// `Matcher::is_match_interned` on the same profiles, but with the
+    /// threshold-aware early exits engaged.
+    pub fn decide(&self, q: RecordId, c: RecordId, scratch: &mut KernelScratch) -> bool {
+        let a = self.idx.profile(q);
+        let b = self.idx.profile(c);
+        match self.kernel {
+            CompareKernel::JwMean => self.decide_mean(q, c, a, b, scratch, MeanAttr::JaroWinkler),
+            CompareKernel::LevMean => self.decide_mean(q, c, a, b, scratch, MeanAttr::Levenshtein),
+            CompareKernel::JaccardInterned => self.decide_jaccard(a.tokens, b.tokens),
+            CompareKernel::OverlapInterned => overlap_ge(a.tokens, b.tokens, self.threshold),
+            CompareKernel::Hybrid => {
+                // Decision = (overlap ≥ t) ∨ (jw-mean ≥ t); the sorted
+                // u32 merge is orders cheaper than the Jaro scans, so it
+                // goes first (the canonical path computes jw first only
+                // because it must *return* the max).
+                overlap_ge(a.tokens, b.tokens, self.threshold)
+                    || self.decide_mean(q, c, a, b, scratch, MeanAttr::JaroWinkler)
+            }
+        }
+    }
+
+    /// Exact similarity of an indexed record pair — the canonical
+    /// computation (the same [`similarity_interned_raw`] dispatch
+    /// `Matcher::similarity_interned` runs), with no kernel early exits.
+    /// The equivalence suite pins this against the uncompiled path bit
+    /// for bit.
+    pub fn similarity(&self, q: RecordId, c: RecordId) -> f64 {
+        similarity_interned_raw(
+            self.kind,
+            self.threshold,
+            self.idx.profile(q),
+            self.idx.profile(c),
+        )
+    }
+
+    /// Jaccard with the size-ratio upper bound: `|A∩B| ≤ min` and
+    /// `|A∪B| ≥ max`, so `J ≤ min/max` — checked on the token-slice
+    /// lengths alone before any merge work.
+    fn decide_jaccard(&self, ta: &[u32], tb: &[u32]) -> bool {
+        let (lmin, lmax) = (ta.len().min(tb.len()), ta.len().max(tb.len()));
+        if lmax > 0 && (lmin as f64 / lmax as f64) < self.threshold - BOUND_SLACK {
+            return false;
+        }
+        jaccard_sorted(ta, tb) >= self.threshold
+    }
+
+    /// The shared mean-over-attributes decision kernel.
+    ///
+    /// Evaluation runs cheapest-string-first: short attributes (venues,
+    /// years) resolve to *exact* contributions for a few cycles each,
+    /// which tightens the requirement left for the long attributes
+    /// (titles, author lists) so far that their scans usually abort
+    /// within a few characters — or are rejected outright by their
+    /// metadata upper bounds. Computation order is free to vary because
+    /// only *which* exact values exist matters, never the order they
+    /// were produced in: once every attribute has its exact similarity,
+    /// the values are folded **in canonical column order** through the
+    /// verbatim [`mean_lowered`] accumulation (including its
+    /// abort-on-unreachable check), so the accepted/rejected boundary is
+    /// bit-identical to the uncompiled path. All out-of-order rejection
+    /// checks are conservative: they compare against the threshold with
+    /// [`BOUND_SLACK`] in hand, which dwarfs the f64 re-association
+    /// error of the bound sums.
+    fn decide_mean(
+        &self,
+        q: RecordId,
+        c: RecordId,
+        a: InternedProfile<'_>,
+        b: InternedProfile<'_>,
+        scratch: &mut KernelScratch,
+        attr: MeanAttr,
+    ) -> bool {
+        let ma = self.idx.attr_meta(q);
+        let mb = self.idx.attr_meta(c);
+        let t = self.threshold;
+        let n_cols = a.attrs.len();
+
+        // Bound pass: per-column upper bounds + the evaluation order
+        // (comparable columns, cheapest string comparison first).
+        let mut comparable: u32 = 0;
+        let mut rest_ub = 0.0f64;
+        scratch.ub.clear();
+        scratch.ub.resize(n_cols, 0.0);
+        scratch.order.clear();
+        for i in 0..n_cols {
+            if a.attrs[i].is_some() && b.attrs[i].is_some() {
+                comparable += 1;
+                let ub = match attr {
+                    MeanAttr::JaroWinkler => jw_attr_ub(&ma[i], &mb[i]),
+                    MeanAttr::Levenshtein => lev_attr_ub(&ma[i], &mb[i]),
+                };
+                scratch.ub[i] = ub;
+                rest_ub += ub;
+                scratch.order.push(i as u32);
+            }
+        }
+        if comparable == 0 {
+            return 0.0 >= t; // canonical value for no comparable attrs
+        }
+        let cost = |i: u32| ma[i as usize].chars.max(mb[i as usize].chars);
+        scratch.order.sort_unstable_by_key(|&i| cost(i));
+        let n = comparable as f64;
+        let tn = t * n;
+
+        // Exact pass in evaluation order: `rest_ub` always bounds the
+        // not-yet-computed columns, `sum_exact` accumulates computed ones.
+        scratch.sims.clear();
+        scratch.sims.resize(n_cols, 0.0);
+        let mut sum_exact = 0.0f64;
+        for oi in 0..scratch.order.len() {
+            let i = scratch.order[oi] as usize;
+            if sum_exact + rest_ub < tn - BOUND_SLACK {
+                return false; // remaining bounds cannot lift the mean to t
+            }
+            let (Some(sa), Some(sb)) = (&a.attrs[i], &b.attrs[i]) else {
+                unreachable!("order holds comparable columns only");
+            };
+            rest_ub -= scratch.ub[i];
+            // This column alone must contribute at least `needed` (the
+            // rest is already counted at its bound; the slack inside the
+            // `_ge` cutoffs absorbs the re-association error here).
+            let needed = tn - sum_exact - rest_ub;
+            let s = match attr {
+                MeanAttr::JaroWinkler => jaro_winkler_ge(sa, sb, needed, &mut scratch.jaro),
+                MeanAttr::Levenshtein => {
+                    let lmax = ma[i].chars.max(mb[i].chars) as usize;
+                    lev_sim_ge(sa, sb, lmax, needed)
+                }
+            };
+            let Some(s) = s else {
+                return false; // certainly below its requirement
+            };
+            scratch.sims[i] = s;
+            sum_exact += s;
+        }
+
+        // Canonical fold: the exact per-column values accumulated in
+        // column order through the verbatim `mean_lowered` loop.
+        let mut sum = 0.0;
+        let mut remaining = comparable;
+        for i in 0..n_cols {
+            if a.attrs[i].is_none() || b.attrs[i].is_none() {
+                continue;
+            }
+            sum += scratch.sims[i];
+            remaining -= 1;
+            // The canonical abort, verbatim: when it fires the canonical
+            // similarity is this (sub-threshold) upper bound.
+            if (sum + remaining as f64) / n < t {
+                return false;
+            }
+        }
+        sum / n >= t
+    }
+}
+
+/// Which per-attribute similarity a mean kernel runs.
+#[derive(Clone, Copy)]
+enum MeanAttr {
+    JaroWinkler,
+    Levenshtein,
+}
+
+/// Upper bound on the Jaro-Winkler score of two attributes from their
+/// metadata alone: Jaro can match at most `min(|a|,|b|)` characters —
+/// tightened to the character-class multiset intersection
+/// ([`AttrMeta::hist_common`]) when both histograms are valid — shaped
+/// exactly like the final Jaro expression (so f64 monotonicity applies)
+/// and boosted by the exact Winkler common prefix when the stored
+/// prefix bytes are ASCII (byte equality ⇔ char equality), by the
+/// conservative maximum of 4 otherwise.
+fn jw_attr_ub(a: &AttrMeta, b: &AttrMeta) -> f64 {
+    let (la, lb) = (a.chars as usize, b.chars as usize);
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let m_cap = if a.hist_valid && b.hist_valid {
+        a.hist_common(b)
+    } else {
+        la.min(lb)
+    };
+    let j_ub = ((m_cap as f64 / la as f64 + m_cap as f64 / lb as f64) + 1.0) / 3.0;
+    j_ub + prefix_ub(a, b) as f64 * PREFIX_SCALE * (1.0 - j_ub)
+}
+
+/// Upper bound on (or the exact value of) the Winkler common prefix.
+fn prefix_ub(a: &AttrMeta, b: &AttrMeta) -> usize {
+    if !(a.ascii_prefix && b.ascii_prefix) {
+        return 4;
+    }
+    let n = a.prefix_len.min(b.prefix_len) as usize;
+    let mut p = 0;
+    while p < n && a.prefix[p] == b.prefix[p] {
+        p += 1;
+    }
+    p
+}
+
+/// Upper bound on the Levenshtein similarity of two attributes: every
+/// alignment pays at least `||a|-|b||` insertions/deletions, and at most
+/// [`AttrMeta::hist_common`] character pairings can be free, so
+/// `d ≥ max_len − Σ min` when both histograms are valid.
+fn lev_attr_ub(a: &AttrMeta, b: &AttrMeta) -> f64 {
+    let (la, lb) = (a.chars as usize, b.chars as usize);
+    let lmax = la.max(lb);
+    if lmax == 0 {
+        return 1.0;
+    }
+    let d_min = if a.hist_valid && b.hist_valid {
+        lmax - a.hist_common(b).min(lmax)
+    } else {
+        la.abs_diff(lb)
+    };
+    1.0 - d_min as f64 / lmax as f64
+}
+
+/// Decision-only overlap test: `overlap_sorted(a, b) ≥ t`, with the
+/// merge aborting as soon as the intersection found plus the elements
+/// left on the shorter side cannot reach the required count. The
+/// required count is the smallest integer whose overlap clears
+/// `t - BOUND_SLACK`, so an abort certifies the canonical value is below
+/// `t`; a completed merge compares the canonical expression itself.
+fn overlap_ge(a: &[u32], b: &[u32], t: f64) -> bool {
+    if a.is_empty() && b.is_empty() {
+        return 1.0 >= t; // canonical value for two empty token sets
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0 >= t;
+    }
+    let lmin = a.len().min(b.len());
+    let lminf = lmin as f64;
+    let mut req = {
+        let est = (t - BOUND_SLACK) * lminf;
+        if est <= 0.0 {
+            0
+        } else {
+            est.floor() as usize
+        }
+    };
+    while req <= lmin && (req as f64 / lminf) < t - BOUND_SLACK {
+        req += 1;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if inter + (a.len() - i).min(b.len() - j) < req {
+            return false; // intersection can no longer reach `req`
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    // The canonical `overlap_sorted` expression on the exact count.
+    inter as f64 / a.len().min(b.len()) as f64 >= t
+}
+
+/// Threshold-aware Levenshtein similarity: `None` only when the score
+/// is provably below `min_sim`, otherwise `Some` with bits identical to
+/// [`levenshtein_sim`]. The required similarity translates into a
+/// distance cutoff (rounded up, plus one, so the slack covers the f64
+/// boundary) for the banded DP.
+fn lev_sim_ge(a: &str, b: &str, lmax_chars: usize, min_sim: f64) -> Option<f64> {
+    if lmax_chars == 0 {
+        return Some(1.0); // canonical value for two empty attributes
+    }
+    if min_sim > 1.0 + BOUND_SLACK {
+        return None; // similarity is capped at 1.0
+    }
+    let lmaxf = lmax_chars as f64;
+    let kf = (1.0 - min_sim + BOUND_SLACK) * lmaxf;
+    let k = if kf <= 0.0 { 0 } else { kf.floor() as usize } + 1;
+    let d = levenshtein_within(a, b, k)?;
+    Some(1.0 - d as f64 / lmaxf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErConfig;
+    use crate::matching::Matcher;
+    use queryer_storage::{Schema, Table};
+
+    fn cfg(kind: SimilarityKind, threshold: f64) -> ErConfig {
+        ErConfig {
+            similarity: kind,
+            match_threshold: threshold,
+            ..ErConfig::default()
+        }
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+        let rows = [
+            ("0", "collective entity resolution", "edbt"),
+            ("1", "collective entity resolutoin", "edbt"),
+            ("2", "query driven entity resolution", "vldb"),
+            ("3", "deep learning for vision", "cvpr"),
+            ("4", "café métadonnées", "münchen"),
+        ];
+        for (id, title, venue) in rows {
+            t.push_row(vec![id.into(), title.into(), venue.into()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn decisions_match_uncompiled_for_all_kinds() {
+        let t = table();
+        for kind in [
+            SimilarityKind::MeanJaroWinkler,
+            SimilarityKind::MeanLevenshtein,
+            SimilarityKind::TokenJaccard,
+            SimilarityKind::TokenOverlap,
+            SimilarityKind::Hybrid,
+        ] {
+            for thr in [0.0, 0.5, 0.85, 0.95, 1.0] {
+                let cfg = cfg(kind, thr);
+                let idx = TableErIndex::build(&t, &cfg);
+                let matcher = Matcher::new(&cfg, idx.skip_col());
+                let compiled = matcher.compile(&idx);
+                let mut scratch = KernelScratch::new();
+                for q in 0..t.len() as RecordId {
+                    for c in 0..t.len() as RecordId {
+                        assert_eq!(
+                            compiled.decide(q, c, &mut scratch),
+                            matcher.is_match_interned(idx.profile(q), idx.profile(c)),
+                            "decision diverged on ({q}, {c}) {kind:?} thr {thr}"
+                        );
+                        let s = compiled.similarity(q, c);
+                        let r = matcher.similarity_interned(idx.profile(q), idx.profile(c));
+                        assert_eq!(
+                            s.to_bits(),
+                            r.to_bits(),
+                            "similarity diverged on ({q}, {c}) {kind:?} thr {thr}: {s} vs {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_resolution_follows_kind() {
+        let t = table();
+        let cfg = cfg(SimilarityKind::Hybrid, 0.85);
+        let idx = TableErIndex::build(&t, &cfg);
+        let compiled = Matcher::new(&cfg, idx.skip_col()).compile(&idx);
+        assert_eq!(compiled.kernel(), CompareKernel::Hybrid);
+        assert!((compiled.threshold() - 0.85).abs() < 1e-12);
+    }
+}

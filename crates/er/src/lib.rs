@@ -66,18 +66,38 @@
 //!   / `ErConfig::ep_threads` (env knobs `QUERYER_EP_BULK`,
 //!   `QUERYER_EP_THREADS`) select eager-vs-lazy build and worker count;
 //!   both modes — and any thread count — are bit-identical.
+//! * **Compiled comparison kernels** — `Matcher::compile` resolves the
+//!   similarity kind, threshold, and attribute layout once into a
+//!   [`kernel::CompareKernel`] over kernel-ready per-record data
+//!   (pre-lowercased attributes, per-attribute [`index::AttrMeta`] with
+//!   character lengths and Winkler prefix bytes, interned token slices).
+//!   Each kernel rejects pairs through threshold-aware early exits —
+//!   length-difference + common-prefix Jaro-Winkler upper bounds with an
+//!   in-scan match-count cutoff, the Jaccard size-ratio bound, a banded
+//!   cutoff-carrying Levenshtein DP — before paying the O(len²)-ish
+//!   similarity work, and the hybrid kernel decides the cheap overlap
+//!   merge first. `execute_comparisons` fans the pair batch out across
+//!   `ErConfig::parallelism` workers (`0` = auto, env knob
+//!   `QUERYER_CMP_THREADS`) in the same chunked `std::thread::scope`
+//!   shape as the EP sweep; decisions stay position-aligned, so thread
+//!   count never affects results.
 //!
 //! The interned path is decision-identical to the record/string path
 //! (`Matcher::similarity`); `tests/interned_equivalence.rs` property-
 //! tests that equivalence across similarity kinds and random corpora,
-//! and `tests/ep_equivalence.rs` pins the bulk-parallel EP path to the
+//! `tests/ep_equivalence.rs` pins the bulk-parallel EP path to the
 //! lazy per-entity path (thresholds, pair sequences, DR/links) across
-//! weight schemes, pruning scopes, frontier sizes, and thread counts.
+//! weight schemes, pruning scopes, frontier sizes, and thread counts,
+//! and `tests/kernel_equivalence.rs` pins the compiled kernels and the
+//! parallel Comparison-Execution executor bit-identical (similarities,
+//! decisions, DR/links) to the uncompiled matcher across all similarity
+//! kinds, thresholds at the early-exit boundaries, and thread counts.
 
 pub mod blocking;
 pub mod config;
 pub mod edge_pruning;
 pub mod index;
+pub mod kernel;
 pub mod link_index;
 pub mod matching;
 pub mod metrics;
@@ -90,9 +110,10 @@ pub mod union_find;
 pub use config::{
     BlockingKind, EdgePruningScope, ErConfig, MetaBlockingConfig, SimilarityKind, WeightScheme,
 };
-pub use index::{BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
+pub use index::{AttrMeta, BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
+pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch};
 pub use link_index::LinkIndex;
-pub use matching::Matcher;
+pub use matching::{Matcher, TokenizerScratch};
 pub use metrics::DedupMetrics;
 pub use resolver::ResolveOutcome;
 pub use union_find::UnionFind;

@@ -72,8 +72,11 @@ impl LinkIndex {
     }
 
     /// Whether `a` and `b` are directly linked.
+    #[inline]
     pub fn are_linked(&self, a: RecordId, b: RecordId) -> bool {
-        self.adj.get(&a).is_some_and(|v| v.contains(&b))
+        // A fresh LI probes nothing: first-query resolves check every
+        // candidate pair here, so skip the hash until a link exists.
+        self.n_links > 0 && self.adj.get(&a).is_some_and(|v| v.contains(&b))
     }
 
     /// Direct duplicates of `id` (no transitive closure).

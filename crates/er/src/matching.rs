@@ -6,10 +6,31 @@
 //! similarity kind and threshold are pluggable.
 
 use crate::config::{ErConfig, SimilarityKind};
-use crate::index::InternedProfile;
-use crate::similarity::{jaccard_sorted, jaro_winkler, overlap_sorted};
-use crate::tokenizer::record_tokens;
+use crate::index::{InternedProfile, TableErIndex};
+use crate::kernel::CompiledMatcher;
+use crate::similarity::{jaccard_sorted, jaro_winkler, levenshtein_sim, overlap_sorted};
+use crate::tokenizer::{record_tokens, record_tokens_into};
+use queryer_common::FxHashSet;
 use queryer_storage::Record;
+
+/// Reusable tokenization scratch for the foreign-probe comparison loop:
+/// holds the dedup hash set, the per-attribute buffer, and the sorted
+/// output vector, so batch callers ([`TableErIndex::duplicates_of_record`])
+/// tokenize a record per comparison without allocating fresh containers
+/// each time — the same pattern as [`crate::index::CooccurrenceScratch`].
+#[derive(Debug, Default)]
+pub struct TokenizerScratch {
+    set: FxHashSet<String>,
+    buf: Vec<String>,
+    sorted: Vec<String>,
+}
+
+impl TokenizerScratch {
+    /// Creates an empty scratch; containers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Pairwise record matcher.
 #[derive(Debug, Clone)]
@@ -53,7 +74,10 @@ impl Matcher {
     /// Whether this matcher needs token sets (callers that batch
     /// comparisons precompute them once per record).
     pub fn needs_tokens(&self) -> bool {
-        !matches!(self.kind, SimilarityKind::MeanJaroWinkler)
+        !matches!(
+            self.kind,
+            SimilarityKind::MeanJaroWinkler | SimilarityKind::MeanLevenshtein
+        )
     }
 
     /// The sorted, deduplicated profile token set of a record.
@@ -64,6 +88,38 @@ impl Matcher {
         v
     }
 
+    /// [`Matcher::sorted_tokens`] through a reusable scratch: the
+    /// returned slice is valid until the next call with this scratch,
+    /// and no containers are allocated per record after warm-up.
+    pub fn sorted_tokens_into<'s>(
+        &self,
+        rec: &Record,
+        scratch: &'s mut TokenizerScratch,
+    ) -> &'s [String] {
+        record_tokens_into(
+            rec,
+            self.min_token_len,
+            self.skip_col,
+            &mut scratch.set,
+            &mut scratch.buf,
+        );
+        scratch.sorted.clear();
+        scratch.sorted.extend(scratch.set.drain());
+        scratch.sorted.sort_unstable();
+        &scratch.sorted
+    }
+
+    /// Compiles this matcher against an index into per-attribute
+    /// comparison kernels: the similarity kind, threshold, and attribute
+    /// layout are resolved once, and the returned [`CompiledMatcher`]
+    /// decides pairs over the index's kernel-ready per-record data
+    /// (pre-lowercased attributes, attribute metadata, interned token
+    /// slices) with threshold-aware early exits. Decisions are
+    /// bit-identical to [`Matcher::is_match_interned`].
+    pub fn compile<'idx>(&self, index: &'idx TableErIndex) -> CompiledMatcher<'idx> {
+        CompiledMatcher::new(self.kind, self.threshold, index)
+    }
+
     /// Similarity with caller-provided token sets (see
     /// [`Matcher::sorted_tokens`]); avoids re-tokenizing records that are
     /// compared many times across blocks. The sorted-merge kernels are
@@ -71,11 +127,12 @@ impl Matcher {
     /// per-call `Vec<&str>` rebuild.
     pub fn similarity_with(&self, a: &Record, b: &Record, ta: &[String], tb: &[String]) -> f64 {
         match self.kind {
-            SimilarityKind::MeanJaroWinkler => self.mean_jw(a, b),
+            SimilarityKind::MeanJaroWinkler => self.mean_string(a, b, jaro_winkler),
+            SimilarityKind::MeanLevenshtein => self.mean_string(a, b, levenshtein_sim),
             SimilarityKind::TokenJaccard => jaccard_sorted(ta, tb),
             SimilarityKind::TokenOverlap => overlap_sorted(ta, tb),
             SimilarityKind::Hybrid => {
-                let jw = self.mean_jw(a, b);
+                let jw = self.mean_string(a, b, jaro_winkler);
                 if jw >= self.threshold {
                     // Short-circuit: max(jw, overlap) already ≥ threshold.
                     return jw;
@@ -94,19 +151,7 @@ impl Matcher {
     /// NULLs and the skipped id column as `None` attributes, so the
     /// matcher's own `skip_col` is not consulted here.
     pub fn similarity_interned(&self, a: InternedProfile<'_>, b: InternedProfile<'_>) -> f64 {
-        match self.kind {
-            SimilarityKind::MeanJaroWinkler => self.mean_jw_lowered(a.attrs, b.attrs),
-            SimilarityKind::TokenJaccard => jaccard_sorted(a.tokens, b.tokens),
-            SimilarityKind::TokenOverlap => overlap_sorted(a.tokens, b.tokens),
-            SimilarityKind::Hybrid => {
-                let jw = self.mean_jw_lowered(a.attrs, b.attrs);
-                if jw >= self.threshold {
-                    // Short-circuit: max(jw, overlap) already ≥ threshold.
-                    return jw;
-                }
-                jw.max(overlap_sorted(a.tokens, b.tokens))
-            }
-        }
+        similarity_interned_raw(self.kind, self.threshold, a, b)
     }
 
     /// Match decision over interned profiles: similarity ≥ threshold.
@@ -127,10 +172,12 @@ impl Matcher {
         self.similarity_with(a, b, ta, tb) >= self.threshold
     }
 
-    /// Mean Jaro-Winkler over attributes where both sides are non-null,
-    /// with an early abort once the remaining attributes cannot lift the
-    /// mean to the threshold (each contributes at most 1.0).
-    fn mean_jw(&self, a: &Record, b: &Record) -> f64 {
+    /// Mean per-attribute similarity over attributes where both sides
+    /// are non-null, with an early abort once the remaining attributes
+    /// cannot lift the mean to the threshold (each contributes at most
+    /// 1.0). `sim` is the per-attribute string similarity (Jaro-Winkler
+    /// or Levenshtein).
+    fn mean_string(&self, a: &Record, b: &Record, sim: fn(&str, &str) -> f64) -> f64 {
         let mut comparable: u32 = 0;
         for (i, (va, vb)) in a.values.iter().zip(b.values.iter()).enumerate() {
             if Some(i) != self.skip_col && !va.is_null() && !vb.is_null() {
@@ -149,7 +196,7 @@ impl Matcher {
             }
             let sa = va.render();
             let sb = vb.render();
-            sum += jaro_winkler(&sa.to_lowercase(), &sb.to_lowercase());
+            sum += sim(&sa.to_lowercase(), &sb.to_lowercase());
             remaining -= 1;
             // Upper bound on the final mean; abort when unreachable.
             if (sum + remaining as f64) / n < self.threshold {
@@ -158,36 +205,73 @@ impl Matcher {
         }
         sum / n
     }
+}
 
-    /// [`Matcher::mean_jw`] over pre-lowercased attribute slices (`None`
-    /// encodes NULL / skipped columns). Same accumulation order and early
-    /// abort, so results are bit-identical to the string path.
-    fn mean_jw_lowered(&self, a: &[Option<Box<str>>], b: &[Option<Box<str>>]) -> f64 {
-        let mut comparable: u32 = 0;
-        for (va, vb) in a.iter().zip(b.iter()) {
-            if va.is_some() && vb.is_some() {
-                comparable += 1;
+/// The canonical interned-similarity dispatch: the one definition of
+/// how each [`SimilarityKind`] computes over interned profiles, shared
+/// by [`Matcher::similarity_interned`] and the compiled kernels' exact
+/// path ([`crate::kernel::CompiledMatcher::similarity`]) so the
+/// kind → computation mapping can never drift between them.
+pub(crate) fn similarity_interned_raw(
+    kind: SimilarityKind,
+    threshold: f64,
+    a: InternedProfile<'_>,
+    b: InternedProfile<'_>,
+) -> f64 {
+    match kind {
+        SimilarityKind::MeanJaroWinkler => mean_lowered(a.attrs, b.attrs, threshold, jaro_winkler),
+        SimilarityKind::MeanLevenshtein => {
+            mean_lowered(a.attrs, b.attrs, threshold, levenshtein_sim)
+        }
+        SimilarityKind::TokenJaccard => jaccard_sorted(a.tokens, b.tokens),
+        SimilarityKind::TokenOverlap => overlap_sorted(a.tokens, b.tokens),
+        SimilarityKind::Hybrid => {
+            let jw = mean_lowered(a.attrs, b.attrs, threshold, jaro_winkler);
+            if jw >= threshold {
+                // Short-circuit: max(jw, overlap) already ≥ threshold.
+                return jw;
             }
+            jw.max(overlap_sorted(a.tokens, b.tokens))
         }
-        if comparable == 0 {
-            return 0.0;
-        }
-        let n = comparable as f64;
-        let mut sum = 0.0;
-        let mut remaining = comparable;
-        for (va, vb) in a.iter().zip(b.iter()) {
-            let (Some(sa), Some(sb)) = (va, vb) else {
-                continue;
-            };
-            sum += jaro_winkler(sa, sb);
-            remaining -= 1;
-            // Upper bound on the final mean; abort when unreachable.
-            if (sum + remaining as f64) / n < self.threshold {
-                return (sum + remaining as f64) / n;
-            }
-        }
-        sum / n
     }
+}
+
+/// The canonical per-attribute mean over pre-lowercased attribute slices
+/// (`None` encodes NULL / skipped columns): same accumulation order and
+/// early abort as [`Matcher::mean_string`], so results are bit-identical
+/// to the string path. Shared verbatim by the interned matcher and the
+/// compiled kernels' exact paths — there is exactly one definition of
+/// this loop, which is what makes the kernel equivalence arguments hold.
+pub(crate) fn mean_lowered(
+    a: &[Option<Box<str>>],
+    b: &[Option<Box<str>>],
+    threshold: f64,
+    sim: fn(&str, &str) -> f64,
+) -> f64 {
+    let mut comparable: u32 = 0;
+    for (va, vb) in a.iter().zip(b.iter()) {
+        if va.is_some() && vb.is_some() {
+            comparable += 1;
+        }
+    }
+    if comparable == 0 {
+        return 0.0;
+    }
+    let n = comparable as f64;
+    let mut sum = 0.0;
+    let mut remaining = comparable;
+    for (va, vb) in a.iter().zip(b.iter()) {
+        let (Some(sa), Some(sb)) = (va, vb) else {
+            continue;
+        };
+        sum += sim(sa, sb);
+        remaining -= 1;
+        // Upper bound on the final mean; abort when unreachable.
+        if (sum + remaining as f64) / n < threshold {
+            return (sum + remaining as f64) / n;
+        }
+    }
+    sum / n
 }
 
 #[cfg(test)]

@@ -14,8 +14,9 @@
 use crate::config::EdgePruningScope;
 use crate::edge_pruning::{keeps, prune_global, EdgePruner};
 use crate::index::{BlockId, CooccurrenceScratch, TableErIndex};
+use crate::kernel::{CompiledMatcher, KernelScratch};
 use crate::link_index::LinkIndex;
-use crate::matching::Matcher;
+use crate::matching::{Matcher, TokenizerScratch};
 use crate::metrics::DedupMetrics;
 use queryer_common::{FxHashMap, FxHashSet, PairSet, Stopwatch};
 use queryer_storage::{Record, RecordId, Table};
@@ -24,6 +25,10 @@ use queryer_storage::{Record, RecordId, Table};
 /// threads; below this the per-thread scratch setup outweighs the win
 /// (transitive-expansion rounds typically have tiny frontiers).
 const PAR_MIN_FRONTIER: usize = 256;
+
+/// Minimum pair count before Comparison-Execution fans out across
+/// threads; below this the thread spawn overhead outweighs the win.
+const PAR_MIN_PAIRS: usize = 1024;
 
 /// A sequential EP scan builds the O(`n_records`) frontier-rank array
 /// only when the frontier covers at least 1/`RANK_AMORTIZE` of the
@@ -62,17 +67,13 @@ impl TableErIndex {
             self.n_records(),
             "resolve must be called with the indexed table"
         );
-        let matcher = Matcher::new(self.config(), self.skip_col());
+        // Compile the matcher once per resolve: similarity kind,
+        // threshold, and attribute layout resolve here, never per pair.
+        let matcher = Matcher::new(self.config(), self.skip_col()).compile(self);
         let mut pair_seen = PairSet::new();
         let mut new_links = 0usize;
 
-        let mut frontier: Vec<RecordId> = {
-            let mut seen = FxHashSet::default();
-            qe.iter()
-                .copied()
-                .filter(|&q| !li.is_resolved(q) && seen.insert(q))
-                .collect()
-        };
+        let mut frontier: Vec<RecordId> = self.dedup_unresolved(li, qe.iter().copied());
 
         while !frontier.is_empty() {
             metrics.entities_processed += frontier.len() as u64;
@@ -153,11 +154,7 @@ impl TableErIndex {
             // Transitive expansion: newly discovered duplicates must be
             // resolved too, so DR groups equal batch connected components.
             frontier = if self.config().transitive {
-                let mut seen = FxHashSet::default();
-                partners
-                    .into_iter()
-                    .filter(|&c| !li.is_resolved(c) && seen.insert(c))
-                    .collect()
+                self.dedup_unresolved(li, partners.into_iter())
             } else {
                 Vec::new()
             };
@@ -187,6 +184,31 @@ impl TableErIndex {
     ) -> ResolveOutcome {
         let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
         self.resolve(table, &all, li, metrics)
+    }
+
+    /// Order-preserving first-occurrence dedup of frontier candidates,
+    /// dropping entities already resolved in the Link Index. Point-query
+    /// shapes keep the hash-set probe; once the candidate list covers at
+    /// least 1/[`RANK_AMORTIZE`] of the table, a dense seen-array pass
+    /// (the same amortization rule as the EP frontier-rank ownership
+    /// scan) replaces the per-entity hashing — a `resolve_all` round
+    /// dedups with two array ops per candidate instead of a hash insert.
+    fn dedup_unresolved(
+        &self,
+        li: &LinkIndex,
+        candidates: impl ExactSizeIterator<Item = RecordId>,
+    ) -> Vec<RecordId> {
+        if candidates.len() * RANK_AMORTIZE < self.n_records() {
+            let mut seen = FxHashSet::default();
+            candidates
+                .filter(|&q| !li.is_resolved(q) && seen.insert(q))
+                .collect()
+        } else {
+            let mut seen = vec![false; self.n_records()];
+            candidates
+                .filter(|&q| !li.is_resolved(q) && !std::mem::replace(&mut seen[q as usize], true))
+                .collect()
+        }
     }
 
     /// Assembles the enriched QBI of in-table query entities from the
@@ -474,17 +496,26 @@ impl TableErIndex {
             .collect()
     }
 
-    /// Runs the match decisions, fanning out across threads when the
-    /// configuration asks for parallelism. Decisions are position-aligned
-    /// with `pairs`. Every comparison reads the interned profiles built
-    /// at index time (sorted symbol slices + pre-lowercased attributes),
-    /// so this stage tokenizes nothing and allocates nothing per pair.
-    fn execute_comparisons(&self, matcher: &Matcher, pairs: &[(RecordId, RecordId)]) -> Vec<bool> {
-        let workers = self.config().parallelism.max(1);
-        if workers == 1 || pairs.len() < 1024 {
+    /// Runs the match decisions through the compiled kernel, fanning out
+    /// across `effective_parallelism()` workers (`parallelism: 0` = auto,
+    /// `QUERYER_CMP_THREADS`) once the batch is big enough to pay for
+    /// them — the same chunked `std::thread::scope` shape as the EP
+    /// frontier sweep. Decisions are position-aligned with `pairs`, so
+    /// thread count never affects results. Every comparison reads the
+    /// kernel-ready per-record data built at index time (sorted symbol
+    /// slices, pre-lowercased attributes, attribute metadata), so this
+    /// stage tokenizes nothing and allocates nothing per pair.
+    fn execute_comparisons(
+        &self,
+        matcher: &CompiledMatcher<'_>,
+        pairs: &[(RecordId, RecordId)],
+    ) -> Vec<bool> {
+        let workers = self.config().effective_parallelism();
+        if workers == 1 || pairs.len() < PAR_MIN_PAIRS {
+            let mut scratch = KernelScratch::new();
             return pairs
                 .iter()
-                .map(|&(q, c)| matcher.is_match_interned(self.profile(q), self.profile(c)))
+                .map(|&(q, c)| matcher.decide(q, c, &mut scratch))
                 .collect();
         }
         let chunk = pairs.len().div_ceil(workers);
@@ -492,8 +523,9 @@ impl TableErIndex {
         std::thread::scope(|scope| {
             for (slot, work) in decisions.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
                 scope.spawn(move || {
+                    let mut scratch = KernelScratch::new();
                     for (d, &(q, c)) in slot.iter_mut().zip(work) {
-                        *d = matcher.is_match_interned(self.profile(q), self.profile(c));
+                        *d = matcher.decide(q, c, &mut scratch);
                     }
                 });
             }
@@ -526,6 +558,10 @@ impl TableErIndex {
         } else {
             Vec::new()
         };
+        // One tokenizer scratch for the whole candidate loop: each
+        // candidate is tokenized into reused containers instead of a
+        // fresh `Vec<String>` + hash set per record.
+        let mut tok_scratch = TokenizerScratch::new();
         let mut sw = Stopwatch::new();
         sw.start();
         let mut seen = FxHashSet::default();
@@ -546,12 +582,12 @@ impl TableErIndex {
                 metrics.candidate_pairs += 1;
                 metrics.comparisons += 1;
                 let cand = table.record_unchecked(c);
-                let cand_tokens = if matcher.needs_tokens() {
-                    matcher.sorted_tokens(cand)
+                let cand_tokens: &[String] = if matcher.needs_tokens() {
+                    matcher.sorted_tokens_into(cand, &mut tok_scratch)
                 } else {
-                    Vec::new()
+                    &[]
                 };
-                if matcher.is_match_with(record, cand, &probe_tokens, &cand_tokens) {
+                if matcher.is_match_with(record, cand, &probe_tokens, cand_tokens) {
                     metrics.matches_found += 1;
                     out.push(c);
                 }

@@ -3,6 +3,50 @@
 //! The paper evaluates with Jaro-Winkler (Sec. 9.1); Jaro, Levenshtein,
 //! Jaccard and the overlap coefficient are provided as alternates since
 //! entity matching is an orthogonal, pluggable task (Sec. 4).
+//!
+//! Besides the exact functions, this module provides the *threshold-
+//! aware* variants the compiled comparison kernels run
+//! ([`crate::kernel`]): [`jaro_winkler_ge`] aborts the match-counting
+//! scan once the remaining characters cannot lift Jaro-Winkler to a
+//! required minimum, and [`levenshtein_within`] is a banded two-row DP
+//! that stops as soon as the edit distance provably exceeds a cutoff.
+//! Both are exact whenever they complete: a returned value is
+//! bit-identical to the corresponding unbounded function.
+
+/// Slack left on every early-exit comparison so f64 rounding can never
+/// flip a decision: a bound only rejects when it clears the threshold by
+/// more than this. All quantities involved live in `[0, n_attrs]`, where
+/// accumulated rounding error is ~1e-15 — six orders of magnitude below
+/// the slack — so "bound < threshold - SLACK" certifies the exact value
+/// is below the threshold, while bounds inside the slack band simply
+/// fall through to the exact computation.
+pub const BOUND_SLACK: f64 = 1e-9;
+
+/// Reusable byte-position bitmask table for the indexed [`jaro`] path.
+///
+/// The indexed scan needs one `u128` positions mask per byte value; as a
+/// fresh stack array that is 4 KiB of zeroing per call. The scratch
+/// keeps the table across calls and clears only the entries the previous
+/// call touched (≤ 128 writes), which matters when Comparison-Execution
+/// runs millions of Jaro scans back to back.
+pub struct JaroScratch {
+    pos: Box<[u128; 256]>,
+}
+
+impl Default for JaroScratch {
+    fn default() -> Self {
+        Self {
+            pos: Box::new([0u128; 256]),
+        }
+    }
+}
+
+impl JaroScratch {
+    /// Creates a zeroed scratch table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Jaro similarity in `[0, 1]`.
 ///
@@ -32,73 +76,12 @@ fn low_bits(k: usize) -> u128 {
 }
 
 /// Allocation-free Jaro for ASCII slices of length ≤ 128, using `u128`
-/// bitmasks to track matched positions.
+/// bitmasks to track matched positions. One scan implementation exists
+/// — [`jaro_ascii_bounded`] — and this is the cutoff-free entry to it,
+/// so the compiled kernels and the canonical path can never drift.
 fn jaro_ascii(a: &[u8], b: &[u8]) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    if a == b {
-        return 1.0;
-    }
-    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_taken: u128 = 0;
-    let mut a_matched = [0u8; 128];
-    let mut m = 0usize;
-    if a.len() * window >= 256 {
-        // Indexed path for longer inputs: one positions-bitmask per byte
-        // value turns the per-character window scan into a single mask
-        // intersection + trailing_zeros. Picks the identical match (the
-        // lowest untaken equal position inside the window) as the scan.
-        let mut pos = [0u128; 256];
-        for (j, &cb) in b.iter().enumerate() {
-            pos[cb as usize] |= 1u128 << j;
-        }
-        for (i, &ca) in a.iter().enumerate() {
-            let lo = i.saturating_sub(window);
-            let hi = (i + window + 1).min(b.len());
-            let cand = pos[ca as usize] & !b_taken & (low_bits(hi) ^ low_bits(lo));
-            if cand != 0 {
-                b_taken |= cand & cand.wrapping_neg(); // lowest candidate bit
-                a_matched[m] = ca;
-                m += 1;
-            }
-        }
-    } else {
-        for (i, &ca) in a.iter().enumerate() {
-            let lo = i.saturating_sub(window);
-            let hi = (i + window + 1).min(b.len());
-            for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
-                if b_taken & (1u128 << j) == 0 && cb == ca {
-                    b_taken |= 1u128 << j;
-                    a_matched[m] = ca;
-                    m += 1;
-                    break;
-                }
-            }
-        }
-    }
-    if m == 0 {
-        return 0.0;
-    }
-    // Transpositions: walk b's matched positions in order and compare
-    // against a's matched sequence.
-    let mut t2 = 0u32; // twice the transposition count
-    let mut k = 0usize;
-    let mut mask = b_taken;
-    while mask != 0 {
-        let j = mask.trailing_zeros() as usize;
-        mask &= mask - 1;
-        if b[j] != a_matched[k] {
-            t2 += 1;
-        }
-        k += 1;
-    }
-    let m = m as f64;
-    let t = t2 as f64 / 2.0;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    let mut pos = [0u128; 256];
+    jaro_ascii_bounded(a, b, 0, &mut pos).expect("m_min = 0 never rejects")
 }
 
 fn jaro_chars(a: &[char], b: &[char]) -> f64 {
@@ -149,22 +132,207 @@ fn jaro_chars(a: &[char], b: &[char]) -> f64 {
 /// prefix characters with the standard scaling factor 0.1.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     const PREFIX_SCALE: f64 = 0.1;
-    const MAX_PREFIX: usize = 4;
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(MAX_PREFIX)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = common_prefix(a, b);
     j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
 }
 
-/// Levenshtein edit distance (insert/delete/substitute, unit costs),
-/// single-row dynamic program.
+/// Common prefix length capped at the Winkler maximum of 4 characters.
+#[inline]
+fn common_prefix(a: &str, b: &str) -> usize {
+    a.chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Threshold-aware Jaro-Winkler: returns `None` only when the score is
+/// *provably* below `min_jw`, otherwise `Some(score)` with bits
+/// identical to [`jaro_winkler`].
+///
+/// The required Jaro value is derived from `min_jw` via the exact common
+/// prefix, translated into a minimum match count `m_min` (Jaro is
+/// monotone in the number of matched characters), and the ASCII match
+/// scan aborts as soon as the matches found so far plus the characters
+/// left to scan cannot reach `m_min` — skipping the tail of the
+/// O(len·window) work for clearly-dissimilar strings. Every comparison
+/// against the cutoff leaves [`BOUND_SLACK`], so f64 rounding can never
+/// reject a pair whose exact score meets `min_jw`. Non-ASCII or >128
+/// byte inputs take the exact path unconditionally.
+pub fn jaro_winkler_ge(a: &str, b: &str, min_jw: f64, scratch: &mut JaroScratch) -> Option<f64> {
+    const PREFIX_SCALE: f64 = 0.1;
+    if a == b {
+        // jaro = 1.0 and the boost term multiplies (1 - j) = 0, so the
+        // canonical score is exactly 1.0 — attributes repeat constantly
+        // (venues, years), making this the single hottest exit.
+        return Some(1.0);
+    }
+    let prefix = common_prefix(a, b);
+    if a.is_empty() || b.is_empty() {
+        // Same values `jaro` produces; the prefix of an empty string is 0.
+        let j = if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+        return Some(j + prefix as f64 * PREFIX_SCALE * (1.0 - j));
+    }
+    if !(a.is_ascii() && b.is_ascii() && a.len() <= 128 && b.len() <= 128) {
+        let j = jaro(a, b);
+        return Some(j + prefix as f64 * PREFIX_SCALE * (1.0 - j));
+    }
+    // jw = j + 0.1·p·(1-j) is increasing in j, so jw ≥ min_jw needs
+    // j ≥ (min_jw - 0.1·p) / (1 - 0.1·p); the slack absorbs rounding.
+    let boost = prefix as f64 * PREFIX_SCALE;
+    let min_j = (min_jw - boost) / (1.0 - boost) - BOUND_SLACK;
+    let m_min = min_matches_for(a.len(), b.len(), min_j);
+    let j = jaro_ascii_bounded(a.as_bytes(), b.as_bytes(), m_min, &mut scratch.pos)?;
+    Some(j + prefix as f64 * PREFIX_SCALE * (1.0 - j))
+}
+
+/// Upper bound on Jaro from a match count of `m` over lengths `la`/`lb`:
+/// the transposition term is at most 1. Shaped exactly like the final
+/// Jaro expression so f64 monotonicity carries over term by term.
+#[inline]
+fn jaro_ub(m: usize, la: usize, lb: usize) -> f64 {
+    ((m as f64 / la as f64 + m as f64 / lb as f64) + 1.0) / 3.0
+}
+
+/// Smallest match count whose [`jaro_ub`] reaches `min_j` — below it the
+/// exact Jaro score is certainly below `min_j`. Returns `min(la,lb) + 1`
+/// when even a full match set cannot reach it (the length-difference
+/// bound: `m ≤ min(la, lb)` always).
+///
+/// Solved in closed form (`jaro_ub ≥ min_j ⇔ m·(1/la + 1/lb) ≥
+/// 3·min_j − 1`), then nudged by at most a step or two against the
+/// actual f64 expression so the boundary is exact — [`jaro_ub`] is
+/// weakly monotone in `m`, so the invariant "every m below the result
+/// bounds under `min_j`" holds bit-rigorously.
+fn min_matches_for(la: usize, lb: usize, min_j: f64) -> usize {
+    let lmin = la.min(lb);
+    let x = 3.0 * min_j - 1.0;
+    if x <= 0.0 {
+        return 0; // jaro_ub(0) = 1/3 already clears min_j
+    }
+    let inv = 1.0 / la as f64 + 1.0 / lb as f64;
+    let mut m = ((x / inv).ceil() as usize).min(lmin);
+    while m > 0 && jaro_ub(m - 1, la, lb) >= min_j {
+        m -= 1;
+    }
+    while m <= lmin && jaro_ub(m, la, lb) < min_j {
+        m += 1;
+    }
+    m
+}
+
+/// The one ASCII Jaro match scan, with a reusable positions table and a
+/// minimum-match cutoff: returns `None` as soon as the matches found
+/// plus the characters left cannot reach `m_min` (the caller proved
+/// that implies Jaro < its required minimum). With `m_min = 0` the
+/// result is always `Some` — that is the plain [`jaro`] path, so the
+/// compiled kernels and the canonical scores share this scan verbatim
+/// (`ascii_fast_path_matches_generic` pins it against the generic char
+/// scan). Touched `pos` entries are cleared before returning on every
+/// path.
+fn jaro_ascii_bounded(a: &[u8], b: &[u8], m_min: usize, pos: &mut [u128; 256]) -> Option<f64> {
+    if a.is_empty() && b.is_empty() {
+        return Some(1.0);
+    }
+    if a.is_empty() || b.is_empty() {
+        return if m_min > 0 { None } else { Some(0.0) };
+    }
+    if a == b {
+        return Some(1.0);
+    }
+    if a.len().min(b.len()) < m_min {
+        return None; // length-difference bound: m ≤ min(|a|,|b|)
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken: u128 = 0;
+    let mut a_matched = [0u8; 128];
+    let mut m = 0usize;
+    let indexed = a.len() * window >= 256;
+    if indexed {
+        for (j, &cb) in b.iter().enumerate() {
+            pos[cb as usize] |= 1u128 << j;
+        }
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            let cand = pos[ca as usize] & !b_taken & (low_bits(hi) ^ low_bits(lo));
+            if cand != 0 {
+                b_taken |= cand & cand.wrapping_neg();
+                a_matched[m] = ca;
+                m += 1;
+            } else if m + (a.len() - i - 1) < m_min {
+                for &cb in b {
+                    pos[cb as usize] = 0;
+                }
+                return None;
+            }
+        }
+        for &cb in b {
+            pos[cb as usize] = 0;
+        }
+    } else {
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            let mut hit = false;
+            for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+                if b_taken & (1u128 << j) == 0 && cb == ca {
+                    b_taken |= 1u128 << j;
+                    a_matched[m] = ca;
+                    m += 1;
+                    hit = true;
+                    break;
+                }
+            }
+            if !hit && m + (a.len() - i - 1) < m_min {
+                return None;
+            }
+        }
+    }
+    if m < m_min {
+        return None;
+    }
+    if m == 0 {
+        return Some(0.0);
+    }
+    let mut t2 = 0u32;
+    let mut k = 0usize;
+    let mut mask = b_taken;
+    while mask != 0 {
+        let j = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        if b[j] != a_matched[k] {
+            t2 += 1;
+        }
+        k += 1;
+    }
+    let m = m as f64;
+    let t = t2 as f64 / 2.0;
+    Some((m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0)
+}
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+///
+/// Runs the two-row dynamic program in its compressed form — one
+/// reusable row plus the diagonal carry — so space is O(len), never the
+/// full matrix. ASCII inputs compare byte slices directly with no
+/// per-call `Vec<char>` collection.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return lev_two_row(a.as_bytes(), b.as_bytes());
+    }
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    lev_two_row(&a, &b)
+}
+
+/// The compressed two-row Levenshtein DP over arbitrary symbol slices.
+fn lev_two_row<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -172,10 +340,10 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.len();
     }
     let mut row: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
+    for (i, ca) in a.iter().enumerate() {
         let mut prev_diag = row[0];
         row[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
+        for (j, cb) in b.iter().enumerate() {
             let cost = usize::from(ca != cb);
             let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
             prev_diag = row[j + 1];
@@ -183,6 +351,63 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         }
     }
     row[b.len()]
+}
+
+/// Banded two-row Levenshtein with cutoff: `Some(d)` iff the distance is
+/// at most `k` (then `d` equals [`levenshtein`] exactly), `None` when it
+/// provably exceeds `k`. Only cells within `|i - j| ≤ k` of the diagonal
+/// are computed — O(k·len) instead of O(len²) — and the scan stops at
+/// the first row whose entire band exceeds `k` (an optimal path's cells
+/// never exceed the final distance, so d > k is certain). The compiled
+/// Levenshtein kernel derives `k` from the match threshold.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    if a.is_ascii() && b.is_ascii() {
+        return lev_within_band(a.as_bytes(), b.as_bytes(), k);
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    lev_within_band(&a, &b, k)
+}
+
+fn lev_within_band<T: PartialEq>(a: &[T], b: &[T], k: usize) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > k {
+        return None; // every alignment needs ≥ |la-lb| indels
+    }
+    if a.is_empty() || b.is_empty() {
+        return Some(a.len().max(b.len()));
+    }
+    if k >= a.len().max(b.len()) {
+        let d = lev_two_row(a, b);
+        return (d <= k).then_some(d);
+    }
+    // Out-of-band cells read as INF: any cell with |i-j| > k costs more
+    // than k, so clamping the band never alters in-band values ≤ k.
+    const INF: usize = usize::MAX / 2;
+    let lb = b.len();
+    let mut row: Vec<usize> = vec![INF; lb + 1];
+    for (j, slot) in row.iter_mut().enumerate().take(lb.min(k) + 1) {
+        *slot = j;
+    }
+    for i in 1..=a.len() {
+        let jlo = if i > k { i - k } else { 1 };
+        let jhi = (i + k).min(lb);
+        let mut prev_diag = row[jlo - 1];
+        // Cell (i, jlo-1): column 0 boundary when in band, else outside.
+        row[jlo - 1] = if jlo == 1 && i <= k { i } else { INF };
+        let mut row_min = INF;
+        for j in jlo..=jhi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let next = (prev_diag + cost).min(row[j - 1] + 1).min(row[j] + 1);
+            prev_diag = row[j];
+            row[j] = next;
+            row_min = row_min.min(next);
+        }
+        if row_min > k {
+            return None;
+        }
+    }
+    let d = row[lb];
+    (d <= k).then_some(d)
 }
 
 /// Levenshtein similarity `1 - dist / max_len` in `[0, 1]`.
@@ -329,6 +554,75 @@ mod tests {
                 (generic - fast).abs() < 1e-12,
                 "{a} vs {b}: {generic} {fast}"
             );
+        }
+    }
+
+    #[test]
+    fn jaro_winkler_ge_exact_or_certainly_below() {
+        let samples = [
+            ("MARTHA", "MARHTA"),
+            ("DIXON", "DICKSONX"),
+            ("JELLYFISH", "SMELLYFISH"),
+            ("collective entity resolution", "collective e.r"),
+            ("", "x"),
+            ("", ""),
+            ("abcdef", "abcdef"),
+            ("ab", "ba"),
+            ("café", "cafe"),
+            (
+                "international conference on extending database technology",
+                "intl conference on extending data base technologies",
+            ),
+            (
+                "a framework for fast analysis aware deduplication over dirty data",
+                "completely unrelated text about deep learning for vision",
+            ),
+        ];
+        let mut scratch = JaroScratch::new();
+        for (a, b) in samples {
+            let exact = jaro_winkler(a, b);
+            for min_jw in [0.0, 0.3, 0.5, 0.85, 0.95, 1.0, exact, exact - 1e-12] {
+                match jaro_winkler_ge(a, b, min_jw, &mut scratch) {
+                    Some(v) => assert_eq!(
+                        v.to_bits(),
+                        exact.to_bits(),
+                        "{a} vs {b} at {min_jw}: {v} != {exact}"
+                    ),
+                    None => assert!(
+                        exact < min_jw,
+                        "{a} vs {b}: rejected at {min_jw} but exact is {exact}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_within_matches_unbounded() {
+        let samples = [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("abc", ""),
+            ("flaw", "lawn"),
+            ("héllo", "hello"),
+            ("same", "same"),
+            ("abcdefghij", "jihgfedcba"),
+            (
+                "entity resolution on big data",
+                "entity resolutoin on big data",
+            ),
+        ];
+        for (a, b) in samples {
+            let d = levenshtein(a, b);
+            for k in 0..=d + 3 {
+                match levenshtein_within(a, b, k) {
+                    Some(v) => {
+                        assert_eq!(v, d, "{a} vs {b} k={k}");
+                        assert!(d <= k);
+                    }
+                    None => assert!(d > k, "{a} vs {b}: refused k={k} but d={d}"),
+                }
+            }
         }
     }
 

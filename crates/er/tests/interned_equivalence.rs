@@ -69,10 +69,11 @@ fn build_table(rows: &[(Vec<usize>, Vec<usize>)]) -> Table {
 }
 
 fn kind_of(k: usize) -> SimilarityKind {
-    match k % 4 {
+    match k % 5 {
         0 => SimilarityKind::MeanJaroWinkler,
         1 => SimilarityKind::TokenJaccard,
         2 => SimilarityKind::TokenOverlap,
+        3 => SimilarityKind::MeanLevenshtein,
         _ => SimilarityKind::Hybrid,
     }
 }
@@ -252,7 +253,7 @@ proptest! {
     #[test]
     fn interned_similarity_equals_string_similarity(
         rows in rows(),
-        kind in 0usize..4,
+        kind in 0usize..5,
         thr in prop_oneof![Just(0.5f64), Just(0.75), Just(0.85), Just(0.95)],
     ) {
         let table = build_table(&rows);
@@ -287,7 +288,7 @@ proptest! {
     #[test]
     fn resolve_equals_reference_pipeline(
         rows in rows(),
-        kind in 0usize..4,
+        kind in 0usize..5,
         meta in 0usize..5,
         scope in 0usize..2,
         blk in 0usize..2,
