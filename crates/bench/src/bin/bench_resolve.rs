@@ -4,15 +4,26 @@
 //! can track the hot-path trajectory. Unlike the Criterion benches this
 //! is cheap enough to run on every push.
 //!
+//! Each repetition resolves the workload twice: a **cold** pass on
+//! freshly cleared resolve caches (the numbers every previous PR
+//! tracked) and a **warm** pass — same query entities, fresh Link Index,
+//! caches left hot — measuring what the cross-query resolve cache
+//! (`QUERYER_EP_CACHE`) saves a repeated/overlapping query. Warm decision
+//! counts must equal the cold ones (cache state never changes
+//! decisions), so `--check` pins both.
+//!
 //! Usage: `bench_resolve [OUT_PATH] [--check]` (default
 //! `BENCH_resolve.json` in the current directory). With `--check`, the
-//! decision counts (`comparisons`, `candidate_pairs`, `matches_found`)
-//! of a pre-existing OUT_PATH are captured before the run and diffed
-//! against the fresh results afterwards; any drift exits non-zero. CI
-//! runs this against the committed JSON, so decision regressions fail
-//! the build while timings (which flake on shared runners) stay
-//! informational. `QUERYER_BENCH_REPS` overrides the repetition count
-//! (default 7; medians want an odd number).
+//! decision counts (cold `comparisons` / `candidate_pairs` /
+//! `matches_found` plus their `warm_*` twins) of a pre-existing OUT_PATH
+//! are captured before the run and diffed against the fresh results
+//! afterwards; any drift exits non-zero. CI runs this against the
+//! committed JSON, so decision regressions fail the build while timings
+//! (which flake on shared runners) stay informational. The cache
+//! hit-count fields are informational too: they vary legitimately across
+//! `QUERYER_EP_CACHE` modes, and `--check` must stay green in every
+//! mode. `QUERYER_BENCH_REPS` overrides the repetition count (default 7;
+//! medians want an odd number).
 
 use queryer_datagen::scholarly;
 use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
@@ -23,7 +34,17 @@ const RECORDS: usize = 2000;
 const SEED: u64 = 99;
 
 /// The decision counts `--check` pins (timings are never compared).
-const CHECKED_COUNTS: [&str; 3] = ["comparisons", "candidate_pairs", "matches_found"];
+/// Warm counts are pinned to the same committed values as the cold ones:
+/// the warm pass re-resolves the identical workload against a fresh Link
+/// Index, so any divergence means cache state leaked into decisions.
+const CHECKED_COUNTS: [&str; 6] = [
+    "comparisons",
+    "candidate_pairs",
+    "matches_found",
+    "warm_comparisons",
+    "warm_candidate_pairs",
+    "warm_matches_found",
+];
 
 fn median_ns(mut xs: Vec<u64>) -> u64 {
     xs.sort_unstable();
@@ -100,10 +121,23 @@ fn main() {
         assert!(!out.dr.is_empty());
     }
 
+    let stages_of = |m: &DedupMetrics| -> [Duration; 6] {
+        [
+            m.blocking,
+            m.block_join,
+            m.purging,
+            m.filtering,
+            m.edge_pruning,
+            m.resolution,
+        ]
+    };
     let mut total_ns = Vec::with_capacity(reps);
+    let mut warm_total_ns = Vec::with_capacity(reps);
     let mut stage_ns: [Vec<u64>; 6] = Default::default();
+    let mut warm_stage_ns: [Vec<u64>; 6] = Default::default();
     let mut comp_per_sec = Vec::with_capacity(reps);
     let mut last = DedupMetrics::default();
+    let mut last_warm = DedupMetrics::default();
     for _ in 0..reps {
         let mut li = LinkIndex::new(ds.table.len());
         let mut m = DedupMetrics::default();
@@ -113,15 +147,7 @@ fn main() {
         let t0 = Instant::now();
         er.resolve(&ds.table, &qe, &mut li, &mut m);
         total_ns.push(t0.elapsed().as_nanos() as u64);
-        let stages: [Duration; 6] = [
-            m.blocking,
-            m.block_join,
-            m.purging,
-            m.filtering,
-            m.edge_pruning,
-            m.resolution,
-        ];
-        for (acc, d) in stage_ns.iter_mut().zip(stages) {
+        for (acc, d) in stage_ns.iter_mut().zip(stages_of(&m)) {
             acc.push(d.as_nanos() as u64);
         }
         let res_secs = m.resolution.as_secs_f64();
@@ -131,6 +157,20 @@ fn main() {
             0
         });
         last = m;
+
+        // Warm pass: the identical workload against a fresh Link Index
+        // with the resolve caches left hot — the repeated/overlapping
+        // query shape the cross-query cache exists for. Decision counts
+        // must match the cold pass exactly.
+        let mut li_warm = LinkIndex::new(ds.table.len());
+        let mut mw = DedupMetrics::default();
+        let t0 = Instant::now();
+        er.resolve(&ds.table, &qe, &mut li_warm, &mut mw);
+        warm_total_ns.push(t0.elapsed().as_nanos() as u64);
+        for (acc, d) in warm_stage_ns.iter_mut().zip(stages_of(&mw)) {
+            acc.push(d.as_nanos() as u64);
+        }
+        last_warm = mw;
     }
 
     // `comparison_execution` is `DedupMetrics::resolution` ("Resolution"
@@ -144,13 +184,22 @@ fn main() {
         "edge_pruning",
         "comparison_execution",
     ];
-    let mut stages_json = String::new();
-    for (i, (name, ns)) in names.into_iter().zip(stage_ns).enumerate() {
-        if i > 0 {
-            stages_json.push_str(", ");
+    let stage_medians: Vec<u64> = stage_ns.into_iter().map(median_ns).collect();
+    let warm_stage_medians: Vec<u64> = warm_stage_ns.into_iter().map(median_ns).collect();
+    let stages_json_of = |medians: &[u64]| {
+        let mut out = String::new();
+        for (i, (name, ns)) in names.iter().zip(medians).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {ns}");
         }
-        let _ = write!(stages_json, "\"{name}\": {}", median_ns(ns));
-    }
+        out
+    };
+    let stages_json = stages_json_of(&stage_medians);
+    let warm_stages_json = stages_json_of(&warm_stage_medians);
+    let cold_total = median_ns(total_ns);
+    let warm_total = median_ns(warm_total_ns);
 
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -158,16 +207,36 @@ fn main() {
         "  \"workload\": {{\"dataset\": \"dblp_scholar\", \"records\": {RECORDS}, \"seed\": {SEED}, \"qe\": \"all\"}},"
     );
     let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"ep_cache_mode\": \"{}\",", cfg.ep_cache.label());
     let _ = writeln!(json, "  \"index_build_ns\": {build_ns},");
-    let _ = writeln!(
-        json,
-        "  \"resolve_total_ns_median\": {},",
-        median_ns(total_ns)
-    );
+    let _ = writeln!(json, "  \"resolve_total_ns_median\": {cold_total},");
     let _ = writeln!(json, "  \"stages_ns_median\": {{{stages_json}}},");
     let _ = writeln!(json, "  \"comparisons\": {},", last.comparisons);
     let _ = writeln!(json, "  \"candidate_pairs\": {},", last.candidate_pairs);
     let _ = writeln!(json, "  \"matches_found\": {},", last.matches_found);
+    let _ = writeln!(json, "  \"resolve_warm_total_ns_median\": {warm_total},");
+    let _ = writeln!(json, "  \"stages_warm_ns_median\": {{{warm_stages_json}}},");
+    let _ = writeln!(json, "  \"warm_comparisons\": {},", last_warm.comparisons);
+    let _ = writeln!(
+        json,
+        "  \"warm_candidate_pairs\": {},",
+        last_warm.candidate_pairs
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_matches_found\": {},",
+        last_warm.matches_found
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_ep_cache_hits\": {},",
+        last_warm.ep_cache_hits
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_decision_cache_hits\": {},",
+        last_warm.decision_cache_hits
+    );
     let _ = writeln!(
         json,
         "  \"comparisons_per_sec_median\": {}",
@@ -177,6 +246,21 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_resolve.json");
     println!("{json}");
     println!("wrote {out_path}");
+
+    // Warm-over-cold speedups (informational — timings are never gated).
+    let speedup = |cold: u64, warm: u64| {
+        if warm > 0 {
+            cold as f64 / warm as f64
+        } else {
+            f64::INFINITY
+        }
+    };
+    println!(
+        "warm speedup: total {:.2}x, edge_pruning {:.2}x, comparison_execution {:.2}x",
+        speedup(cold_total, warm_total),
+        speedup(stage_medians[4], warm_stage_medians[4]),
+        speedup(stage_medians[5], warm_stage_medians[5]),
+    );
 
     if let Some(base) = baseline {
         let mut drift = false;

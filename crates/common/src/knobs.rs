@@ -52,6 +52,64 @@ pub fn ep_threads() -> usize {
     env_usize("QUERYER_EP_THREADS", 0)
 }
 
+/// Operating mode of the cross-query resolve cache (incremental Edge
+/// Pruning thresholds / surviving-neighbour lists + pair decision
+/// memoization) — the `QUERYER_EP_CACHE` / `ErConfig::ep_cache` knob.
+///
+/// Every mode produces bit-identical decisions; the modes only trade
+/// *when* threshold work happens (never / on first touch / up front).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpCacheMode {
+    /// No cross-query caching: Edge Pruning recomputes thresholds per
+    /// query (bulk sweep or lazy per-entity map, per `QUERYER_EP_BULK`)
+    /// and every surviving pair runs a comparison kernel.
+    Off,
+    /// Incremental (the default): thresholds and surviving-neighbour
+    /// lists are computed only for nodes first touched by a query
+    /// frontier and memoized across queries; comparison decisions are
+    /// memoized per pair.
+    #[default]
+    On,
+    /// Like `On`, but the node-threshold vector is prewarmed for every
+    /// node by the bulk sweep before the first frontier scan (the old
+    /// eager behaviour, now a cheap finishing pass over the build-time
+    /// CBS partials).
+    Prewarm,
+}
+
+impl EpCacheMode {
+    /// Whether any cross-query caching (thresholds, survivors, pair
+    /// decisions) is active.
+    pub fn enabled(self) -> bool {
+        !matches!(self, EpCacheMode::Off)
+    }
+
+    /// Lowercase label, matching what `QUERYER_EP_CACHE` accepts.
+    pub fn label(self) -> &'static str {
+        match self {
+            EpCacheMode::Off => "off",
+            EpCacheMode::On => "on",
+            EpCacheMode::Prewarm => "prewarm",
+        }
+    }
+}
+
+/// Cross-query resolve-cache mode (`QUERYER_EP_CACHE`): `off`/`0`,
+/// `on`/`1` (the default), or `prewarm`. Unknown values fall back to the
+/// default so a typo degrades to the stock configuration instead of
+/// panicking mid-pipeline.
+pub fn ep_cache() -> EpCacheMode {
+    match std::env::var("QUERYER_EP_CACHE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "false" | "no" | "off" => EpCacheMode::Off,
+            "1" | "true" | "yes" | "on" => EpCacheMode::On,
+            "prewarm" | "warm" | "2" => EpCacheMode::Prewarm,
+            _ => EpCacheMode::default(),
+        },
+        Err(_) => EpCacheMode::default(),
+    }
+}
+
 /// Worker-thread count for Comparison-Execution (`QUERYER_CMP_THREADS`).
 /// `0` (the default) means "auto": use the machine's available
 /// parallelism. Thread count never affects decisions — the executor
@@ -82,6 +140,21 @@ mod tests {
             assert_eq!(env_usize("QUERYER_NO_SUCH_KNOB", 5), 5);
             assert!(env_flag("QUERYER_NO_SUCH_KNOB", true));
             assert!(!env_flag("QUERYER_NO_SUCH_KNOB", false));
+        }
+    }
+
+    #[test]
+    fn ep_cache_mode_flags_and_labels() {
+        assert!(!EpCacheMode::Off.enabled());
+        assert!(EpCacheMode::On.enabled());
+        assert!(EpCacheMode::Prewarm.enabled());
+        assert_eq!(EpCacheMode::Off.label(), "off");
+        assert_eq!(EpCacheMode::On.label(), "on");
+        assert_eq!(EpCacheMode::Prewarm.label(), "prewarm");
+        assert_eq!(EpCacheMode::default(), EpCacheMode::On);
+        // Only the unset path is asserted (see above on set/restore races).
+        if std::env::var("QUERYER_EP_CACHE").is_err() {
+            assert_eq!(ep_cache(), EpCacheMode::On);
         }
     }
 }

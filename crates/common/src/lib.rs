@@ -1,22 +1,27 @@
 //! Shared primitives used across the QueryER workspace.
 //!
-//! This crate deliberately has no dependencies: it provides the small,
-//! hot-path utilities every other crate needs — a fast non-cryptographic
-//! hasher (the offline crate set has no `rustc-hash`, and the algorithm is
-//! tiny), canonical packing of unordered record-id pairs into `u64` keys,
-//! a generic CSR (offsets + data) packing for ragged row collections,
-//! build-once token interning with flat slice arenas, and a stopwatch for
-//! per-stage operator timing.
+//! This crate's only dependency is the (vendored) `parking_lot` lock
+//! shim: it provides the small, hot-path utilities every other crate
+//! needs — a fast non-cryptographic hasher (the offline crate set has no
+//! `rustc-hash`, and the algorithm is tiny), canonical packing of
+//! unordered record-id pairs into `u64` keys, a generic CSR (offsets +
+//! data) packing for ragged row collections, build-once token interning
+//! with flat slice arenas, a sharded concurrent memo map for the
+//! cross-query resolve caches, and a stopwatch for per-stage operator
+//! timing.
 
 pub mod csr;
 pub mod fxhash;
 pub mod intern;
 pub mod knobs;
 pub mod pairkey;
+pub mod sharded;
 pub mod timing;
 
 pub use csr::Csr;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Symbol, TokenArena, TokenInterner};
+pub use knobs::EpCacheMode;
 pub use pairkey::{pack_pair, unpack_pair, PairSet};
+pub use sharded::ShardedMap;
 pub use timing::Stopwatch;

@@ -1,0 +1,277 @@
+//! A sharded concurrent memo map for deterministic, idempotent values.
+//!
+//! The cross-query resolve caches of the ER crate (node-centric Edge
+//! Pruning thresholds, surviving-neighbour lists, pair comparison
+//! decisions) share one access pattern: many readers and writers hit a
+//! `u64`-keyed map from parallel sweeps, every value is a pure function
+//! of its key (plus immutable index state), and a racing recomputation
+//! is wasted work but never wrong. [`ShardedMap`] serves that pattern
+//! with `N` parking_lot-mutexed [`FxHashMap`] shards: lookups lock one
+//! shard for a single probe, and the value closure of
+//! [`ShardedMap::get_or_insert_with`] runs *outside* any lock, so a
+//! slow computation never serializes unrelated keys (and can itself
+//! recurse into the map for other keys without deadlocking).
+
+use crate::fxhash::FxHashMap;
+use parking_lot::Mutex;
+
+/// Default shard count — enough to keep 8–16 worker threads from
+/// serializing on one mutex while staying cache-friendly.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent `u64 → V` memo map split across mutexed shards.
+///
+/// Values must be cheap to clone (`f64`, `bool`, `Arc<…>`): accessors
+/// return clones so no shard lock outlives a call. Intended for
+/// *deterministic* values — when two threads race on the same absent
+/// key, both may compute, and the first insertion wins; callers must
+/// guarantee both computations would produce the same value.
+#[derive(Debug)]
+pub struct ShardedMap<V> {
+    shards: Box<[Mutex<FxHashMap<u64, V>>]>,
+    /// `shards.len() - 1`; the length is a power of two.
+    mask: u64,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// Creates an empty map with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty map with at least `shards` shards (rounded up to
+    /// a power of two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<Mutex<FxHashMap<u64, V>>> =
+            (0..n).map(|_| Mutex::new(FxHashMap::default())).collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Index of the shard a key lives in. Keys are often sequential ids
+    /// or packed id pairs, so the raw low bits would pile neighbouring
+    /// keys into one shard; a Fibonacci multiply spreads them first.
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        let spread = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (spread & self.mask) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Mutex<FxHashMap<u64, V>> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Returns a clone of the value under `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard(key).lock().get(&key).cloned()
+    }
+
+    /// Returns the value under `key`, computing it via `f` on a miss.
+    ///
+    /// `f` runs with no lock held: concurrent callers may compute
+    /// redundantly, and whichever insertion lands first is the value
+    /// every caller returns — callers must only memoize deterministic
+    /// values, which makes the race benign.
+    pub fn get_or_insert_with(&self, key: u64, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = f();
+        self.shard(key).lock().entry(key).or_insert(v).clone()
+    }
+
+    /// Inserts `value` unless the key is already present; returns the
+    /// stored value (the existing one on conflict — first write wins,
+    /// matching [`ShardedMap::get_or_insert_with`]).
+    pub fn insert_if_absent(&self, key: u64, value: V) -> V {
+        self.shard(key).lock().entry(key).or_insert(value).clone()
+    }
+
+    /// Groups `0..n` key indices by shard with a stable counting sort:
+    /// returns per-shard offsets into the returned order array. One
+    /// `shard_of` per key, O(n) total — the batch operations below then
+    /// lock each shard exactly once and visit only its own keys.
+    fn group_by_shard(&self, keys: &[u64]) -> (Vec<u32>, Vec<u32>) {
+        let n_shards = self.shards.len();
+        let mut offsets = vec![0u32; n_shards + 1];
+        let shard_ids: Vec<u32> = keys.iter().map(|&k| self.shard_of(k) as u32).collect();
+        for &s in &shard_ids {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut order = vec![0u32; keys.len()];
+        for (i, &s) in shard_ids.iter().enumerate() {
+            let c = &mut cursor[s as usize];
+            order[*c as usize] = i as u32;
+            *c += 1;
+        }
+        (offsets, order)
+    }
+
+    /// Batched lookup: `out[i]` receives the cached value of `keys[i]`
+    /// (or `None`). Probes are grouped so each shard is locked at most
+    /// once per call instead of once per key — the shape the decision
+    /// cache's probe pass wants for tens of thousands of pairs.
+    pub fn get_batch(&self, keys: &[u64], out: &mut Vec<Option<V>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        let (offsets, order) = self.group_by_shard(keys);
+        for (shard_at, shard) in self.shards.iter().enumerate() {
+            let mine = &order[offsets[shard_at] as usize..offsets[shard_at + 1] as usize];
+            if mine.is_empty() {
+                continue;
+            }
+            let guard = shard.lock();
+            if guard.is_empty() {
+                continue;
+            }
+            for &i in mine {
+                out[i as usize] = guard.get(&keys[i as usize]).cloned();
+            }
+        }
+    }
+
+    /// Batched first-write-wins insertion, locking each shard at most
+    /// once per call.
+    pub fn insert_batch(&self, entries: &[(u64, V)]) {
+        let keys: Vec<u64> = entries.iter().map(|&(k, _)| k).collect();
+        let (offsets, order) = self.group_by_shard(&keys);
+        for (shard_at, shard) in self.shards.iter().enumerate() {
+            let mine = &order[offsets[shard_at] as usize..offsets[shard_at + 1] as usize];
+            if mine.is_empty() {
+                continue;
+            }
+            let mut guard = shard.lock();
+            for &i in mine {
+                let (key, value) = &entries[i as usize];
+                guard.entry(*key).or_insert_with(|| value.clone());
+            }
+        }
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Drops every cached entry, keeping shard allocations.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().clear();
+        }
+    }
+}
+
+impl<V: Clone> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn miss_computes_hit_reuses() {
+        let m: ShardedMap<u64> = ShardedMap::new();
+        let calls = AtomicUsize::new(0);
+        let v = m.get_or_insert_with(7, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            42
+        });
+        assert_eq!(v, 42);
+        let v = m.get_or_insert_with(7, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            99
+        });
+        assert_eq!(v, 42, "second call must serve the memoized value");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(m.get(7), Some(42));
+        assert_eq!(m.get(8), None);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let m: ShardedMap<u32> = ShardedMap::new();
+        assert_eq!(m.insert_if_absent(1, 10), 10);
+        assert_eq!(m.insert_if_absent(1, 20), 10);
+        assert_eq!(m.get(1), Some(10));
+    }
+
+    #[test]
+    fn len_clear_and_spread() {
+        let m: ShardedMap<bool> = ShardedMap::with_shards(4);
+        for k in 0..100u64 {
+            m.insert_if_absent(k, k % 2 == 0);
+        }
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_ops() {
+        let m: ShardedMap<u64> = ShardedMap::with_shards(4);
+        let keys: Vec<u64> = (0..500u64).map(|k| k.wrapping_mul(0x51ab)).collect();
+        // Insert the even-indexed keys, first-write-wins semantics.
+        let entries: Vec<(u64, u64)> = keys.iter().step_by(2).map(|&k| (k, k + 1)).collect();
+        m.insert_batch(&entries);
+        m.insert_batch(&[(keys[0], 999)]); // must not overwrite
+        let mut out = Vec::new();
+        m.get_batch(&keys, &mut out);
+        assert_eq!(out.len(), keys.len());
+        for (i, (&k, got)) in keys.iter().zip(&out).enumerate() {
+            let want = if i % 2 == 0 { Some(k + 1) } else { None };
+            assert_eq!(*got, want, "key index {i}");
+            assert_eq!(m.get(k), want, "single-key get must agree");
+        }
+        // Empty batches are no-ops.
+        m.insert_batch(&[]);
+        m.get_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_up() {
+        // 3 rounds to 4, 0 clamps to 1; both must behave identically.
+        for shards in [0usize, 1, 3, 16] {
+            let m: ShardedMap<u8> = ShardedMap::with_shards(shards);
+            m.insert_if_absent(u64::MAX, 9);
+            assert_eq!(m.get(u64::MAX), Some(9));
+        }
+    }
+
+    #[test]
+    fn concurrent_dedup_is_benign() {
+        let m: ShardedMap<u64> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..256u64 {
+                        // Deterministic value per key: racing computes
+                        // agree, so every thread must read k * 3.
+                        assert_eq!(m.get_or_insert_with(k, || k * 3), k * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 256);
+    }
+}

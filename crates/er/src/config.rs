@@ -1,5 +1,7 @@
 //! Configuration of the ER pipeline.
 
+pub use queryer_common::knobs::EpCacheMode;
+
 /// Which meta-blocking methods run, mirroring the configurations of
 /// Table 8 in the paper: `ALL` (BP + BF + EP), `BP+BF`, `BP+EP`, plus
 /// `BP`-only and `None` for ablations.
@@ -151,14 +153,26 @@ pub struct ErConfig {
     /// all nodes (`true`, the default — wins whenever a query touches a
     /// sizeable fraction of the table) instead of lazily caching them per
     /// examined entity (wins for point queries). Both modes produce
-    /// bit-identical thresholds and pair sets. Default comes from the
-    /// `QUERYER_EP_BULK` env knob.
+    /// bit-identical thresholds and pair sets. Only consulted when
+    /// `ep_cache` is [`EpCacheMode::Off`] — the cached path picks
+    /// bulk-vs-incremental itself from the frontier shape. Default comes
+    /// from the `QUERYER_EP_BULK` env knob.
     pub ep_bulk_thresholds: bool,
     /// Worker threads for the Edge Pruning sweeps (bulk threshold pass +
     /// frontier scan). `0` = auto (available parallelism). Thread count
     /// never affects results — partitions are merged in deterministic
     /// order. Default comes from the `QUERYER_EP_THREADS` env knob.
     pub ep_threads: usize,
+    /// Cross-query resolve cache mode: incremental node-centric EP
+    /// thresholds + surviving-neighbour lists memoized across queries,
+    /// and pair-keyed comparison-decision memoization in
+    /// Comparison-Execution. `Off` restores the uncached per-query
+    /// behaviour, `On` (the default) fills the caches as queries touch
+    /// nodes/pairs, `Prewarm` additionally runs the bulk threshold
+    /// sweep up front. Every mode is bit-identical in its decisions
+    /// (pinned by `tests/cache_equivalence.rs`). Default comes from the
+    /// `QUERYER_EP_CACHE` env knob.
+    pub ep_cache: EpCacheMode,
 }
 
 impl Default for ErConfig {
@@ -178,6 +192,7 @@ impl Default for ErConfig {
             parallelism: queryer_common::knobs::cmp_threads(),
             ep_bulk_thresholds: queryer_common::knobs::ep_bulk_thresholds(),
             ep_threads: queryer_common::knobs::ep_threads(),
+            ep_cache: queryer_common::knobs::ep_cache(),
         }
     }
 }
@@ -253,6 +268,18 @@ mod tests {
             ..ErConfig::default()
         };
         assert!(auto.effective_parallelism() >= 1);
+    }
+
+    #[test]
+    fn ep_cache_default_follows_knob() {
+        // Only the unset-env path is asserted (set/restore would race
+        // other tests in the same process).
+        if std::env::var("QUERYER_EP_CACHE").is_err() {
+            assert_eq!(ErConfig::default().ep_cache, EpCacheMode::On);
+        }
+        assert!(EpCacheMode::On.enabled());
+        assert!(EpCacheMode::Prewarm.enabled());
+        assert!(!EpCacheMode::Off.enabled());
     }
 
     #[test]

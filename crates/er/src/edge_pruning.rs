@@ -125,20 +125,19 @@ impl<'a> EdgePruner<'a> {
     }
 }
 
-/// Uncached node-centric WNP threshold of `e`: mean edge weight over its
-/// neighbourhood, scanned through `scratch`. This is the single
-/// definition both build modes share — the lazy per-entity cache and the
-/// bulk sweep call it with identical iteration order (the CSR retained
-/// blocks of `e`, then each filtered block's contents), so their `f64`
-/// accumulation is bit-identical.
-fn node_threshold_uncached(
+/// The WNP threshold accumulation over an already-materialized
+/// neighbourhood: mean edge weight in the given order. This is the
+/// single definition every threshold producer shares — the lazy
+/// per-entity cache, the bulk sweep, and the cross-query incremental
+/// cache all feed it the same neighbourhood in the same first-touch
+/// order, so their `f64` accumulation is bit-identical.
+pub(crate) fn threshold_over(
     idx: &TableErIndex,
     scheme: WeightScheme,
     n_blocks: f64,
     e: RecordId,
-    scratch: &mut CooccurrenceScratch,
+    nbh: &[(RecordId, u32)],
 ) -> f64 {
-    let nbh = idx.cooccurrences_into(e, scratch);
     if nbh.is_empty() {
         return 0.0;
     }
@@ -147,6 +146,54 @@ fn node_threshold_uncached(
         sum += weight_of(idx, scheme, n_blocks, e, other, cbs);
     }
     sum / nbh.len() as f64
+}
+
+/// Uncached node-centric WNP threshold of `e`: reads the build-time CBS
+/// partials zero-copy when the index carries them (the bulk sweep then
+/// never copies a row), falling back to a counting sweep through
+/// `scratch`. Both sources hold the identical neighbourhood in the
+/// identical first-touch order.
+fn node_threshold_uncached(
+    idx: &TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+    e: RecordId,
+    scratch: &mut CooccurrenceScratch,
+) -> f64 {
+    if let Some(nbh) = idx.cbs_neighbourhood(e) {
+        return threshold_over(idx, scheme, n_blocks, e, nbh);
+    }
+    let nbh = idx.cooccurrences_into(e, scratch);
+    threshold_over(idx, scheme, n_blocks, e, nbh)
+}
+
+/// Node-centric EP survivors of `e` over an already-materialized
+/// neighbourhood: the neighbours whose edge `e` keeps under the
+/// redefined-WNP union rule (either endpoint's threshold admits the
+/// weight), in neighbourhood order. `th` resolves the *other*
+/// endpoint's threshold and is only consulted when `e`'s own vote
+/// fails, mirroring the short-circuit of
+/// [`EdgePruner::survives_node_centric`]. The returned list is exactly
+/// the pair-emission order of the uncached frontier scans, so a warm
+/// scan replaying it (through the same `PairSet` dedup) is
+/// bit-identical to a cold one.
+pub(crate) fn survivors_over(
+    idx: &TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+    e: RecordId,
+    nbh: &[(RecordId, u32)],
+    th_e: f64,
+    mut th: impl FnMut(RecordId) -> f64,
+) -> Vec<RecordId> {
+    let mut out = Vec::new();
+    for &(other, cbs) in nbh {
+        let w = weight_of(idx, scheme, n_blocks, e, other, cbs);
+        if keeps(w, th_e) || keeps(w, th(other)) {
+            out.push(other);
+        }
+    }
+    out
 }
 
 /// Bulk node-centric threshold pass: computes the WNP threshold of

@@ -7,11 +7,11 @@
 //! Block Filtering needs.
 
 use crate::blocking::{build_blocks, RawBlocks};
-use crate::config::ErConfig;
+use crate::config::{ErConfig, WeightScheme};
 use crate::purging::purge_flags;
 use crate::tokenizer::{record_keys, record_tokens};
 use parking_lot::Mutex;
-use queryer_common::{Csr, FxHashMap, FxHashSet, TokenArena, TokenInterner};
+use queryer_common::{Csr, FxHashMap, FxHashSet, ShardedMap, TokenArena, TokenInterner};
 use queryer_storage::{Record, RecordId, Table};
 use std::sync::Arc;
 
@@ -156,6 +156,44 @@ struct EpThresholdCache {
     bulk: Option<Arc<Vec<f64>>>,
 }
 
+/// Tag of a weight scheme inside the cross-query cache keys, so one
+/// sharded map can hold entries for several schemes side by side.
+#[inline]
+pub(crate) fn scheme_tag(scheme: WeightScheme) -> u64 {
+    match scheme {
+        WeightScheme::Cbs => 0,
+        WeightScheme::Ecbs => 1,
+        WeightScheme::Js => 2,
+    }
+}
+
+/// Cache key of a `(weight scheme, node)` entry.
+#[inline]
+pub(crate) fn scheme_node_key(scheme: WeightScheme, e: RecordId) -> u64 {
+    (scheme_tag(scheme) << 32) | e as u64
+}
+
+/// The cross-query resolve cache (see the "hot resolve path" docs in
+/// `lib.rs`): incremental node-centric EP thresholds and
+/// surviving-neighbour lists keyed by `(weight scheme, node)`, plus the
+/// pair-keyed comparison-decision memo. All three only ever hold values
+/// that are pure functions of the immutable index, so serving them
+/// across queries can never change a decision.
+#[derive(Debug, Default)]
+struct ResolveCache {
+    /// Node-centric EP threshold per `(scheme, node)` — filled as query
+    /// frontiers first touch a node (or its neighbours).
+    thresholds: ShardedMap<f64>,
+    /// Surviving neighbours per `(scheme, node)`, in the first-touch
+    /// scan order of [`TableErIndex::cooccurrences_into`] — exactly the
+    /// edges node-centric EP keeps for that node, so a warm frontier
+    /// scan never re-weights an edge.
+    survivors: ShardedMap<Arc<[RecordId]>>,
+    /// Comparison decision per packed unordered pair
+    /// ([`queryer_common::pack_pair`]).
+    decisions: ShardedMap<bool>,
+}
+
 /// Immutable per-table ER index. Build once, share freely (`Sync`).
 ///
 /// The blocking graph is CSR-packed in both directions: block→records
@@ -199,6 +237,16 @@ pub struct TableErIndex {
     n_cols: usize,
     /// Node-centric Edge Pruning thresholds (bulk vector or lazy map).
     ep_thresholds: Mutex<EpThresholdCache>,
+    /// Weight-scheme-independent CBS partials, built once at index time
+    /// when the config runs Edge Pruning: per node, its distinct
+    /// co-occurring entities with their common-block counts, in the
+    /// first-touch order of [`TableErIndex::cooccurrences_into`]. With
+    /// this in place every neighbourhood "scan" is a contiguous row
+    /// read, and per-scheme node thresholds are a cheap finishing pass.
+    cbs_adj: Option<Csr<(RecordId, u32)>>,
+    /// The cross-query resolve cache (thresholds / survivors /
+    /// decisions), active when `cfg.ep_cache` enables it.
+    resolve_cache: ResolveCache,
 }
 
 impl TableErIndex {
@@ -309,6 +357,23 @@ impl TableErIndex {
             }
         }
 
+        // CBS partials: when the config runs Edge Pruning with the
+        // cross-query cache enabled, materialize every node's
+        // co-occurrence neighbourhood (neighbour + common-block count)
+        // once, here, instead of re-counting it on every cold query.
+        // This is the weight-scheme-independent part of all EP
+        // threshold/weight math. `EpCacheMode::Off` skips it — the memory
+        // is O(examined edges), and "off" promises the uncached
+        // per-query footprint, not just the uncached code path.
+        let cbs_adj = (cfg.meta.edge_pruning() && cfg.ep_cache.enabled()).then(|| {
+            build_cbs_adjacency(
+                &entity_retained,
+                &filtered_blocks,
+                table.len(),
+                cfg.effective_ep_threads(),
+            )
+        });
+
         Self {
             cfg: cfg.clone(),
             skip_col,
@@ -327,6 +392,8 @@ impl TableErIndex {
             attr_meta,
             n_cols,
             ep_thresholds: Mutex::new(EpThresholdCache::default()),
+            cbs_adj,
+            resolve_cache: ResolveCache::default(),
         }
     }
 
@@ -453,33 +520,43 @@ impl TableErIndex {
     /// distinct co-occurring entities of `id` (first-touch order) and
     /// their CBS counts, reusing the dense counters across calls. The
     /// returned slice is valid until the next call with this scratch.
+    ///
+    /// With the build-time CBS partials present the "count" is a
+    /// contiguous row copy; the counting fallback serves indexes built
+    /// without them (no Edge Pruning, or `ep_cache` off).
     pub fn cooccurrences_into<'s>(
         &self,
         id: RecordId,
         scratch: &'s mut CooccurrenceScratch,
     ) -> &'s [(RecordId, u32)] {
-        if scratch.counts.len() < self.n_records {
-            scratch.counts.resize(self.n_records, 0);
+        if let Some(adj) = &self.cbs_adj {
+            scratch.out.clear();
+            scratch.out.extend_from_slice(adj.row(id as usize));
+            return &scratch.out;
         }
-        scratch.out.clear();
-        for &b in self.retained_blocks(id) {
-            for &other in self.filtered_block(b) {
-                if other != id {
-                    let c = &mut scratch.counts[other as usize];
-                    if *c == 0 {
-                        scratch.out.push((other, 0));
-                    }
-                    *c += 1;
-                }
-            }
-        }
-        // Harvest and reset only the touched counters.
-        for (rid, cnt) in &mut scratch.out {
-            let c = &mut scratch.counts[*rid as usize];
-            *cnt = *c;
-            *c = 0;
-        }
-        &scratch.out
+        count_cooccurrences_into(
+            &self.entity_retained,
+            &self.filtered_blocks,
+            self.n_records,
+            id,
+            scratch,
+        )
+    }
+
+    /// Zero-copy view of `id`'s CBS partials (neighbour + common-block
+    /// count, first-touch order), when the index was built with Edge
+    /// Pruning and a cache-enabled `ErConfig::ep_cache`.
+    #[inline]
+    pub fn cbs_neighbourhood(&self, id: RecordId) -> Option<&[(RecordId, u32)]> {
+        self.cbs_adj.as_ref().map(|adj| adj.row(id as usize))
+    }
+
+    /// Whether the build-time CBS partials exist (Edge Pruning on and
+    /// `ep_cache` enabled at build) — the precondition of the
+    /// cross-query cached pruning path.
+    #[inline]
+    pub(crate) fn has_cbs_partials(&self) -> bool {
+        self.cbs_adj.is_some()
     }
 
     /// TBI blocks matching an ad-hoc record that is *not* part of the
@@ -531,12 +608,54 @@ impl TableErIndex {
         bulk
     }
 
-    /// Drops all cached EP thresholds, bulk and lazy (test/ablation
-    /// helper; the perf smoke bench uses it to measure cold queries).
+    /// A snapshot of the bulk threshold vector if one has been computed
+    /// (by the eager path or a prewarm), without triggering the sweep.
+    pub(crate) fn bulk_snapshot(&self) -> Option<Arc<Vec<f64>>> {
+        self.ep_thresholds.lock().bulk.clone()
+    }
+
+    /// The cross-query node-threshold memo, keyed by
+    /// [`scheme_node_key`].
+    pub(crate) fn threshold_cache(&self) -> &ShardedMap<f64> {
+        &self.resolve_cache.thresholds
+    }
+
+    /// The cross-query surviving-neighbour memo, keyed by
+    /// [`scheme_node_key`].
+    pub(crate) fn survivor_cache(&self) -> &ShardedMap<Arc<[RecordId]>> {
+        &self.resolve_cache.survivors
+    }
+
+    /// The pair-keyed comparison-decision memo
+    /// ([`queryer_common::pack_pair`] keys).
+    pub(crate) fn decision_cache(&self) -> &ShardedMap<bool> {
+        &self.resolve_cache.decisions
+    }
+
+    /// Sizes of the three cross-query resolve caches:
+    /// `(thresholds, survivor lists, pair decisions)` currently
+    /// memoized. Diagnostics for benches and ablations.
+    pub fn resolve_cache_sizes(&self) -> (usize, usize, usize) {
+        (
+            self.resolve_cache.thresholds.len(),
+            self.resolve_cache.survivors.len(),
+            self.resolve_cache.decisions.len(),
+        )
+    }
+
+    /// Drops every cached resolve artefact: EP thresholds (bulk and
+    /// lazy) and the cross-query threshold / survivor / decision memos
+    /// (test/ablation helper; the perf smoke bench uses it to measure
+    /// cold queries). The build-time CBS partials are index data, not
+    /// cache, and are never dropped.
     pub fn clear_ep_cache(&self) {
         let mut cache = self.ep_thresholds.lock();
         cache.lazy.clear();
         cache.bulk = None;
+        drop(cache);
+        self.resolve_cache.thresholds.clear();
+        self.resolve_cache.survivors.clear();
+        self.resolve_cache.decisions.clear();
     }
 
     /// The set of distinct entities appearing in a set of blocks
@@ -551,6 +670,109 @@ impl TableErIndex {
         }
         out
     }
+}
+
+/// The one co-occurrence counting definition: fills `scratch` with the
+/// distinct co-occurring entities of `id` in first-touch order with
+/// their CBS counts, reading the post-BP/BF blocking graph. Both the
+/// query-time fallback ([`TableErIndex::cooccurrences_into`]) and the
+/// build-time CBS-partials sweep ([`build_cbs_adjacency`]) run this
+/// exact loop, so the materialized adjacency rows are bit-identical —
+/// same contents, same order — to what a cold scan would produce.
+fn count_cooccurrences_into<'s>(
+    entity_retained: &Csr<BlockId>,
+    filtered_blocks: &Csr<RecordId>,
+    n_records: usize,
+    id: RecordId,
+    scratch: &'s mut CooccurrenceScratch,
+) -> &'s [(RecordId, u32)] {
+    if scratch.counts.len() < n_records {
+        scratch.counts.resize(n_records, 0);
+    }
+    scratch.out.clear();
+    for &b in entity_retained.row(id as usize) {
+        for &other in filtered_blocks.row(b as usize) {
+            if other != id {
+                let c = &mut scratch.counts[other as usize];
+                if *c == 0 {
+                    scratch.out.push((other, 0));
+                }
+                *c += 1;
+            }
+        }
+    }
+    // Harvest and reset only the touched counters.
+    for (rid, cnt) in &mut scratch.out {
+        let c = &mut scratch.counts[*rid as usize];
+        *cnt = *c;
+        *c = 0;
+    }
+    &scratch.out
+}
+
+/// Builds the CBS-partials adjacency — per node, its co-occurring
+/// entities with common-block counts — in one sweep over the post-BP/BF
+/// blocking graph, partitioned across `threads` workers. Each row
+/// depends only on its own node, so the result is independent of the
+/// partitioning.
+/// One worker's share of the parallel [`build_cbs_adjacency`] sweep:
+/// its chunk's row lengths plus the flattened row contents.
+type AdjacencyPart = (Vec<u32>, Vec<(RecordId, u32)>);
+
+fn build_cbs_adjacency(
+    entity_retained: &Csr<BlockId>,
+    filtered_blocks: &Csr<RecordId>,
+    n_records: usize,
+    threads: usize,
+) -> Csr<(RecordId, u32)> {
+    let threads = threads.clamp(1, n_records.max(1));
+    if threads == 1 {
+        let mut scratch = CooccurrenceScratch::new();
+        let mut adj = Csr::with_capacity(n_records, n_records * 4);
+        for id in 0..n_records {
+            adj.push_row(count_cooccurrences_into(
+                entity_retained,
+                filtered_blocks,
+                n_records,
+                id as RecordId,
+                &mut scratch,
+            ));
+        }
+        return adj;
+    }
+    let chunk = n_records.div_ceil(threads);
+    let mut parts: Vec<AdjacencyPart> = vec![Default::default(); n_records.div_ceil(chunk)];
+    std::thread::scope(|scope| {
+        for (i, part) in parts.iter_mut().enumerate() {
+            let base = i * chunk;
+            let top = (base + chunk).min(n_records);
+            scope.spawn(move || {
+                let mut scratch = CooccurrenceScratch::new();
+                let (lens, flat) = part;
+                for id in base..top {
+                    let row = count_cooccurrences_into(
+                        entity_retained,
+                        filtered_blocks,
+                        n_records,
+                        id as RecordId,
+                        &mut scratch,
+                    );
+                    lens.push(row.len() as u32);
+                    flat.extend_from_slice(row);
+                }
+            });
+        }
+    });
+    let total: usize = parts.iter().map(|(_, flat)| flat.len()).sum();
+    let mut adj = Csr::with_capacity(n_records, total);
+    for (lens, flat) in &parts {
+        let mut at = 0usize;
+        for &len in lens {
+            adj.push_row(&flat[at..at + len as usize]);
+            at += len as usize;
+        }
+    }
+    adj
 }
 
 /// `n(n-1)/2`.
@@ -681,6 +903,65 @@ mod tests {
                 .collect();
             assert_eq!(via_map, via_scratch, "record {rid}");
         }
+    }
+
+    #[test]
+    fn cbs_partials_require_edge_pruning_and_cache() {
+        use crate::config::EpCacheMode;
+        let mut cfg = ErConfig::default();
+        cfg.ep_cache = EpCacheMode::On;
+        let with_ep = TableErIndex::build(&table(), &cfg);
+        assert!(with_ep.has_cbs_partials());
+        assert!(with_ep.cbs_neighbourhood(0).is_some());
+        // No Edge Pruning → no partials, whatever the cache mode.
+        let no_ep = TableErIndex::build(&table(), &cfg.clone().with_meta(MetaBlockingConfig::BpBf));
+        assert!(!no_ep.has_cbs_partials());
+        assert!(no_ep.cbs_neighbourhood(0).is_none());
+        // Cache off → no partials either: "off" restores the uncached
+        // per-query memory footprint, not just the uncached code path.
+        cfg.ep_cache = EpCacheMode::Off;
+        let cache_off = TableErIndex::build(&table(), &cfg);
+        assert!(!cache_off.has_cbs_partials());
+    }
+
+    #[test]
+    fn cbs_partials_match_counting_exactly() {
+        // The materialized adjacency rows must equal the counting sweep
+        // bit for bit — same contents, same first-touch order — for any
+        // build thread count.
+        for threads in [1usize, 3] {
+            let mut cfg = ErConfig::default();
+            cfg.ep_cache = crate::config::EpCacheMode::On;
+            cfg.ep_threads = threads;
+            let idx = TableErIndex::build(&table(), &cfg);
+            let mut scratch = CooccurrenceScratch::new();
+            for rid in 0..idx.n_records() as u32 {
+                let counted: Vec<(RecordId, u32)> = count_cooccurrences_into(
+                    &idx.entity_retained,
+                    &idx.filtered_blocks,
+                    idx.n_records,
+                    rid,
+                    &mut scratch,
+                )
+                .to_vec();
+                assert_eq!(
+                    idx.cbs_neighbourhood(rid).unwrap(),
+                    counted.as_slice(),
+                    "record {rid} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_ep_cache_drops_resolve_caches() {
+        let idx = TableErIndex::build(&table(), &ErConfig::default());
+        idx.threshold_cache().insert_if_absent(1, 0.5);
+        idx.survivor_cache().insert_if_absent(1, vec![2u32].into());
+        idx.decision_cache().insert_if_absent(7, true);
+        assert_eq!(idx.resolve_cache_sizes(), (1, 1, 1));
+        idx.clear_ep_cache();
+        assert_eq!(idx.resolve_cache_sizes(), (0, 0, 0));
     }
 
     #[test]

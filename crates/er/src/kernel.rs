@@ -44,7 +44,7 @@
 //!   expression it bounds, so IEEE-754 monotonicity of `+`, `/`, `min`
 //!   carries the mathematical inequality into f64 — and each comparison
 //!   against the threshold additionally leaves
-//!   [`BOUND_SLACK`](crate::similarity::BOUND_SLACK) (1e-9, six orders
+//!   [`BOUND_SLACK`] (1e-9, six orders
 //!   of magnitude above the accumulated rounding error), so a bound only
 //!   rejects a pair whose canonical similarity is certainly below the
 //!   threshold. Bounds inside the slack band fall through to the exact
@@ -165,7 +165,7 @@ impl<'idx> CompiledMatcher<'idx> {
     }
 
     /// Exact similarity of an indexed record pair — the canonical
-    /// computation (the same [`similarity_interned_raw`] dispatch
+    /// computation (the same `similarity_interned_raw` dispatch
     /// `Matcher::similarity_interned` runs), with no kernel early exits.
     /// The equivalence suite pins this against the uncompiled path bit
     /// for bit.

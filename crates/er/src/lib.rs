@@ -66,6 +66,36 @@
 //!   / `ErConfig::ep_threads` (env knobs `QUERYER_EP_BULK`,
 //!   `QUERYER_EP_THREADS`) select eager-vs-lazy build and worker count;
 //!   both modes — and any thread count — are bit-identical.
+//! * **Cross-query resolve cache** — work done resolving one query pays
+//!   for the next (`ErConfig::ep_cache` / env knob `QUERYER_EP_CACHE`,
+//!   modes `off`/`on`/`prewarm`; default `on`), in three layers:
+//!   1. *CBS partials at build* — [`TableErIndex::build`] materializes
+//!      every node's co-occurrence neighbourhood (neighbour +
+//!      common-block count, the weight-scheme-independent half of all
+//!      EP math) into one CSR
+//!      ([`TableErIndex::cbs_neighbourhood`]), so cold neighbourhood
+//!      "scans" are contiguous row reads and per-scheme thresholds are
+//!      a cheap finishing pass instead of a block-expansion count.
+//!   2. *Incremental thresholds + survivors* — node-centric thresholds
+//!      and surviving-neighbour lists are computed only for nodes first
+//!      touched by a query frontier and memoized across queries in
+//!      sharded [`queryer_common::ShardedMap`]s keyed by
+//!      `(weight scheme, node)`; frontiers covering a sizeable table
+//!      fraction (or `prewarm` mode) fill the bulk threshold vector in
+//!      one sweep instead. A warm frontier scan replays cached survivor
+//!      rows: no weighting, no threshold math.
+//!   3. *Decision memoization* — `execute_comparisons` consults a
+//!      pair-keyed decision cache before running any kernel, so
+//!      overlapping queries skip comparison work entirely.
+//!      `DedupMetrics` reports `ep_cache_*` and `decision_cache_*`
+//!      hit/miss counters; `comparisons`/`candidate_pairs`/
+//!      `matches_found` never depend on cache state.
+//!
+//!   Every mode is bit-identical in decisions, DR sets, and links
+//!   (property-pinned by `tests/cache_equivalence.rs` over sequences of
+//!   overlapping point + range queries); on the pinned bench workload a
+//!   warm repeated query runs `edge_pruning` ~4× and
+//!   `comparison_execution` ~9× faster than cold.
 //! * **Compiled comparison kernels** — `Matcher::compile` resolves the
 //!   similarity kind, threshold, and attribute layout once into a
 //!   [`kernel::CompareKernel`] over kernel-ready per-record data
@@ -88,10 +118,12 @@
 //! `tests/ep_equivalence.rs` pins the bulk-parallel EP path to the
 //! lazy per-entity path (thresholds, pair sequences, DR/links) across
 //! weight schemes, pruning scopes, frontier sizes, and thread counts,
-//! and `tests/kernel_equivalence.rs` pins the compiled kernels and the
+//! `tests/kernel_equivalence.rs` pins the compiled kernels and the
 //! parallel Comparison-Execution executor bit-identical (similarities,
 //! decisions, DR/links) to the uncompiled matcher across all similarity
-//! kinds, thresholds at the early-exit boundaries, and thread counts.
+//! kinds, thresholds at the early-exit boundaries, and thread counts,
+//! and `tests/cache_equivalence.rs` pins every cross-query cache mode
+//! to the uncached path over query sequences sharing one Link Index.
 
 pub mod blocking;
 pub mod config;
@@ -108,7 +140,8 @@ pub mod tokenizer;
 pub mod union_find;
 
 pub use config::{
-    BlockingKind, EdgePruningScope, ErConfig, MetaBlockingConfig, SimilarityKind, WeightScheme,
+    BlockingKind, EdgePruningScope, EpCacheMode, ErConfig, MetaBlockingConfig, SimilarityKind,
+    WeightScheme,
 };
 pub use index::{AttrMeta, BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
 pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch};

@@ -33,6 +33,19 @@ pub struct DedupMetrics {
     /// at index-build time), so this stays 0 for `resolve`; only
     /// foreign/ad-hoc record probes pay for tokenization.
     pub qbi_tokenized_records: u64,
+    /// Frontier nodes whose surviving-neighbour list was served from the
+    /// cross-query Edge Pruning cache (`ErConfig::ep_cache`).
+    pub ep_cache_hits: u64,
+    /// Frontier nodes whose surviving-neighbour list had to be computed
+    /// (and was then memoized) by this query.
+    pub ep_cache_misses: u64,
+    /// Comparisons whose decision was served from the pair-keyed
+    /// decision cache — kernel work skipped entirely. These pairs still
+    /// count in `comparisons`: decision counts never depend on cache
+    /// state.
+    pub decision_cache_hits: u64,
+    /// Comparisons that ran a kernel and memoized their decision.
+    pub decision_cache_misses: u64,
 }
 
 impl DedupMetrics {
@@ -59,6 +72,10 @@ impl DedupMetrics {
         self.matches_found += other.matches_found;
         self.entities_processed += other.entities_processed;
         self.qbi_tokenized_records += other.qbi_tokenized_records;
+        self.ep_cache_hits += other.ep_cache_hits;
+        self.ep_cache_misses += other.ep_cache_misses;
+        self.decision_cache_hits += other.decision_cache_hits;
+        self.decision_cache_misses += other.decision_cache_misses;
     }
 }
 
@@ -79,6 +96,10 @@ mod tests {
             resolution: Duration::from_millis(5),
             comparisons: 5,
             qbi_tokenized_records: 3,
+            ep_cache_hits: 4,
+            ep_cache_misses: 6,
+            decision_cache_hits: 7,
+            decision_cache_misses: 8,
             ..Default::default()
         };
         a.merge(&b);
@@ -86,6 +107,10 @@ mod tests {
         assert_eq!(a.comparisons, 15);
         assert_eq!(a.matches_found, 2);
         assert_eq!(a.qbi_tokenized_records, 3);
+        assert_eq!(a.ep_cache_hits, 4);
+        assert_eq!(a.ep_cache_misses, 6);
+        assert_eq!(a.decision_cache_hits, 7);
+        assert_eq!(a.decision_cache_misses, 8);
         assert_eq!(a.total_er(), Duration::from_millis(8));
     }
 

@@ -11,15 +11,16 @@
 //! the foreign/ad-hoc probe path ([`TableErIndex::duplicates_of_record`]
 //! / [`crate::blocking::build_query_blocks`]).
 
-use crate::config::EdgePruningScope;
-use crate::edge_pruning::{keeps, prune_global, EdgePruner};
-use crate::index::{BlockId, CooccurrenceScratch, TableErIndex};
+use crate::config::{EdgePruningScope, EpCacheMode, WeightScheme};
+use crate::edge_pruning::{keeps, prune_global, survivors_over, threshold_over, EdgePruner};
+use crate::index::{scheme_node_key, BlockId, CooccurrenceScratch, TableErIndex};
 use crate::kernel::{CompiledMatcher, KernelScratch};
 use crate::link_index::LinkIndex;
 use crate::matching::{Matcher, TokenizerScratch};
 use crate::metrics::DedupMetrics;
-use queryer_common::{FxHashMap, FxHashSet, PairSet, Stopwatch};
+use queryer_common::{pack_pair, FxHashMap, FxHashSet, PairSet, Stopwatch};
 use queryer_storage::{Record, RecordId, Table};
+use std::sync::Arc;
 
 /// Minimum frontier size before the Edge Pruning scans fan out across
 /// threads; below this the per-thread scratch setup outweighs the win
@@ -85,7 +86,8 @@ impl TableErIndex {
             // is only assembled for the per-block pair path below.
             let pairs: Vec<(RecordId, RecordId)> = if self.config().meta.edge_pruning() {
                 let mut sw = Stopwatch::new();
-                let pairs = sw.time(|| self.edge_pruned_pairs(&frontier, &mut pair_seen));
+                let pairs =
+                    sw.time(|| self.edge_pruned_pairs_metered(&frontier, &mut pair_seen, metrics));
                 metrics.edge_pruning += sw.elapsed();
                 pairs
             } else {
@@ -134,7 +136,7 @@ impl TableErIndex {
                 }
             }
             metrics.comparisons += to_compare.len() as u64;
-            let decisions = self.execute_comparisons(&matcher, &to_compare);
+            let decisions = self.execute_comparisons(&matcher, &to_compare, metrics);
             for ((q, c), matched) in to_compare.into_iter().zip(decisions) {
                 if matched {
                     if li.add_link(q, c) {
@@ -261,13 +263,16 @@ impl TableErIndex {
     /// EP pair generation: weight every edge incident to a frontier
     /// entity and keep it per the configured pruning scope. Exposed so
     /// the equivalence suites can pin the candidate pair sets of the
-    /// bulk/parallel and lazy/sequential paths against each other.
+    /// cached, bulk/parallel, and lazy/sequential paths against each
+    /// other.
     ///
-    /// With `ep_bulk_thresholds` set (the default), node-centric pruning
-    /// reads the index's bulk threshold vector and fans the frontier scan
-    /// out across `effective_ep_threads()` workers, merging per-chunk
-    /// results in frontier order — the output is bit-identical to the
-    /// sequential lazy path for any thread count.
+    /// With `ErConfig::ep_cache` enabled (the default), node-centric
+    /// pruning goes through the cross-query resolve cache
+    /// (thresholds + surviving-neighbour lists memoized across
+    /// queries); with it off, `ep_bulk_thresholds` selects between the
+    /// per-query bulk threshold vector and the lazy per-entity map.
+    /// Every path — and any thread count — emits the bit-identical
+    /// pair sequence.
     ///
     /// `frontier` entries must be distinct (the resolve loop always
     /// deduplicates): the scans assign each edge to its first-scanned
@@ -277,9 +282,23 @@ impl TableErIndex {
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
     ) -> Vec<(RecordId, RecordId)> {
+        let mut metrics = DedupMetrics::default();
+        self.edge_pruned_pairs_metered(frontier, pair_seen, &mut metrics)
+    }
+
+    /// [`TableErIndex::edge_pruned_pairs`] with cache hit/miss
+    /// accounting — the resolve loop's entry point.
+    pub fn edge_pruned_pairs_metered(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+        metrics: &mut DedupMetrics,
+    ) -> Vec<(RecordId, RecordId)> {
         match self.config().ep_scope {
             EdgePruningScope::NodeCentric => {
-                if self.config().ep_bulk_thresholds {
+                if self.config().ep_cache.enabled() && self.has_cbs_partials() {
+                    self.node_centric_pairs_cached(frontier, pair_seen, metrics)
+                } else if self.config().ep_bulk_thresholds {
                     self.node_centric_pairs_bulk(frontier, pair_seen)
                 } else {
                     self.node_centric_pairs_lazy(frontier, pair_seen)
@@ -308,6 +327,89 @@ impl TableErIndex {
                 }
                 let w = pruner.weight(q, c, cbs);
                 if pruner.survives_node_centric(q, c, w) && pair_seen.insert(q, c) {
+                    out.push((q, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Node-centric EP over the cross-query resolve cache: thresholds
+    /// and surviving-neighbour lists are computed only for nodes first
+    /// touched by a query frontier (or prewarmed in bulk under
+    /// [`EpCacheMode::Prewarm`]) and memoized on the index, so a warm
+    /// scan replays cached survivor rows — no neighbourhood weighting,
+    /// no threshold math. The emission loop is the lazy path's loop over
+    /// a survival-filtered neighbourhood, so the pair sequence is
+    /// bit-identical to the uncached modes (pinned by
+    /// `tests/cache_equivalence.rs`).
+    fn node_centric_pairs_cached(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+        metrics: &mut DedupMetrics,
+    ) -> Vec<(RecordId, RecordId)> {
+        // Threshold source: a frontier covering a sizeable fraction of
+        // the table will need (nearly) every node's threshold anyway —
+        // same amortization rule as the rank scans — so fill the bulk
+        // vector once (a cheap finishing sweep over the build-time CBS
+        // partials, persisted on the index) and make every lookup an
+        // array load. Point queries stay incremental through the sharded
+        // memo; `Prewarm` forces the sweep regardless of frontier shape.
+        if self.config().ep_cache == EpCacheMode::Prewarm
+            || frontier.len() * RANK_AMORTIZE >= self.n_records()
+        {
+            let _ = self.bulk_ep_thresholds();
+        }
+        let ctx = EpCacheCtx::new(self);
+        let workers = self.config().effective_ep_threads();
+        if workers > 1 && frontier.len() >= PAR_MIN_FRONTIER {
+            // Fill missing survivor lists in parallel (disjoint frontier
+            // chunks; racing neighbour-threshold computes are benign and
+            // bit-identical), then emit sequentially in frontier order.
+            let chunk = frontier.len().div_ceil(workers);
+            let mut counters: Vec<(u64, u64)> = vec![(0, 0); frontier.len().div_ceil(chunk)];
+            let ctx_ref = &ctx;
+            std::thread::scope(|scope| {
+                for (cnt, work) in counters.iter_mut().zip(frontier.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for &q in work {
+                            let (_, hit) = ctx_ref.survivors(q);
+                            if hit {
+                                cnt.0 += 1;
+                            } else {
+                                cnt.1 += 1;
+                            }
+                        }
+                    });
+                }
+            });
+            for (hits, misses) in counters {
+                metrics.ep_cache_hits += hits;
+                metrics.ep_cache_misses += misses;
+            }
+            let mut out = Vec::new();
+            for &q in frontier {
+                // Guaranteed hit after the fill pass; not re-counted.
+                let (surv, _) = ctx.survivors(q);
+                for &c in surv.iter() {
+                    if pair_seen.insert(q, c) {
+                        out.push((q, c));
+                    }
+                }
+            }
+            return out;
+        }
+        let mut out = Vec::new();
+        for &q in frontier {
+            let (surv, hit) = ctx.survivors(q);
+            if hit {
+                metrics.ep_cache_hits += 1;
+            } else {
+                metrics.ep_cache_misses += 1;
+            }
+            for &c in surv.iter() {
+                if pair_seen.insert(q, c) {
                     out.push((q, c));
                 }
             }
@@ -496,6 +598,60 @@ impl TableErIndex {
             .collect()
     }
 
+    /// Runs the match decisions for `pairs`, consulting the pair-keyed
+    /// decision cache first when `ErConfig::ep_cache` enables it: pairs
+    /// decided by any earlier (overlapping) query skip kernel work
+    /// entirely, and fresh decisions are memoized for the next query.
+    /// Cache state never changes a decision — a cached value is exactly
+    /// what the kernel returned for that pair — and never changes
+    /// `DedupMetrics::comparisons` (hits and misses are reported in the
+    /// dedicated `decision_cache_*` counters).
+    fn execute_comparisons(
+        &self,
+        matcher: &CompiledMatcher<'_>,
+        pairs: &[(RecordId, RecordId)],
+        metrics: &mut DedupMetrics,
+    ) -> Vec<bool> {
+        if !self.config().ep_cache.enabled() {
+            return self.run_comparison_kernels(matcher, pairs);
+        }
+        let cache = self.decision_cache();
+        let keys: Vec<u64> = pairs.iter().map(|&(q, c)| pack_pair(q, c)).collect();
+        // First query on a fresh cache: skip the probe pass entirely —
+        // every pair is a miss by definition.
+        let mut cached: Vec<Option<bool>> = Vec::new();
+        if cache.is_empty() {
+            cached.resize(pairs.len(), None);
+        } else {
+            cache.get_batch(&keys, &mut cached);
+        }
+        let mut decisions = vec![false; pairs.len()];
+        let mut miss_at: Vec<u32> = Vec::new();
+        let mut misses: Vec<(RecordId, RecordId)> = Vec::new();
+        for (i, served) in cached.iter().enumerate() {
+            match *served {
+                Some(d) => decisions[i] = d,
+                None => {
+                    miss_at.push(i as u32);
+                    misses.push(pairs[i]);
+                }
+            }
+        }
+        metrics.decision_cache_hits += (pairs.len() - misses.len()) as u64;
+        metrics.decision_cache_misses += misses.len() as u64;
+        if misses.is_empty() {
+            return decisions;
+        }
+        let fresh = self.run_comparison_kernels(matcher, &misses);
+        let mut entries: Vec<(u64, bool)> = Vec::with_capacity(misses.len());
+        for (&at, d) in miss_at.iter().zip(fresh) {
+            entries.push((keys[at as usize], d));
+            decisions[at as usize] = d;
+        }
+        cache.insert_batch(&entries);
+        decisions
+    }
+
     /// Runs the match decisions through the compiled kernel, fanning out
     /// across `effective_parallelism()` workers (`parallelism: 0` = auto,
     /// `QUERYER_CMP_THREADS`) once the batch is big enough to pay for
@@ -505,7 +661,7 @@ impl TableErIndex {
     /// kernel-ready per-record data built at index time (sorted symbol
     /// slices, pre-lowercased attributes, attribute metadata), so this
     /// stage tokenizes nothing and allocates nothing per pair.
-    fn execute_comparisons(
+    fn run_comparison_kernels(
         &self,
         matcher: &CompiledMatcher<'_>,
         pairs: &[(RecordId, RecordId)],
@@ -627,6 +783,72 @@ impl TableErIndex {
     }
 }
 
+/// Shared context of the cached node-centric pruning path: the pruning
+/// parameters resolved once per call plus a snapshot of the bulk
+/// threshold vector (present after a prewarm or an eager sweep), so
+/// threshold lookups are an array load when prewarmed and a sharded
+/// memo probe otherwise. `Sync` — the parallel survivor fill shares it
+/// by reference.
+struct EpCacheCtx<'a> {
+    idx: &'a TableErIndex,
+    scheme: WeightScheme,
+    n_blocks: f64,
+    bulk: Option<Arc<Vec<f64>>>,
+}
+
+impl<'a> EpCacheCtx<'a> {
+    fn new(idx: &'a TableErIndex) -> Self {
+        Self {
+            idx,
+            scheme: idx.config().weight_scheme,
+            n_blocks: idx.n_unpurged_blocks().max(1) as f64,
+            bulk: idx.bulk_snapshot(),
+        }
+    }
+
+    /// Node-centric threshold of `e` through the cache hierarchy: the
+    /// prewarmed bulk vector when present, else the cross-query sharded
+    /// memo (computed on first touch by the same accumulation every
+    /// other mode runs — bit-identical everywhere).
+    fn threshold(&self, e: RecordId) -> f64 {
+        if let Some(bulk) = &self.bulk {
+            return bulk[e as usize];
+        }
+        self.idx
+            .threshold_cache()
+            .get_or_insert_with(scheme_node_key(self.scheme, e), || {
+                let nbh = self
+                    .idx
+                    .cbs_neighbourhood(e)
+                    .expect("cached EP path requires build-time CBS partials");
+                threshold_over(self.idx, self.scheme, self.n_blocks, e, nbh)
+            })
+    }
+
+    /// Surviving neighbours of `q` (first-touch order) through the
+    /// cross-query memo; the `bool` reports whether the list was served
+    /// from cache (`true`) or computed by this call.
+    fn survivors(&self, q: RecordId) -> (Arc<[RecordId]>, bool) {
+        let key = scheme_node_key(self.scheme, q);
+        if let Some(cached) = self.idx.survivor_cache().get(key) {
+            return (cached, true);
+        }
+        let nbh = self
+            .idx
+            .cbs_neighbourhood(q)
+            .expect("cached EP path requires build-time CBS partials");
+        let th_q = self.threshold(q);
+        let survivors = survivors_over(self.idx, self.scheme, self.n_blocks, q, nbh, th_q, |c| {
+            self.threshold(c)
+        });
+        let stored = self
+            .idx
+            .survivor_cache()
+            .insert_if_absent(key, survivors.into());
+        (stored, false)
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
 mod tests {
@@ -697,6 +919,69 @@ mod tests {
         assert_eq!(dups, vec![2, 3]);
         assert_eq!(m.qbi_tokenized_records, 1, "foreign probes do tokenize");
         assert!(m.comparisons > 0);
+    }
+
+    #[test]
+    fn warm_resolve_is_served_from_caches() {
+        let table = dirty_table();
+        let mut cfg = ErConfig::default();
+        cfg.ep_cache = crate::config::EpCacheMode::On;
+        let idx = TableErIndex::build(&table, &cfg);
+
+        let mut li_cold = LinkIndex::new(table.len());
+        let mut m_cold = DedupMetrics::default();
+        let out_cold = idx.resolve_all(&table, &mut li_cold, &mut m_cold);
+        assert_eq!(m_cold.ep_cache_hits, 0, "nothing cached before query 1");
+        assert!(m_cold.ep_cache_misses > 0);
+        assert_eq!(m_cold.decision_cache_hits, 0);
+        assert_eq!(m_cold.decision_cache_misses, m_cold.comparisons);
+
+        // Same workload, fresh Link Index, hot caches: every survivor
+        // list and decision must be served, and every decision count
+        // must match the cold pass exactly.
+        let mut li_warm = LinkIndex::new(table.len());
+        let mut m_warm = DedupMetrics::default();
+        let out_warm = idx.resolve_all(&table, &mut li_warm, &mut m_warm);
+        assert_eq!(out_warm.dr, out_cold.dr);
+        assert_eq!(out_warm.new_links, out_cold.new_links);
+        assert_eq!(m_warm.comparisons, m_cold.comparisons);
+        assert_eq!(m_warm.candidate_pairs, m_cold.candidate_pairs);
+        assert_eq!(m_warm.matches_found, m_cold.matches_found);
+        assert_eq!(m_warm.ep_cache_misses, 0, "all survivor lists cached");
+        assert_eq!(m_warm.ep_cache_hits, m_warm.entities_processed);
+        assert_eq!(m_warm.decision_cache_misses, 0, "all decisions cached");
+        assert_eq!(m_warm.decision_cache_hits, m_warm.comparisons);
+    }
+
+    #[test]
+    fn cached_point_query_stays_incremental() {
+        let table = dirty_table();
+        let mut cfg = ErConfig::default();
+        cfg.ep_cache = crate::config::EpCacheMode::On;
+        let idx = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx.resolve(&table, &[0], &mut li, &mut m);
+        let (_, survivors, _) = idx.resolve_cache_sizes();
+        assert_eq!(
+            survivors as u64, m.entities_processed,
+            "survivor lists exist only for processed frontier nodes"
+        );
+        assert!(survivors < table.len(), "point query must stay partial");
+    }
+
+    #[test]
+    fn cache_off_leaves_caches_empty() {
+        let table = dirty_table();
+        let mut cfg = ErConfig::default();
+        cfg.ep_cache = crate::config::EpCacheMode::Off;
+        let idx = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx.resolve_all(&table, &mut li, &mut m);
+        assert_eq!(idx.resolve_cache_sizes(), (0, 0, 0));
+        assert_eq!(m.ep_cache_hits + m.ep_cache_misses, 0);
+        assert_eq!(m.decision_cache_hits + m.decision_cache_misses, 0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Equivalence of the cross-query resolve cache and the uncached path.
+//!
+//! The cached modes (`EpCacheMode::On` / `Prewarm`) memoize node-centric
+//! Edge Pruning thresholds, surviving-neighbour lists, and pair
+//! comparison decisions across queries; `Off` recomputes everything per
+//! query. These properties pin all three modes together over random
+//! dirty corpora and *sequences* of overlapping point and range queries
+//! sharing one Link Index — the exact shape the cache exists for:
+//! bit-identical DR sets, links, and decision counts (comparisons /
+//! candidate pairs / matches) after every query of the sequence, across
+//! every `WeightScheme`, both `EdgePruningScope`s, and several thread
+//! counts. A warm repeat of a query must also emit the identical
+//! candidate pair sequence the cold scan emitted.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+
+use proptest::prelude::*;
+use queryer_common::knobs::proptest_cases;
+use queryer_common::PairSet;
+use queryer_er::{
+    DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig,
+    TableErIndex, WeightScheme,
+};
+use queryer_storage::{RecordId, Schema, Table, Value};
+
+/// Small vocabulary so random records actually share blocking tokens.
+const VOCAB: [&str; 12] = [
+    "entity",
+    "resolution",
+    "collective",
+    "query",
+    "driven",
+    "deep",
+    "learning",
+    "data",
+    "big",
+    "edbt",
+    "vldb",
+    "2008",
+];
+
+fn cell() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..4)
+}
+
+fn rows() -> impl Strategy<Value = Vec<(Vec<usize>, Vec<usize>)>> {
+    proptest::collection::vec((cell(), cell()), 2..24)
+}
+
+/// A query sequence: each element becomes a point query (`true`) or an
+/// inclusive range query over the table, both taken modulo table size —
+/// adjacent queries overlap freely.
+fn queries() -> impl Strategy<Value = Vec<(bool, usize, usize)>> {
+    proptest::collection::vec((any::<bool>(), 0usize..64, 0usize..64), 1..6)
+}
+
+fn build_table(rows: &[(Vec<usize>, Vec<usize>)]) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    for (i, (a, b)) in rows.iter().enumerate() {
+        let render = |words: &[usize]| {
+            if words.is_empty() {
+                Value::Null
+            } else {
+                let text: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Value::str(text.join(" "))
+            }
+        };
+        t.push_row(vec![format!("{i}").into(), render(a), render(b)])
+            .unwrap();
+    }
+    t
+}
+
+fn scheme_of(w: usize) -> WeightScheme {
+    match w % 3 {
+        0 => WeightScheme::Cbs,
+        1 => WeightScheme::Ecbs,
+        _ => WeightScheme::Js,
+    }
+}
+
+fn scope_of(s: usize) -> EdgePruningScope {
+    if s.is_multiple_of(2) {
+        EdgePruningScope::NodeCentric
+    } else {
+        EdgePruningScope::Global
+    }
+}
+
+fn meta_of(m: usize) -> MetaBlockingConfig {
+    // Only the EP-running configs matter here.
+    if m.is_multiple_of(2) {
+        MetaBlockingConfig::All
+    } else {
+        MetaBlockingConfig::BpEp
+    }
+}
+
+const MODES: [EpCacheMode; 3] = [EpCacheMode::Off, EpCacheMode::On, EpCacheMode::Prewarm];
+
+fn cfg_with(
+    scheme: WeightScheme,
+    scope: EdgePruningScope,
+    meta: MetaBlockingConfig,
+    mode: EpCacheMode,
+    threads: usize,
+) -> ErConfig {
+    let mut cfg = ErConfig::default().with_meta(meta);
+    cfg.weight_scheme = scheme;
+    cfg.ep_scope = scope;
+    cfg.ep_cache = mode;
+    cfg.ep_threads = threads;
+    cfg
+}
+
+/// Materialized query list for one table: point queries as singletons,
+/// range queries as inclusive id runs, everything modulo table size.
+fn concrete_queries(spec: &[(bool, usize, usize)], n: usize) -> Vec<Vec<RecordId>> {
+    spec.iter()
+        .map(|&(point, a, b)| {
+            let a = a % n;
+            if point {
+                vec![a as RecordId]
+            } else {
+                let b = b % n;
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                (lo..=hi).map(|r| r as RecordId).collect()
+            }
+        })
+        .collect()
+}
+
+/// Per-query observable outcome: DR set, links added, and the decision
+/// counts of the metrics delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QueryTrace {
+    dr: Vec<RecordId>,
+    new_links: usize,
+    comparisons: u64,
+    candidate_pairs: u64,
+    matches_found: u64,
+}
+
+/// Runs a query sequence over one shared Link Index and returns per-query
+/// traces plus the final link matrix.
+fn run_sequence(
+    table: &Table,
+    idx: &TableErIndex,
+    queries: &[Vec<RecordId>],
+) -> (Vec<QueryTrace>, Vec<bool>) {
+    let mut li = LinkIndex::new(table.len());
+    let mut traces = Vec::with_capacity(queries.len());
+    for qe in queries {
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve(table, qe, &mut li, &mut m);
+        traces.push(QueryTrace {
+            dr: out.dr,
+            new_links: out.new_links,
+            comparisons: m.comparisons,
+            candidate_pairs: m.candidate_pairs,
+            matches_found: m.matches_found,
+        });
+    }
+    let n = table.len() as RecordId;
+    let mut links = Vec::with_capacity((n * n) as usize);
+    for a in 0..n {
+        for b in 0..n {
+            links.push(li.are_linked(a, b));
+        }
+    }
+    (traces, links)
+}
+
+/// A deterministic pseudo-random table large enough (> the resolver's
+/// parallel-scan cutoff of 256) that the cached path takes its parallel
+/// survivor-fill branch, which the small proptest corpora never reach.
+fn large_table(n: usize) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..n {
+        let words: Vec<&str> = (0..1 + (next() as usize % 3))
+            .map(|_| VOCAB[next() as usize % VOCAB.len()])
+            .collect();
+        let venue = VOCAB[9 + (next() as usize % 3)];
+        t.push_row(vec![
+            format!("{i}").into(),
+            Value::str(words.join(" ")),
+            Value::str(venue),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+/// Cold and warm cached frontier scans — including the parallel
+/// survivor-fill branch — emit exactly the uncached pair sequence, for
+/// every weight scheme and cache mode.
+#[test]
+fn parallel_cached_scan_matches_uncached() {
+    let table = large_table(420);
+    let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+    for scheme in [WeightScheme::Cbs, WeightScheme::Ecbs, WeightScheme::Js] {
+        let off = TableErIndex::build(
+            &table,
+            &cfg_with(
+                scheme,
+                EdgePruningScope::NodeCentric,
+                MetaBlockingConfig::All,
+                EpCacheMode::Off,
+                4,
+            ),
+        );
+        for mode in [EpCacheMode::On, EpCacheMode::Prewarm] {
+            let cached = TableErIndex::build(
+                &table,
+                &cfg_with(
+                    scheme,
+                    EdgePruningScope::NodeCentric,
+                    MetaBlockingConfig::All,
+                    mode,
+                    4,
+                ),
+            );
+            for frontier in [&all[..5], &all[..300], &all[..]] {
+                let mut seen_off = PairSet::new();
+                let mut seen_cold = PairSet::new();
+                let mut seen_warm = PairSet::new();
+                let pairs_off = off.edge_pruned_pairs(frontier, &mut seen_off);
+                let pairs_cold = cached.edge_pruned_pairs(frontier, &mut seen_cold);
+                let pairs_warm = cached.edge_pruned_pairs(frontier, &mut seen_warm);
+                assert_eq!(
+                    pairs_cold,
+                    pairs_off,
+                    "cold {mode:?} vs off, scheme {scheme:?} frontier {}",
+                    frontier.len()
+                );
+                assert_eq!(
+                    pairs_warm,
+                    pairs_off,
+                    "warm {mode:?} vs off, scheme {scheme:?} frontier {}",
+                    frontier.len()
+                );
+                if frontier.len() == all.len() {
+                    assert!(!pairs_off.is_empty(), "workload must generate pairs");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: proptest_cases(16),
+        .. ProptestConfig::default()
+    })]
+
+    /// Sequences of overlapping point + range queries produce identical
+    /// per-query DR sets, links, and decision counts in every cache mode
+    /// — the cached index serves later queries from memoized thresholds,
+    /// survivor lists, and decisions, and none of it may change a single
+    /// observable.
+    #[test]
+    fn query_sequences_identical_across_cache_modes(
+        rows in rows(),
+        spec in queries(),
+        scheme in 0usize..3,
+        scope in 0usize..2,
+        meta in 0usize..2,
+        threads in 1usize..5,
+    ) {
+        let table = build_table(&rows);
+        let qs = concrete_queries(&spec, table.len());
+        let mut reference: Option<(Vec<QueryTrace>, Vec<bool>)> = None;
+        for mode in MODES {
+            let cfg = cfg_with(scheme_of(scheme), scope_of(scope), meta_of(meta), mode, threads);
+            let idx = TableErIndex::build(&table, &cfg);
+            let got = run_sequence(&table, &idx, &qs);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    prop_assert_eq!(
+                        &got.0, &want.0,
+                        "query traces diverged in mode {:?} (queries {:?})", mode, &qs
+                    );
+                    prop_assert_eq!(
+                        &got.1, &want.1,
+                        "final links diverged in mode {:?}", mode
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-running the *same* sequence against the same cached index
+    /// (fresh Link Index, hot caches) is served from the caches — zero
+    /// survivor/decision misses on the node-centric path — and remains
+    /// bit-identical to the cold run.
+    #[test]
+    fn warm_rerun_identical_and_served_from_cache(
+        rows in rows(),
+        spec in queries(),
+        scheme in 0usize..3,
+        meta in 0usize..2,
+    ) {
+        let table = build_table(&rows);
+        let qs = concrete_queries(&spec, table.len());
+        let cfg = cfg_with(
+            scheme_of(scheme),
+            EdgePruningScope::NodeCentric,
+            meta_of(meta),
+            EpCacheMode::On,
+            1,
+        );
+        let idx = TableErIndex::build(&table, &cfg);
+        let cold = run_sequence(&table, &idx, &qs);
+        let mut li = LinkIndex::new(table.len());
+        let mut warm_traces = Vec::new();
+        for qe in &qs {
+            let mut m = DedupMetrics::default();
+            let out = idx.resolve(&table, qe, &mut li, &mut m);
+            prop_assert_eq!(m.ep_cache_misses, 0, "survivor lists must all be hot");
+            prop_assert_eq!(m.decision_cache_misses, 0, "decisions must all be hot");
+            warm_traces.push(QueryTrace {
+                dr: out.dr,
+                new_links: out.new_links,
+                comparisons: m.comparisons,
+                candidate_pairs: m.candidate_pairs,
+                matches_found: m.matches_found,
+            });
+        }
+        prop_assert_eq!(&warm_traces, &cold.0, "warm rerun diverged from cold");
+    }
+}

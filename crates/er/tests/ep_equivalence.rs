@@ -19,8 +19,8 @@ use queryer_common::knobs::proptest_cases;
 use queryer_common::PairSet;
 use queryer_er::edge_pruning::{bulk_node_thresholds, EdgePruner};
 use queryer_er::{
-    DedupMetrics, EdgePruningScope, ErConfig, LinkIndex, MetaBlockingConfig, TableErIndex,
-    WeightScheme,
+    DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig,
+    TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 
@@ -104,6 +104,10 @@ fn build_pair(
     bulk_cfg.ep_scope = scope;
     bulk_cfg.ep_bulk_thresholds = true;
     bulk_cfg.ep_threads = threads;
+    // This suite pins the two *uncached* modes against each other; the
+    // cross-query cache has its own suite (`cache_equivalence.rs`) and
+    // would otherwise shadow both paths under its default-on knob.
+    bulk_cfg.ep_cache = EpCacheMode::Off;
     let mut lazy_cfg = bulk_cfg.clone();
     lazy_cfg.ep_bulk_thresholds = false;
     lazy_cfg.ep_threads = 1;
