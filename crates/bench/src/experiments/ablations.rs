@@ -1,4 +1,4 @@
-//! Ablations beyond the paper's tables: the design choices DESIGN.md
+//! Ablations beyond the paper's tables: the design choices ARCHITECTURE.md
 //! calls out — blocking function (Token vs character n-grams, the
 //! Sec. 10 future-work item), edge-weighting scheme (CBS/ECBS/JS) and
 //! Edge-Pruning scope (node-centric vs global) — measured on DSD with
@@ -87,7 +87,7 @@ pub(crate) fn run(suite: &mut Suite) -> Vec<Report> {
     rep.note(
         "Not a paper artifact: quantifies the design choices this \
          reproduction had to make. Global WEP and disabled transitivity \
-         are the variants that break strict DQ ≡ BAQ equality (see DESIGN.md).",
+         are the variants that break strict DQ ≡ BAQ equality (see ARCHITECTURE.md).",
     );
     vec![rep]
 }

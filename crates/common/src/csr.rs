@@ -42,7 +42,20 @@ impl<T: Copy> Csr<T> {
 
     /// Appends one row, returning its index. Rows must arrive in row
     /// order — CSR construction is append-only.
+    ///
+    /// # Panics
+    /// When the total element count would exceed `u32::MAX` (the offset
+    /// width). At that point the offsets would silently wrap and every
+    /// later row would alias earlier data, so the builder fails loudly
+    /// instead — million-record tables sit orders of magnitude below the
+    /// cap, but a runaway quadratic (e.g. an unpurged stop-word block
+    /// exploding a co-occurrence adjacency) hits it first.
     pub fn push_row(&mut self, row: &[T]) -> usize {
+        let total = self.data.len() + row.len();
+        assert!(
+            total <= u32::MAX as usize,
+            "Csr overflow: {total} elements exceed the u32 offset range"
+        );
         self.data.extend_from_slice(row);
         self.offsets.push(self.data.len() as u32);
         self.offsets.len() - 2
@@ -101,6 +114,11 @@ impl<T: Copy + Default> Csr<T> {
     /// membership relation (entity→block into block→entity and back)
     /// without ever allocating a `Vec` per row.
     pub fn from_pairs(n_rows: usize, pairs: &[(u32, T)]) -> Self {
+        assert!(
+            pairs.len() <= u32::MAX as usize,
+            "Csr overflow: {} elements exceed the u32 offset range",
+            pairs.len()
+        );
         let mut offsets = vec![0u32; n_rows + 1];
         for &(r, _) in pairs {
             offsets[r as usize + 1] += 1;
@@ -116,6 +134,38 @@ impl<T: Copy + Default> Csr<T> {
             *c += 1;
         }
         Self { offsets, data }
+    }
+}
+
+impl Csr<u32> {
+    /// Inverts an adjacency in two counting passes: element `v` of row
+    /// `r` becomes element `r` of output row `v`. `n_out_rows` must
+    /// exceed every stored value.
+    ///
+    /// Within each output row the stored source-row indices ascend (rows
+    /// are scanned in order), which is exactly the guarantee
+    /// [`Csr::from_pairs`] gives when pairs are emitted row-major — so
+    /// the ER index can invert block↔record memberships without ever
+    /// materializing the intermediate `(row, value)` pair vector.
+    pub fn transpose(&self, n_out_rows: usize) -> Csr<u32> {
+        let mut offsets = vec![0u32; n_out_rows + 1];
+        for &v in &self.data {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..n_out_rows].to_vec();
+        let mut data = vec![0u32; self.data.len()];
+        for r in 0..self.n_rows() {
+            let (lo, hi) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+            for &v in &self.data[lo..hi] {
+                let c = &mut cursor[v as usize];
+                data[*c as usize] = r as u32;
+                *c += 1;
+            }
+        }
+        Csr { offsets, data }
     }
 }
 
@@ -177,5 +227,50 @@ mod tests {
         c.push_row(&[7]);
         assert_eq!(c.row(0), &[7]);
         assert_eq!(c.n_rows(), 1);
+    }
+
+    #[test]
+    fn transpose_matches_pair_inversion() {
+        // blocks→records example: transpose must equal the pair-vector
+        // inversion it replaces, row for row.
+        let mut blocks: Csr<u32> = Csr::new();
+        blocks.push_row(&[0, 2, 3]);
+        blocks.push_row(&[]);
+        blocks.push_row(&[1, 2]);
+        blocks.push_row(&[0]);
+        let n_records = 4;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (b, row) in blocks.rows().enumerate() {
+            for &r in row {
+                pairs.push((r, b as u32));
+            }
+        }
+        let via_pairs: Csr<u32> = Csr::from_pairs(n_records, &pairs);
+        let via_transpose = blocks.transpose(n_records);
+        assert_eq!(via_pairs, via_transpose);
+        // Round trip restores the original.
+        assert_eq!(via_transpose.transpose(blocks.n_rows()), blocks);
+    }
+
+    #[test]
+    fn transpose_empty_and_empty_rows() {
+        let c: Csr<u32> = Csr::new();
+        let t = c.transpose(5);
+        assert_eq!(t.n_rows(), 5);
+        assert!((0..5).all(|i| t.row(i).is_empty()));
+    }
+
+    #[test]
+    fn transpose_output_rows_ascend() {
+        // Source rows are scanned in order, so each output row's stored
+        // source indices must ascend — the invariant the ER block graph
+        // relies on (block contents sorted by record id).
+        let mut c: Csr<u32> = Csr::new();
+        c.push_row(&[1, 0]);
+        c.push_row(&[0, 1]);
+        c.push_row(&[1]);
+        let t = c.transpose(2);
+        assert_eq!(t.row(0), &[0, 1]);
+        assert_eq!(t.row(1), &[0, 1, 2]);
     }
 }

@@ -1,6 +1,11 @@
 //! Environment knobs shared by the heavy test suites and the ER hot
 //! path: each knob is a plain env-var read with a hard-coded default, so
 //! CI, benches, and local runs can retune without recompiling.
+//!
+//! Every knob is catalogued — with defaults, semantics, and guidance on
+//! when to turn it — in `docs/TUNING.md` at the repository root. Keep
+//! that file and this module in sync: a knob added here without a
+//! TUNING.md entry (or vice versa) is a docs bug.
 
 /// Number of property-test cases for the expensive suites, read from
 /// `QUERYER_PROPTEST_CASES` (falling back to `default` when unset or
@@ -108,6 +113,18 @@ pub fn ep_cache() -> EpCacheMode {
         },
         Err(_) => EpCacheMode::default(),
     }
+}
+
+/// Worker-thread count for the index-build sweeps — tokenization,
+/// interning, attribute lowering/metadata, and the CBS-partials pass —
+/// read from `QUERYER_BUILD_THREADS`. `0` (the default) means "auto":
+/// use the machine's available parallelism. Thread count never affects
+/// the built index — chunk results are merged in record order, so every
+/// symbol, block id, and CSR buffer is bit-identical to a
+/// single-threaded build (property-pinned by
+/// `crates/er/tests/build_equivalence.rs`).
+pub fn build_threads() -> usize {
+    env_usize("QUERYER_BUILD_THREADS", 0)
 }
 
 /// Worker-thread count for Comparison-Execution (`QUERYER_CMP_THREADS`).

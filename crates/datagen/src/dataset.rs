@@ -137,6 +137,69 @@ pub(crate) fn pick<'a, T: ?Sized>(rng: &mut StdRng, pool: &'a [&'a T]) -> &'a T 
     pool[rng.random_range(0..pool.len())]
 }
 
+/// Mean token-block size the scaled vocabularies aim for. With a fixed
+/// pool, every pool word's block grows linearly with the corpus — at
+/// 500k records a ~170-word name pool yields ~3000-member blocks whose
+/// Edge Pruning neighbourhoods go quadratic. Extending the vocabulary to
+/// `n / VOCAB_TARGET_BLOCK` distinct values keeps blocks near this size
+/// at every scale.
+pub(crate) const VOCAB_TARGET_BLOCK: usize = 40;
+
+/// Vocabulary size for a pool at corpus size `n` with a given target
+/// block size: never below the pool itself, so corpora small enough for
+/// the plain pool keep their exact historical RNG stream.
+pub(crate) fn scaled_vocab_with(pool_len: usize, n: usize, target_block: usize) -> usize {
+    pool_len.max(n / target_block.max(1))
+}
+
+/// [`scaled_vocab_with`] at the standard [`VOCAB_TARGET_BLOCK`].
+pub(crate) fn scaled_vocab(pool_len: usize, n: usize) -> usize {
+    scaled_vocab_with(pool_len, n, VOCAB_TARGET_BLOCK)
+}
+
+/// Draws an index from a scaled vocabulary. Exactly one RNG draw; when
+/// `vocab == pool_len` the draw is uniform over the pool — bit-identical
+/// to [`pick`]'s `random_range`, so the pinned small workloads
+/// (including the `bench_resolve` corpus) are byte-for-byte unchanged.
+///
+/// When the vocabulary outgrows the pool the uniform draw is mapped
+/// through `u^1.5`, giving token `j` a Zipf-ish density ∝
+/// `(j/vocab)^(-1/3)`. Real token frequencies are heavy-tailed, and
+/// meta-blocking depends on it: with a *uniform* large vocabulary nearly
+/// every co-occurring pair shares exactly one block, every node's mean
+/// CBS edge weight is exactly 1.0, and WNP's `weight ≥ mean` test keeps
+/// the entire neighbourhood — the pruned graph degenerates to the raw
+/// blocking graph and comparisons go quadratic (observed: 299
+/// comparisons/record at 500k uniform vs ~9 at 20k). The skew restores
+/// the weight diversity mean-based pruning assumes; the resulting head
+/// tokens behave like real stop words — Block Purging drops the largest
+/// and Block Filtering trims the rest. The exponent is deliberately
+/// milder than `u²`: a harder skew grows head blocks (and with them
+/// every Edge Pruning neighbourhood) ~`√n`, which measured ~2.5× slower
+/// at 100k with no extra pruning benefit.
+pub(crate) fn scaled_index(rng: &mut StdRng, pool_len: usize, vocab: usize) -> usize {
+    let vocab = vocab.max(pool_len.max(1));
+    let k = rng.random_range(0..vocab);
+    if vocab == pool_len {
+        return k;
+    }
+    let u = k as f64 / vocab as f64;
+    ((u * u.sqrt() * vocab as f64) as usize).min(vocab - 1)
+}
+
+/// [`pick`] over a vocabulary that may exceed the pool (see
+/// [`scaled_index`] for the draw semantics). Indices beyond the pool
+/// synthesize a deterministic token by suffixing the pool word they
+/// alias.
+pub(crate) fn pick_scaled(rng: &mut StdRng, pool: &[&str], vocab: usize) -> String {
+    let j = scaled_index(rng, pool.len(), vocab);
+    if j < pool.len() {
+        pool[j].to_string()
+    } else {
+        format!("{}{}", pool[j % pool.len()], j)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +254,64 @@ mod tests {
             adjacent * 5 < total_pairs.max(1) * 4,
             "{adjacent}/{total_pairs}"
         );
+    }
+
+    #[test]
+    fn scaled_vocab_never_shrinks_the_pool() {
+        assert_eq!(scaled_vocab(100, 2000), 100); // 2000/40 = 50 < pool
+        assert_eq!(scaled_vocab(100, 4000), 100);
+        assert_eq!(scaled_vocab(100, 8000), 200);
+        assert_eq!(scaled_vocab(100, 500_000), 12_500);
+        assert_eq!(scaled_vocab_with(30, 2000, 80), 30);
+        assert_eq!(scaled_vocab_with(30, 500_000, 80), 6250);
+    }
+
+    #[test]
+    fn pick_scaled_is_rng_identical_to_pick_at_pool_size() {
+        // The pinned 2k workloads rely on this: with vocab == pool.len()
+        // pick_scaled must consume the same draw and return the same
+        // word as pick, leaving the RNG stream byte-identical.
+        let pool = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            assert_eq!(pick_scaled(&mut a, &pool, pool.len()), *pick(&mut b, &pool));
+        }
+        assert_eq!(
+            a.random_range(0..1_000_000u64),
+            b.random_range(0..1_000_000u64)
+        );
+    }
+
+    #[test]
+    fn scaled_index_is_zipfish_beyond_the_pool() {
+        // Heavy head: P(j < vocab/100) = (1/100)^(2/3) ≈ 4.6% under the
+        // u^1.5 map, vs 1% uniform. The tail must still be reachable.
+        let mut rng = StdRng::seed_from_u64(5);
+        let vocab = 10_000usize;
+        let draws: Vec<usize> = (0..20_000)
+            .map(|_| scaled_index(&mut rng, 30, vocab))
+            .collect();
+        let head = draws.iter().filter(|&&j| j < vocab / 100).count();
+        assert!((600..=1300).contains(&head), "head draws {head}/20000");
+        assert!(draws.iter().any(|&j| j > vocab / 2), "tail reachable");
+        assert!(draws.iter().all(|&j| j < vocab));
+    }
+
+    #[test]
+    fn pick_scaled_synthesizes_deterministic_tokens_beyond_pool() {
+        let pool = ["alpha", "beta"];
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<String> = (0..100).map(|_| pick_scaled(&mut a, &pool, 50)).collect();
+        let ys: Vec<String> = (0..100).map(|_| pick_scaled(&mut b, &pool, 50)).collect();
+        assert_eq!(xs, ys);
+        assert!(
+            xs.iter().any(|t| t.len() > "alpha".len()),
+            "synth tokens appear"
+        );
+        let distinct: std::collections::HashSet<&str> = xs.iter().map(|s| s.as_str()).collect();
+        assert!(distinct.len() > pool.len(), "vocabulary actually grew");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! create a relationship between them".
 
 use crate::corpus::*;
-use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
+use crate::dataset::{
+    assemble, pick, pick_scaled, scaled_vocab, schema_with_id, Dataset, DirtySpec,
+};
 use queryer_storage::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,11 +18,17 @@ const PPL_ORG_FRACTION: f64 = 0.85;
 pub fn people(n: usize, seed: u64, orgs: &Dataset) -> Dataset {
     let spec = DirtySpec::new(n, 0.40, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7777));
+    // Name/street/suburb vocabularies grow with n so token blocks stay
+    // near `VOCAB_TARGET_BLOCK` members at the paper's 200k–2M sizes.
+    let firsts = scaled_vocab(FIRST_NAMES.len(), n);
+    let surs = scaled_vocab(SURNAMES.len(), n);
+    let streets = scaled_vocab(STREET_NAMES.len(), n);
+    let suburbs = scaled_vocab(SUBURBS.len(), n);
     let org_name_col = orgs.table.schema().index_of("name").expect("orgs schema");
     let originals: Vec<Vec<Value>> = (0..spec.n_originals())
         .map(|i| {
-            let given = pick(&mut rng, FIRST_NAMES);
-            let surname = pick(&mut rng, SURNAMES);
+            let given = pick_scaled(&mut rng, FIRST_NAMES, firsts);
+            let surname = pick_scaled(&mut rng, SURNAMES, surs);
             let birth_year = rng.random_range(1940..=2003i64);
             let dob = format!(
                 "{birth_year}-{:02}-{:02}",
@@ -42,7 +50,7 @@ pub fn people(n: usize, seed: u64, orgs: &Dataset) -> Dataset {
                 Value::Int(rng.random_range(1..=999i64)),
                 Value::str(format!(
                     "{} {}",
-                    pick(&mut rng, STREET_NAMES),
+                    pick_scaled(&mut rng, STREET_NAMES, streets),
                     pick(&mut rng, STREET_TYPES)
                 )),
                 if rng.random_range(0.0..1.0) < 0.3 {
@@ -50,7 +58,7 @@ pub fn people(n: usize, seed: u64, orgs: &Dataset) -> Dataset {
                 } else {
                     Value::Null
                 },
-                Value::str(pick(&mut rng, SUBURBS)),
+                Value::str(pick_scaled(&mut rng, SUBURBS, suburbs)),
                 Value::str(format!("{}", rng.random_range(2000..=7999u32))),
                 Value::str(pick(&mut rng, STATES)),
                 Value::str(dob),

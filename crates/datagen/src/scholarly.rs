@@ -3,7 +3,10 @@
 //! Sec. 9.1 / Table 7.
 
 use crate::corpus::*;
-use crate::dataset::{assemble, pick, schema_with_id, Dataset, DirtySpec};
+use crate::dataset::{
+    assemble, pick, pick_scaled, scaled_index, scaled_vocab, scaled_vocab_with, schema_with_id,
+    Dataset, DirtySpec,
+};
 use queryer_storage::{DataType, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,47 +17,176 @@ use rand::{Rng, SeedableRng};
 /// strategy shine.
 const OAGP_VENUE_JOIN_FRACTION: f64 = 0.05;
 
+/// Scaled-vocabulary research-term token for index `j`: the pool word,
+/// or a deterministic synthesized extension beyond it.
+fn term_token(j: usize) -> String {
+    if j < RESEARCH_TERMS.len() {
+        RESEARCH_TERMS[j].to_string()
+    } else {
+        format!("{}{}", RESEARCH_TERMS[j % RESEARCH_TERMS.len()], j)
+    }
+}
+
+/// Adjacent vocabulary indices grouped into one topic: the intra-title
+/// correlation granule for scaled corpora.
+const TOPIC_BAND: usize = 8;
+
 // Title patterns lead with the variable term: shared boilerplate
 // prefixes ("a ... approach to") would inflate Jaro-Winkler similarity
 // between unrelated papers through the common-prefix boost.
-fn paper_title(rng: &mut StdRng) -> String {
-    let a = pick(rng, RESEARCH_TERMS);
-    let b = pick(rng, RESEARCH_TERMS);
-    let c = pick(rng, RESEARCH_TERMS);
-    let d = pick(rng, RESEARCH_TERMS);
-    match rng.random_range(0..4u8) {
+// `term_vocab` scales the term pool with the corpus so token-block
+// sizes stay bounded at 100k+ records (see `scaled_vocab`).
+//
+// Scaled titles are *topical*: each paper draws a topic band, anchors
+// two distinct terms in it, and draws the rest from the global Zipf-ish
+// distribution. Real corpora have exactly this correlation (papers
+// cluster by field), and meta-blocking needs it at scale — with 4
+// *independent* draws from a 100k+-record vocabulary, two records almost
+// never share more than one token, so whole Edge Pruning neighbourhoods
+// sit at CBS weight exactly 1, the mean-weight WNP threshold equals
+// every weight, and nothing is pruned (measured: 313 comparisons/record
+// at 500k independent vs ~19 at 100k). The anchors are what make the
+// fix robust: every record is guaranteed topic-mates sharing an anchor
+// *pair* (weight ≥ 2), which lifts its WNP mean strictly above 1 and
+// prunes the weight-1 mass — at every corpus size, since band
+// population (records ÷ bands) is scale-invariant. Three anchors, not
+// two, because Block Filtering drops each record's largest ~20% of
+// blocks — exactly where anchor blocks land for head bands — and a
+// 2-anchor title loses its only pair whenever one anchor is dropped
+// (measured: ~30% of records at 500k ended up with zero weight-2
+// mates, a threshold of exactly 1.0, and whole-neighbourhood
+// retention). With three, any two surviving anchors still pair.
+//
+// Returns the topic band base index alongside the title (`None` for
+// pool-sized corpora) so author drawing can correlate with it — see
+// `author_list`.
+fn paper_title_topical(rng: &mut StdRng, term_vocab: usize) -> (String, Option<usize>) {
+    let (a, b, c, d, topic) = if term_vocab == RESEARCH_TERMS.len() {
+        // Pool-sized corpora (including every pinned workload) keep the
+        // exact legacy draw sequence.
+        (
+            pick(rng, RESEARCH_TERMS).to_string(),
+            pick(rng, RESEARCH_TERMS).to_string(),
+            pick(rng, RESEARCH_TERMS).to_string(),
+            pick(rng, RESEARCH_TERMS).to_string(),
+            None,
+        )
+    } else {
+        let bands = (term_vocab / TOPIC_BAND).max(1);
+        // Bands are drawn uniformly, not Zipf-skewed: a head band holding
+        // ~1% of a 500k corpus makes its anchor blocks every member's
+        // largest blocks, Block Filtering drops two of the three anchors,
+        // and the pair guarantee above dies exactly for the records with
+        // the biggest neighbourhoods. Global draws (the fourth term, venue
+        // terms, names) keep the Zipf head that Block Purging needs.
+        let band = rng.random_range(0..bands) * TOPIC_BAND;
+        // Three distinct slots of the band via a cyclic offset walk.
+        let s1 = rng.random_range(0..TOPIC_BAND);
+        let step = 1 + rng.random_range(0..TOPIC_BAND / 2 - 1);
+        let s2 = (s1 + step) % TOPIC_BAND;
+        let s3 = (s2 + step) % TOPIC_BAND;
+        (
+            term_token((band + s1).min(term_vocab - 1)),
+            term_token((band + s2).min(term_vocab - 1)),
+            term_token((band + s3).min(term_vocab - 1)),
+            term_token(scaled_index(rng, 0, term_vocab)),
+            Some(band / TOPIC_BAND),
+        )
+    };
+    let title = match rng.random_range(0..4u8) {
         0 => format!("{a} {b} for {c} {d}"),
         1 => format!("{a} {b} on {c} data"),
         2 => format!("{a} driven {b} with {c}"),
         _ => format!("{a} {b} and {c} management"),
-    }
+    };
+    (title, topic)
 }
 
-fn author_list(rng: &mut StdRng) -> String {
+/// A scaled name-pool index: half the draws come from the topic's name
+/// band (co-authorship clusters by field, so topic-mates reuse a small
+/// set of names), half from the global Zipf-ish distribution.
+///
+/// The banded half is what closes the last Edge Pruning degeneracy at
+/// scale: name-band blocks are small (~tens of members), far below
+/// Block Filtering's drop zone, so topic-mates keep shared
+/// (name, name) and (name, anchor) pairs even when filtering drops two
+/// of a record's three title anchors (near-tied ~160-member blocks for
+/// three-author records — measured ~20k such records at 500k, each
+/// retaining a weight-1-only neighbourhood and emitting it whole).
+fn banded_name(rng: &mut StdRng, pool: &[&str], vocab: usize, topic: Option<usize>) -> String {
+    if let Some(t) = topic {
+        if vocab > pool.len() && rng.random_range(0.0..1.0) < 0.5 {
+            let bands = (vocab / TOPIC_BAND).max(1);
+            let j = ((t % bands) * TOPIC_BAND + rng.random_range(0..TOPIC_BAND)).min(vocab - 1);
+            return if j < pool.len() {
+                pool[j].to_string()
+            } else {
+                format!("{}{}", pool[j % pool.len()], j)
+            };
+        }
+    }
+    pick_scaled(rng, pool, vocab)
+}
+
+fn author_list(
+    rng: &mut StdRng,
+    first_vocab: usize,
+    sur_vocab: usize,
+    topic: Option<usize>,
+) -> String {
     let n = rng.random_range(1..=3usize);
     (0..n)
-        .map(|_| format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, SURNAMES)))
+        .map(|_| {
+            format!(
+                "{} {}",
+                banded_name(rng, FIRST_NAMES, first_vocab, topic),
+                banded_name(rng, SURNAMES, sur_vocab, topic)
+            )
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
 
 /// A venue string: abbreviation or full name from the pool, extended
-/// with synthesized venues when `i` exceeds the pool.
-fn venue_pair(rng: &mut StdRng, i: usize) -> (String, String) {
+/// with synthesized venues when `i` exceeds the pool. Synthesized names
+/// draw from the research-term vocabulary scaled to `term_vocab`.
+///
+/// The synthesized abbreviation carries the venue index: real acronyms
+/// are (nearly) unique per venue, and at 100k+ records an
+/// initials-only scheme ("ic" + two first letters ≈ 40 hot strings
+/// under the Zipf-skewed term heads) pools hundreds of thousands of
+/// records into a handful of abbreviation blocks. Those blocks land
+/// just under the Block Purging knee and — since abbreviation-only
+/// venue values share no other token — form pure CBS-weight-1 cliques
+/// whose WNP mean threshold is exactly 1, so Edge Pruning keeps them
+/// whole (measured at 500k: 8% of nodes in `ic??` blocks contributed
+/// 51M of 76M surviving edges). Per-venue acronyms keep abbreviation
+/// blocks at venue-block size at every scale.
+fn venue_pair(rng: &mut StdRng, i: usize, term_vocab: usize) -> (String, String) {
     if i < VENUES.len() {
         let (a, f) = VENUES[i];
         (a.to_string(), f.to_string())
     } else {
-        let a = pick(rng, RESEARCH_TERMS);
-        let b = pick(rng, RESEARCH_TERMS);
+        let a = pick_scaled(rng, RESEARCH_TERMS, term_vocab);
+        let b = pick_scaled(rng, RESEARCH_TERMS, term_vocab);
         let full = format!("international conference on {a} and {b}");
         let abbr = format!(
-            "ic{}{}",
+            "ic{}{}{}",
             a.chars().next().unwrap_or('x'),
-            b.chars().next().unwrap_or('y')
+            b.chars().next().unwrap_or('y'),
+            i - VENUES.len()
         );
         (abbr, full)
     }
+}
+
+/// Venue-pool vocabulary for a corpus of `n` records. Venues repeat more
+/// than title terms in real bibliographies, so the target block is
+/// looser (80); the looser target also keeps the 2k pinned workload
+/// inside the 30-entry pool, i.e. RNG-stream identical to the
+/// pre-scaling generator.
+fn venue_vocab(n: usize) -> usize {
+    scaled_vocab_with(VENUES.len(), n, 80)
 }
 
 /// Generates the DBLP-Scholar-shaped dataset: id + title, authors,
@@ -62,18 +194,23 @@ fn venue_pair(rng: &mut StdRng, i: usize) -> (String, String) {
 pub fn dblp_scholar(n: usize, seed: u64) -> Dataset {
     let spec = DirtySpec::new(n, 0.08, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+    let terms = scaled_vocab(RESEARCH_TERMS.len(), n);
+    let firsts = scaled_vocab(FIRST_NAMES.len(), n);
+    let surs = scaled_vocab(SURNAMES.len(), n);
+    let venues = venue_vocab(n);
     let originals: Vec<Vec<Value>> = (0..spec.n_originals())
         .map(|_| {
-            let vi = rng.random_range(0..VENUES.len());
-            let (abbr, full) = venue_pair(&mut rng, vi);
+            let vi = scaled_index(&mut rng, VENUES.len(), venues);
+            let (abbr, full) = venue_pair(&mut rng, vi, terms);
             let venue = if rng.random_range(0.0..1.0) < 0.5 {
                 abbr
             } else {
                 full
             };
+            let (title, topic) = paper_title_topical(&mut rng, terms);
             vec![
-                Value::str(paper_title(&mut rng)),
-                Value::str(author_list(&mut rng)),
+                Value::str(title),
+                Value::str(author_list(&mut rng, firsts, surs, topic)),
                 Value::str(venue),
                 Value::Int(rng.random_range(1990..=2022i64)),
             ]
@@ -95,9 +232,10 @@ pub fn dblp_scholar(n: usize, seed: u64) -> Dataset {
 pub fn oag_venues(n: usize, seed: u64) -> Dataset {
     let spec = DirtySpec::new(n, 0.20, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(23));
+    let terms = scaled_vocab(RESEARCH_TERMS.len(), n);
     let originals: Vec<Vec<Value>> = (0..spec.n_originals())
         .map(|i| {
-            let (abbr, full) = venue_pair(&mut rng, i);
+            let (abbr, full) = venue_pair(&mut rng, i, terms);
             let (title, descr) = if rng.random_range(0.0..1.0) < 0.5 {
                 (abbr, full)
             } else {
@@ -132,6 +270,9 @@ pub fn oag_venues(n: usize, seed: u64) -> Dataset {
 pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
     let spec = DirtySpec::new(n, 0.12, seed);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(31));
+    let terms = scaled_vocab(RESEARCH_TERMS.len(), n);
+    let firsts = scaled_vocab(FIRST_NAMES.len(), n);
+    let surs = scaled_vocab(SURNAMES.len(), n);
     let venue_title_col = venues
         .table
         .schema()
@@ -149,7 +290,7 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
                     .value(venue_title_col)
                     .clone()
             } else {
-                let (abbr, full) = venue_pair(&mut rng, VENUES.len() + i);
+                let (abbr, full) = venue_pair(&mut rng, VENUES.len() + i, terms);
                 Value::str(if rng.random_range(0.0..1.0) < 0.5 {
                     abbr
                 } else {
@@ -159,16 +300,17 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
             let year = rng.random_range(1985..=2022i64);
             let volume = rng.random_range(1..=60i64);
             let first_page = rng.random_range(1..=900i64);
+            let (title, topic) = paper_title_topical(&mut rng, terms);
             vec![
-                Value::str(paper_title(&mut rng)),
-                Value::str(author_list(&mut rng)),
+                Value::str(title),
+                Value::str(author_list(&mut rng, firsts, surs, topic)),
                 venue,
                 Value::Int(year),
                 Value::str(format!(
                     "{}; {}; {}",
-                    pick(&mut rng, RESEARCH_TERMS),
-                    pick(&mut rng, RESEARCH_TERMS),
-                    pick(&mut rng, RESEARCH_TERMS)
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms),
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms),
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms)
                 )),
                 Value::str(pick(&mut rng, LANGUAGES)),
                 Value::str(pick(&mut rng, PUBLISHERS)),
@@ -186,7 +328,7 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
                 )),
                 Value::str(format!("https://doi.example.org/p/{i}")),
                 Value::Int(rng.random_range(0..=500i64)),
-                Value::str(pick(&mut rng, RESEARCH_TERMS)),
+                Value::str(pick_scaled(&mut rng, RESEARCH_TERMS, terms)),
                 Value::str(if rng.random_range(0.0..1.0) < 0.7 {
                     "conference"
                 } else {
@@ -199,9 +341,9 @@ pub fn oag_papers(n: usize, seed: u64, venues: &Dataset) -> Dataset {
                 )),
                 Value::str(format!(
                     "we study {} {} and evaluate on {} workloads",
-                    pick(&mut rng, RESEARCH_TERMS),
-                    pick(&mut rng, RESEARCH_TERMS),
-                    pick(&mut rng, RESEARCH_TERMS)
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms),
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms),
+                    pick_scaled(&mut rng, RESEARCH_TERMS, terms)
                 )),
                 Value::str(pick(&mut rng, COUNTRIES)),
             ]
@@ -249,6 +391,21 @@ mod tests {
         assert_eq!(d.len(), 600);
         assert_eq!(d.table.schema().len(), 5); // |A|=4 + id
         assert!(d.truth.pair_count() > 0);
+    }
+
+    #[test]
+    fn dsd_vocabulary_scales_with_corpus() {
+        // At 20k records the venue vocabulary must outgrow the 30-entry
+        // pool so no single venue token's block goes quadratic.
+        let d = dblp_scholar(20_000, 1);
+        let vcol = d.table.schema().index_of("venue").unwrap();
+        let distinct: std::collections::HashSet<String> = d
+            .table
+            .records()
+            .iter()
+            .map(|r| r.value(vcol).render().into_owned())
+            .collect();
+        assert!(distinct.len() > 2 * VENUES.len(), "got {}", distinct.len());
     }
 
     #[test]

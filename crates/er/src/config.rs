@@ -163,6 +163,17 @@ pub struct ErConfig {
     /// never affects results — partitions are merged in deterministic
     /// order. Default comes from the `QUERYER_EP_THREADS` env knob.
     pub ep_threads: usize,
+    /// Worker threads for the [`TableErIndex::build`] sweeps —
+    /// tokenization, interning, attribute lowering/metadata, and the
+    /// CBS-partials pass. `0` = auto (available parallelism). Thread
+    /// count never affects the built index: chunk outputs are merged in
+    /// record order, so symbols, block ids, and every CSR buffer are
+    /// bit-identical to a single-threaded build (pinned by
+    /// `tests/build_equivalence.rs`). Default comes from the
+    /// `QUERYER_BUILD_THREADS` env knob.
+    ///
+    /// [`TableErIndex::build`]: crate::TableErIndex::build
+    pub build_threads: usize,
     /// Cross-query resolve cache mode: incremental node-centric EP
     /// thresholds + surviving-neighbour lists memoized across queries,
     /// and pair-keyed comparison-decision memoization in
@@ -192,6 +203,7 @@ impl Default for ErConfig {
             parallelism: queryer_common::knobs::cmp_threads(),
             ep_bulk_thresholds: queryer_common::knobs::ep_bulk_thresholds(),
             ep_threads: queryer_common::knobs::ep_threads(),
+            build_threads: queryer_common::knobs::build_threads(),
             ep_cache: queryer_common::knobs::ep_cache(),
         }
     }
@@ -221,6 +233,12 @@ impl ErConfig {
     /// with `0` resolved to the machine's available parallelism.
     pub fn effective_parallelism(&self) -> usize {
         Self::resolve_auto(self.parallelism)
+    }
+
+    /// The concrete index-build worker count: `build_threads`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_build_threads(&self) -> usize {
+        Self::resolve_auto(self.build_threads)
     }
 
     fn resolve_auto(n: usize) -> usize {
@@ -280,6 +298,20 @@ mod tests {
         assert!(EpCacheMode::On.enabled());
         assert!(EpCacheMode::Prewarm.enabled());
         assert!(!EpCacheMode::Off.enabled());
+    }
+
+    #[test]
+    fn effective_build_threads_resolves_auto() {
+        let pinned = ErConfig {
+            build_threads: 5,
+            ..ErConfig::default()
+        };
+        assert_eq!(pinned.effective_build_threads(), 5);
+        let auto = ErConfig {
+            build_threads: 0,
+            ..ErConfig::default()
+        };
+        assert!(auto.effective_build_threads() >= 1);
     }
 
     #[test]

@@ -5,8 +5,37 @@
 //! table and are stored in memory." The Inverse Table Block Index is
 //! "sorted in ascending order by their block size", which is exactly what
 //! Block Filtering needs.
+//!
+//! # Build phases
+//!
+//! [`TableErIndex::build`] is organised so that a 100k–1M-record table
+//! never materializes a per-record `Vec` or an intermediate pair vector;
+//! every relation lives in a counting-pass [`queryer_common::Csr`] from
+//! the moment it exists:
+//!
+//! 1. **Tokenize + intern** (`tokenize_table`): one sweep over the
+//!    records produces the blocking keys, the record→key CSR, the
+//!    profile-token interner and arena, and the pre-lowercased
+//!    attributes with their kernel metadata. The sweep is chunked across
+//!    `ErConfig::build_threads` workers (`QUERYER_BUILD_THREADS`, `0` =
+//!    auto); each worker interns into chunk-local tables and the
+//!    sequential merge re-interns the chunk vocabularies in chunk order,
+//!    which reproduces the single-threaded first-seen symbol order
+//!    exactly — the built index is bit-identical for every thread count
+//!    (pinned by `tests/build_equivalence.rs`).
+//! 2. **TBI** — `raw_blocks` is the [`Csr::transpose`] of the record→key
+//!    CSR: two counting passes, no `(block, record)` pair vector.
+//! 3. **Block Purging** — one table-level threshold over the raw block
+//!    cardinalities ([`crate::purging`]).
+//! 4. **ITBI** — the record→key CSR is re-sorted row-in-place by
+//!    `(block size, block id)`; no second buffer.
+//! 5. **Block Filtering** — each record's retained prefix is appended to
+//!    the `entity_retained` CSR; `filtered_blocks` is its transpose.
+//! 6. **CBS partials** — when Edge Pruning and the resolve cache are on,
+//!    every node's co-occurrence neighbourhood is materialized by a
+//!    chunked parallel sweep (`build_cbs_adjacency`) on the same
+//!    build-thread pool.
 
-use crate::blocking::{build_blocks, RawBlocks};
 use crate::config::{ErConfig, WeightScheme};
 use crate::purging::purge_flags;
 use crate::tokenizer::{record_keys, record_tokens};
@@ -39,7 +68,7 @@ pub struct InternedProfile<'a> {
 /// without touching the attribute text: the character length feeds the
 /// Jaro length-difference and Levenshtein band bounds, and the prefix
 /// bytes feed the Jaro-Winkler common-prefix bound.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttrMeta {
     /// Character count of the lowered attribute (0 for NULL / skipped).
     pub chars: u32,
@@ -263,15 +292,27 @@ impl TableErIndex {
         } else {
             None
         };
-        let RawBlocks {
+        // Phase 1: one (parallel) tokenize + intern sweep over the
+        // records — blocking keys, profile symbols, lowered attributes.
+        let TokenizedTable {
             keys,
-            blocks: raw_blocks,
             key_to_block,
-        } = build_blocks(table, cfg.blocking, cfg.min_token_len, skip_col);
+            entity_keys,
+            interner,
+            profile_tokens,
+            lower_attrs,
+            attr_meta,
+        } = tokenize_table(table, cfg, skip_col);
 
-        let n_blocks = raw_blocks.n_rows();
+        let n_blocks = keys.len();
 
-        // Block Purging: one table-level threshold (query-stable).
+        // Phase 2, TBI: invert the record→key CSR into block→records by
+        // a counting-pass transpose. Record ids ascend within each block
+        // because the transpose scans source rows in order.
+        let raw_blocks: Csr<RecordId> = entity_keys.transpose(n_blocks);
+
+        // Phase 3, Block Purging: one table-level threshold
+        // (query-stable).
         let (purge_thr, purged) = if cfg.meta.purging() {
             let cards: Vec<u64> = raw_blocks.rows().map(|b| cardinality(b.len())).collect();
             purge_flags(&cards, cfg.purging_smooth_factor)
@@ -279,24 +320,18 @@ impl TableErIndex {
             (u64::MAX, vec![false; n_blocks])
         };
 
-        // ITBI: invert the CSR block→record memberships into
-        // record→blocks (counting sort), then sort each row ascending by
-        // (size, id) in place.
-        let mut inv: Vec<(u32, BlockId)> = Vec::with_capacity(raw_blocks.total_len());
-        for (bid, block) in raw_blocks.rows().enumerate() {
-            for &rid in block {
-                inv.push((rid, bid as BlockId));
-            }
-        }
-        let mut entity_blocks: Csr<BlockId> = Csr::from_pairs(table.len(), &inv);
+        // Phase 4, ITBI: the record→key CSR already holds each record's
+        // distinct blocks; sorting every row in place ascending by
+        // (size, id) turns it into the ITBI without another buffer.
+        let mut entity_blocks: Csr<BlockId> = entity_keys;
         for rid in 0..table.len() {
             entity_blocks
                 .row_mut(rid)
                 .sort_unstable_by_key(|&b| (raw_blocks.row_len(b as usize), b));
         }
 
-        // Block Filtering: per entity, retain the first ⌈p·m⌉ of its m
-        // unpurged blocks (smallest first) — also table-level.
+        // Phase 5, Block Filtering: per entity, retain the first ⌈p·m⌉
+        // of its m unpurged blocks (smallest first) — also table-level.
         let mut entity_retained: Csr<BlockId> =
             Csr::with_capacity(table.len(), entity_blocks.total_len());
         let mut unpurged: Vec<BlockId> = Vec::new();
@@ -317,48 +352,14 @@ impl TableErIndex {
             entity_retained.push_row(&unpurged[..keep]);
         }
 
-        // Invert retention: per block, the entities that retain it —
-        // record ids ascend because the pairs are emitted in record order
-        // and the counting sort is stable.
-        let mut ret: Vec<(u32, RecordId)> = Vec::with_capacity(entity_retained.total_len());
-        for rid in 0..table.len() {
-            for &b in entity_retained.row(rid) {
-                ret.push((b, rid as RecordId));
-            }
-        }
-        let filtered_blocks: Csr<RecordId> = Csr::from_pairs(n_blocks, &ret);
+        // Invert retention by the same counting-pass transpose: per
+        // block, the entities that retain it, record ids ascending.
+        let filtered_blocks: Csr<RecordId> = entity_retained.transpose(n_blocks);
 
-        // Interned comparison profiles: every profile token becomes a
-        // dense symbol, every attribute is rendered + lowercased exactly
-        // once — Comparison-Execution never touches strings it has to
-        // build itself again.
         let n_cols = table.schema().len();
-        let mut interner = TokenInterner::new();
-        let mut profile_tokens = TokenArena::with_capacity(table.len(), table.len() * 8);
-        let mut lower_attrs: Vec<Option<Box<str>>> = Vec::with_capacity(table.len() * n_cols);
-        let mut attr_meta: Vec<AttrMeta> = Vec::with_capacity(table.len() * n_cols);
-        let mut syms: Vec<u32> = Vec::new();
-        for record in table.records() {
-            syms.clear();
-            for tok in record_tokens(record, cfg.min_token_len, skip_col) {
-                syms.push(interner.intern(&tok));
-            }
-            syms.sort_unstable();
-            profile_tokens.push(&syms);
-            for (i, v) in record.values.iter().enumerate() {
-                if Some(i) == skip_col || v.is_null() {
-                    lower_attrs.push(None);
-                    attr_meta.push(AttrMeta::default());
-                } else {
-                    let lowered = v.render().to_lowercase().into_boxed_str();
-                    attr_meta.push(AttrMeta::of(&lowered));
-                    lower_attrs.push(Some(lowered));
-                }
-            }
-        }
 
-        // CBS partials: when the config runs Edge Pruning with the
-        // cross-query cache enabled, materialize every node's
+        // Phase 6, CBS partials: when the config runs Edge Pruning with
+        // the cross-query cache enabled, materialize every node's
         // co-occurrence neighbourhood (neighbour + common-block count)
         // once, here, instead of re-counting it on every cold query.
         // This is the weight-scheme-independent part of all EP
@@ -370,7 +371,7 @@ impl TableErIndex {
                 &entity_retained,
                 &filtered_blocks,
                 table.len(),
-                cfg.effective_ep_threads(),
+                cfg.effective_build_threads(),
             )
         });
 
@@ -672,6 +673,205 @@ impl TableErIndex {
     }
 }
 
+/// Everything phase 1 of [`TableErIndex::build`] produces in one sweep
+/// over the records: the blocking-key vocabulary, the record→key CSR
+/// (the pre-sort ITBI), the profile-token interner + arena, and the
+/// lowered attributes with kernel metadata.
+struct TokenizedTable {
+    /// Block key (token) per block id, in table-first-seen order.
+    keys: Vec<String>,
+    /// Token → block id (the TBI hash index).
+    key_to_block: FxHashMap<String, BlockId>,
+    /// Per record, its distinct blocking keys as global block ids, in
+    /// the record's key-iteration order (unsorted).
+    entity_keys: Csr<BlockId>,
+    /// Interner over the table's profile tokens.
+    interner: TokenInterner,
+    /// Per record, its sorted interned profile-token slice.
+    profile_tokens: TokenArena,
+    /// Per record × column, the pre-lowercased rendered attribute text.
+    lower_attrs: Vec<Option<Box<str>>>,
+    /// Per record × column, kernel-ready attribute metadata.
+    attr_meta: Vec<AttrMeta>,
+}
+
+/// One worker's chunk of the tokenize/intern sweep: blocking keys and
+/// profile tokens as *chunk-local* ids over chunk-local vocabularies
+/// (first-seen order within the chunk), plus the chunk's attribute
+/// columns. The merge re-interns the vocabularies into the global
+/// tables in chunk order, which reproduces the sequential first-seen id
+/// assignment exactly — see [`tokenize_table`].
+#[derive(Default)]
+struct TokenizeChunk {
+    /// Distinct blocking keys, chunk-first-seen order.
+    keys: Vec<String>,
+    /// Per record in the chunk, how many blocking keys it emitted.
+    key_lens: Vec<u32>,
+    /// Flat per-record blocking keys as chunk-local ids.
+    key_syms: Vec<u32>,
+    /// Distinct profile tokens, chunk-first-seen order.
+    tokens: Vec<String>,
+    /// Per record in the chunk, how many profile tokens it emitted.
+    token_lens: Vec<u32>,
+    /// Flat per-record profile tokens as chunk-local symbols.
+    token_syms: Vec<u32>,
+    /// Pre-lowercased attribute text, record-major (chunk × n_cols).
+    lower: Vec<Option<Box<str>>>,
+    /// Kernel metadata aligned with `lower`.
+    meta: Vec<AttrMeta>,
+}
+
+/// Tokenizes one record chunk into chunk-local vocabularies. The
+/// per-record key/token sets iterate in an order that is a pure function
+/// of the record (FxHash has no per-process randomness), so a record
+/// contributes the same id sequence whichever chunk it lands in — the
+/// property the bit-identical merge relies on.
+fn tokenize_chunk(records: &[Record], cfg: &ErConfig, skip_col: Option<usize>) -> TokenizeChunk {
+    let mut out = TokenizeChunk::default();
+    let mut key_ids: FxHashMap<Box<str>, u32> = FxHashMap::default();
+    let mut token_ids: FxHashMap<Box<str>, u32> = FxHashMap::default();
+    let local =
+        |text: String, ids: &mut FxHashMap<Box<str>, u32>, vocab: &mut Vec<String>| -> u32 {
+            if let Some(&id) = ids.get(text.as_str()) {
+                return id;
+            }
+            let id = vocab.len() as u32;
+            vocab.push(text.clone());
+            ids.insert(text.into_boxed_str(), id);
+            id
+        };
+    for record in records {
+        let keys = record_keys(record, cfg.blocking, cfg.min_token_len, skip_col);
+        out.key_lens.push(keys.len() as u32);
+        for key in keys {
+            let id = local(key, &mut key_ids, &mut out.keys);
+            out.key_syms.push(id);
+        }
+        let tokens = record_tokens(record, cfg.min_token_len, skip_col);
+        out.token_lens.push(tokens.len() as u32);
+        for tok in tokens {
+            let id = local(tok, &mut token_ids, &mut out.tokens);
+            out.token_syms.push(id);
+        }
+        for (i, v) in record.values.iter().enumerate() {
+            if Some(i) == skip_col || v.is_null() {
+                out.lower.push(None);
+                out.meta.push(AttrMeta::default());
+            } else {
+                let lowered = v.render().to_lowercase().into_boxed_str();
+                out.meta.push(AttrMeta::of(&lowered));
+                out.lower.push(Some(lowered));
+            }
+        }
+    }
+    out
+}
+
+/// Phase 1 of [`TableErIndex::build`]: tokenize + intern the whole table
+/// in one sweep, chunked across `ErConfig::effective_build_threads`
+/// workers.
+///
+/// Bit-identity across thread counts: a blocking key / profile token
+/// receives its global id at its first occurrence in record-scan order.
+/// Workers record chunk-local first-seen vocabularies; the merge walks
+/// the chunks in record order and re-interns each chunk's vocabulary in
+/// its local id order (= the chunk's first-seen scan order). The first
+/// chunk containing a string therefore assigns its global id, at a
+/// position determined by scan order within that chunk — exactly the
+/// sequential assignment. Per-record rows are then remapped
+/// local→global, so every CSR buffer, symbol, and attribute lands
+/// byte-identical to a single-threaded build (`tests/build_equivalence.rs`).
+fn tokenize_table(table: &Table, cfg: &ErConfig, skip_col: Option<usize>) -> TokenizedTable {
+    let records = table.records();
+    let threads = cfg.effective_build_threads().clamp(1, records.len().max(1));
+    let chunk_size = records.len().div_ceil(threads).max(1);
+    let chunks: Vec<TokenizeChunk> = if threads == 1 {
+        vec![tokenize_chunk(records, cfg, skip_col)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = records
+                .chunks(chunk_size)
+                .map(|recs| scope.spawn(move || tokenize_chunk(recs, cfg, skip_col)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tokenize worker panicked"))
+                .collect()
+        })
+    };
+
+    let n_cols = table.schema().len();
+    let total_keys: usize = chunks.iter().map(|c| c.key_syms.len()).sum();
+    let total_tokens: usize = chunks.iter().map(|c| c.token_syms.len()).sum();
+    let mut keys: Vec<String> = Vec::new();
+    let mut key_to_block: FxHashMap<String, BlockId> = FxHashMap::default();
+    let mut interner = TokenInterner::new();
+    let mut entity_keys: Csr<BlockId> = Csr::with_capacity(records.len(), total_keys);
+    let mut profile_tokens = TokenArena::with_capacity(records.len(), total_tokens);
+    let mut lower_attrs: Vec<Option<Box<str>>> = Vec::with_capacity(records.len() * n_cols);
+    let mut attr_meta: Vec<AttrMeta> = Vec::with_capacity(records.len() * n_cols);
+    let mut row: Vec<u32> = Vec::new();
+    let mut key_remap: Vec<u32> = Vec::new();
+    let mut token_remap: Vec<u32> = Vec::new();
+
+    for chunk in chunks {
+        key_remap.clear();
+        key_remap.reserve(chunk.keys.len());
+        for key in chunk.keys {
+            let bid = match key_to_block.get(&key) {
+                Some(&bid) => bid,
+                None => {
+                    let bid = keys.len() as BlockId;
+                    keys.push(key.clone());
+                    key_to_block.insert(key, bid);
+                    bid
+                }
+            };
+            key_remap.push(bid);
+        }
+        token_remap.clear();
+        token_remap.reserve(chunk.tokens.len());
+        for tok in &chunk.tokens {
+            token_remap.push(interner.intern(tok));
+        }
+        let mut at = 0usize;
+        for &len in &chunk.key_lens {
+            row.clear();
+            row.extend(
+                chunk.key_syms[at..at + len as usize]
+                    .iter()
+                    .map(|&s| key_remap[s as usize]),
+            );
+            entity_keys.push_row(&row);
+            at += len as usize;
+        }
+        let mut at = 0usize;
+        for &len in &chunk.token_lens {
+            row.clear();
+            row.extend(
+                chunk.token_syms[at..at + len as usize]
+                    .iter()
+                    .map(|&s| token_remap[s as usize]),
+            );
+            row.sort_unstable();
+            profile_tokens.push(&row);
+            at += len as usize;
+        }
+        lower_attrs.extend(chunk.lower);
+        attr_meta.extend(chunk.meta);
+    }
+
+    TokenizedTable {
+        keys,
+        key_to_block,
+        entity_keys,
+        interner,
+        profile_tokens,
+        lower_attrs,
+        attr_meta,
+    }
+}
+
 /// The one co-occurrence counting definition: fills `scratch` with the
 /// distinct co-occurring entities of `id` in first-touch order with
 /// their CBS counts, reading the post-BP/BF blocking graph. Both the
@@ -932,7 +1132,7 @@ mod tests {
         for threads in [1usize, 3] {
             let mut cfg = ErConfig::default();
             cfg.ep_cache = crate::config::EpCacheMode::On;
-            cfg.ep_threads = threads;
+            cfg.build_threads = threads;
             let idx = TableErIndex::build(&table(), &cfg);
             let mut scratch = CooccurrenceScratch::new();
             for rid in 0..idx.n_records() as u32 {

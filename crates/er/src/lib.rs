@@ -16,7 +16,8 @@
 //! All purging/filtering/pruning decisions are *table-level* (computed on
 //! the TBI/ITBI at build time), which makes them identical between a
 //! query-restricted run and a whole-table run — the determinism the
-//! paper's DQ-correctness argument relies on (see DESIGN.md).
+//! paper's DQ-correctness argument relies on (see `ARCHITECTURE.md` at
+//! the repository root).
 //!
 //! # The hot resolve path
 //!
@@ -124,6 +125,8 @@
 //! kinds, thresholds at the early-exit boundaries, and thread counts,
 //! and `tests/cache_equivalence.rs` pins every cross-query cache mode
 //! to the uncached path over query sequences sharing one Link Index.
+
+#![warn(missing_docs)]
 
 pub mod blocking;
 pub mod config;

@@ -1,0 +1,258 @@
+//! Equivalence of the parallel counting-pass index build and the
+//! single-threaded build.
+//!
+//! `TableErIndex::build` tokenizes, interns, and CSR-packs the blocking
+//! graph in one sweep chunked across `ErConfig::build_threads` workers
+//! (`QUERYER_BUILD_THREADS`). The merge re-interns each chunk's local
+//! vocabulary in chunk order, which must reproduce the single-threaded
+//! first-seen id assignment exactly — so the *entire* index (block keys
+//! and ids, CSR buffers in both directions, interned profiles, attribute
+//! metadata, CBS partials) and every downstream decision is bit-identical
+//! for any thread count. These properties pin that, across thread counts
+//! 1..8 and corpora including the empty, single-record, and
+//! all-duplicate edge cases, and additionally pin the fused sweep's
+//! blocking output to the standalone `blocking::build_blocks` reference.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+
+use proptest::prelude::*;
+use queryer_common::knobs::proptest_cases;
+use queryer_er::blocking::build_blocks;
+use queryer_er::{DedupMetrics, EpCacheMode, ErConfig, LinkIndex, TableErIndex};
+use queryer_storage::{RecordId, Schema, Table, Value};
+
+/// Small vocabulary so random records actually share blocking tokens.
+const VOCAB: [&str; 12] = [
+    "entity",
+    "resolution",
+    "collective",
+    "query",
+    "driven",
+    "deep",
+    "learning",
+    "data",
+    "big",
+    "edbt",
+    "vldb",
+    "2008",
+];
+
+fn cell() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..4)
+}
+
+fn rows() -> impl Strategy<Value = Vec<(Vec<usize>, Vec<usize>)>> {
+    proptest::collection::vec((cell(), cell()), 0..24)
+}
+
+fn build_table(rows: &[(Vec<usize>, Vec<usize>)]) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    for (i, (a, b)) in rows.iter().enumerate() {
+        let render = |words: &[usize]| {
+            if words.is_empty() {
+                Value::Null
+            } else {
+                let text: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                Value::str(text.join(" "))
+            }
+        };
+        t.push_row(vec![format!("{i}").into(), render(a), render(b)])
+            .unwrap();
+    }
+    t
+}
+
+fn cfg_with_threads(threads: usize) -> ErConfig {
+    let mut cfg = ErConfig::default();
+    // Pin every other thread knob so only the build sweep varies, and
+    // keep the CBS partials on so they are part of what gets compared.
+    cfg.build_threads = threads;
+    cfg.ep_threads = 1;
+    cfg.parallelism = 1;
+    cfg.ep_cache = EpCacheMode::On;
+    cfg
+}
+
+/// Asserts that two indexes over the same table are bit-identical in
+/// every buffer the build produces: block vocabulary and contents (raw
+/// and filtered, both directions), purging decisions, interned profiles,
+/// attribute text + metadata, and the CBS partials.
+fn assert_same_index(reference: &TableErIndex, parallel: &TableErIndex, label: &str) {
+    assert_eq!(reference.n_records(), parallel.n_records(), "{label}");
+    assert_eq!(reference.n_blocks(), parallel.n_blocks(), "{label}");
+    assert_eq!(
+        reference.purge_threshold(),
+        parallel.purge_threshold(),
+        "{label}"
+    );
+    assert_eq!(
+        reference.interner().len(),
+        parallel.interner().len(),
+        "{label}"
+    );
+    for b in 0..reference.n_blocks() as u32 {
+        assert_eq!(
+            reference.block_key(b),
+            parallel.block_key(b),
+            "{label}: block {b} key"
+        );
+        assert_eq!(
+            parallel.block_of_key(reference.block_key(b)),
+            Some(b),
+            "{label}: block {b} reverse lookup"
+        );
+        assert_eq!(
+            reference.raw_block(b),
+            parallel.raw_block(b),
+            "{label}: raw block {b}"
+        );
+        assert_eq!(
+            reference.filtered_block(b),
+            parallel.filtered_block(b),
+            "{label}: filtered block {b}"
+        );
+        assert_eq!(
+            reference.is_purged(b),
+            parallel.is_purged(b),
+            "{label}: purge flag {b}"
+        );
+    }
+    for rid in 0..reference.n_records() as RecordId {
+        assert_eq!(
+            reference.blocks_of(rid),
+            parallel.blocks_of(rid),
+            "{label}: ITBI row {rid}"
+        );
+        assert_eq!(
+            reference.retained_blocks(rid),
+            parallel.retained_blocks(rid),
+            "{label}: retained row {rid}"
+        );
+        let (rp, pp) = (reference.profile(rid), parallel.profile(rid));
+        assert_eq!(rp.tokens, pp.tokens, "{label}: profile tokens {rid}");
+        assert_eq!(rp.attrs, pp.attrs, "{label}: lowered attrs {rid}");
+        assert_eq!(
+            reference.attr_meta(rid),
+            parallel.attr_meta(rid),
+            "{label}: attr meta {rid}"
+        );
+        for &sym in rp.tokens {
+            assert_eq!(
+                reference.interner().resolve(sym),
+                parallel.interner().resolve(sym),
+                "{label}: symbol {sym} text"
+            );
+        }
+        assert_eq!(
+            reference.cbs_neighbourhood(rid),
+            parallel.cbs_neighbourhood(rid),
+            "{label}: CBS partials {rid}"
+        );
+    }
+}
+
+/// Resolves the whole table on both indexes and asserts identical
+/// decisions, DR sets, and links.
+fn assert_same_decisions(reference: &TableErIndex, parallel: &TableErIndex, table: &Table) {
+    let qe: Vec<RecordId> = (0..table.len() as RecordId).collect();
+    let mut li_a = LinkIndex::new(table.len());
+    let mut m_a = DedupMetrics::default();
+    let out_a = reference.resolve(table, &qe, &mut li_a, &mut m_a);
+    let mut li_b = LinkIndex::new(table.len());
+    let mut m_b = DedupMetrics::default();
+    let out_b = parallel.resolve(table, &qe, &mut li_b, &mut m_b);
+    assert_eq!(out_a.dr, out_b.dr);
+    assert_eq!(out_a.new_links, out_b.new_links);
+    assert_eq!(m_a.candidate_pairs, m_b.candidate_pairs);
+    assert_eq!(m_a.comparisons, m_b.comparisons);
+    assert_eq!(m_a.matches_found, m_b.matches_found);
+    for a in 0..table.len() as RecordId {
+        for b in 0..table.len() as RecordId {
+            assert_eq!(li_a.are_linked(a, b), li_b.are_linked(a, b));
+        }
+    }
+}
+
+/// The fused tokenize sweep must produce exactly the blocking output of
+/// the standalone `build_blocks` reference path, for any thread count.
+fn assert_matches_build_blocks(idx: &TableErIndex, table: &Table) {
+    let cfg = idx.config();
+    let skip = idx.skip_col();
+    let rb = build_blocks(table, cfg.blocking, cfg.min_token_len, skip);
+    assert_eq!(rb.len(), idx.n_blocks());
+    for b in 0..rb.len() {
+        assert_eq!(rb.keys[b], idx.block_key(b as u32));
+        assert_eq!(rb.blocks.row(b), idx.raw_block(b as u32));
+    }
+}
+
+#[test]
+fn empty_single_and_all_duplicate_tables() {
+    let empty = build_table(&[]);
+    let single = build_table(&[(vec![0, 1], vec![9])]);
+    let dup_row = (vec![0, 1, 2], vec![9, 11]);
+    let all_dupes = build_table(&vec![dup_row; 7]);
+    for (name, table) in [
+        ("empty", &empty),
+        ("single", &single),
+        ("all-duplicate", &all_dupes),
+    ] {
+        let reference = TableErIndex::build(table, &cfg_with_threads(1));
+        for threads in 2..=8usize {
+            let parallel = TableErIndex::build(table, &cfg_with_threads(threads));
+            assert_same_index(&reference, &parallel, &format!("{name} threads={threads}"));
+            assert_same_decisions(&reference, &parallel, table);
+            assert_matches_build_blocks(&parallel, table);
+        }
+    }
+}
+
+#[test]
+fn generated_corpus_across_thread_counts() {
+    // A realistic dirty corpus (duplicates + corruptions + shuffling),
+    // large enough that every thread count actually splits into several
+    // chunks with overlapping vocabularies.
+    let ds = queryer_datagen::scholarly::dblp_scholar(400, 7);
+    let reference = TableErIndex::build(&ds.table, &cfg_with_threads(1));
+    for threads in [2usize, 3, 5, 8] {
+        let parallel = TableErIndex::build(&ds.table, &cfg_with_threads(threads));
+        assert_same_index(&reference, &parallel, &format!("dsd threads={threads}"));
+        assert_matches_build_blocks(&parallel, &ds.table);
+    }
+    let parallel = TableErIndex::build(&ds.table, &cfg_with_threads(4));
+    assert_same_decisions(&reference, &parallel, &ds.table);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: proptest_cases(12),
+        .. ProptestConfig::default()
+    })]
+
+    /// Every buffer of the parallel build is bit-identical to the
+    /// single-threaded build over random corpora and thread counts 1..8.
+    #[test]
+    fn parallel_build_bit_equals_sequential(
+        rows in rows(),
+        threads in 1usize..8,
+    ) {
+        let table = build_table(&rows);
+        let reference = TableErIndex::build(&table, &cfg_with_threads(1));
+        let parallel = TableErIndex::build(&table, &cfg_with_threads(threads));
+        assert_same_index(&reference, &parallel, &format!("threads={threads}"));
+        assert_matches_build_blocks(&parallel, &table);
+    }
+
+    /// Full-table resolve decisions are independent of the build thread
+    /// count.
+    #[test]
+    fn resolve_decisions_independent_of_build_threads(
+        rows in rows(),
+        threads in 2usize..8,
+    ) {
+        let table = build_table(&rows);
+        let reference = TableErIndex::build(&table, &cfg_with_threads(1));
+        let parallel = TableErIndex::build(&table, &cfg_with_threads(threads));
+        assert_same_decisions(&reference, &parallel, &table);
+    }
+}
