@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
             || LinkIndex::new(ds.table.len()),
             |mut li| {
                 let mut m = DedupMetrics::default();
-                er.resolve(&ds.table, &qe, &mut li, &mut m)
+                er.resolve(&ds.table, &qe, &mut li, &mut m).unwrap()
             },
             BatchSize::SmallInput,
         )

@@ -4,13 +4,16 @@
 //! can track the hot-path trajectory. Unlike the Criterion benches this
 //! is cheap enough to run on every push.
 //!
-//! Each repetition resolves the workload twice: a **cold** pass on
+//! Each repetition resolves the workload three times: a **cold** pass on
 //! freshly cleared resolve caches (the numbers every previous PR
-//! tracked) and a **warm** pass — same query entities, fresh Link Index,
+//! tracked), a **warm** pass — same query entities, fresh Link Index,
 //! caches left hot — measuring what the cross-query resolve cache
-//! (`QUERYER_EP_CACHE`) saves a repeated/overlapping query. Warm decision
-//! counts must equal the cold ones (cache state never changes
-//! decisions), so `--check` pins both.
+//! (`QUERYER_EP_CACHE`) saves a repeated/overlapping query, and a
+//! **governed** warm pass under a never-tripping `ResolveBudget`
+//! (deadline + comparison cap + cancel token), measuring the overhead of
+//! budget/cancel governance when it does nothing. Warm decision counts
+//! must equal the cold ones (cache state never changes decisions), so
+//! `--check` pins both; the governed pass asserts its counts in-process.
 //!
 //! Usage: `bench_resolve [OUT_PATH] [--check]` (default
 //! `BENCH_resolve.json` in the current directory). With `--check`, the
@@ -26,7 +29,7 @@
 //! medians want an odd number).
 
 use queryer_datagen::scholarly;
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{CancelToken, DedupMetrics, ErConfig, LinkIndex, ResolveBudget, TableErIndex};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -116,7 +119,9 @@ fn main() {
         let mut li = LinkIndex::new(ds.table.len());
         let mut m = DedupMetrics::default();
         er.clear_ep_cache();
-        let out = er.resolve(&ds.table, &qe, &mut li, &mut m);
+        let out = er
+            .resolve(&ds.table, &qe, &mut li, &mut m)
+            .expect("warmup resolve");
         assert!(m.comparisons > 0, "workload must execute comparisons");
         assert!(!out.dr.is_empty());
     }
@@ -133,6 +138,7 @@ fn main() {
     };
     let mut total_ns = Vec::with_capacity(reps);
     let mut warm_total_ns = Vec::with_capacity(reps);
+    let mut governed_total_ns = Vec::with_capacity(reps);
     let mut stage_ns: [Vec<u64>; 6] = Default::default();
     let mut warm_stage_ns: [Vec<u64>; 6] = Default::default();
     let mut comp_per_sec = Vec::with_capacity(reps);
@@ -145,7 +151,8 @@ fn main() {
         // per-query cost the paper measures.
         er.clear_ep_cache();
         let t0 = Instant::now();
-        er.resolve(&ds.table, &qe, &mut li, &mut m);
+        er.resolve(&ds.table, &qe, &mut li, &mut m)
+            .expect("cold resolve");
         total_ns.push(t0.elapsed().as_nanos() as u64);
         for (acc, d) in stage_ns.iter_mut().zip(stages_of(&m)) {
             acc.push(d.as_nanos() as u64);
@@ -165,12 +172,34 @@ fn main() {
         let mut li_warm = LinkIndex::new(ds.table.len());
         let mut mw = DedupMetrics::default();
         let t0 = Instant::now();
-        er.resolve(&ds.table, &qe, &mut li_warm, &mut mw);
+        er.resolve(&ds.table, &qe, &mut li_warm, &mut mw)
+            .expect("warm resolve");
         warm_total_ns.push(t0.elapsed().as_nanos() as u64);
         for (acc, d) in warm_stage_ns.iter_mut().zip(stages_of(&mw)) {
             acc.push(d.as_nanos() as u64);
         }
         last_warm = mw;
+
+        // Governed pass: the same warm workload under a budget that
+        // never trips (far deadline, huge comparison cap, live but
+        // uncancelled token) — measuring what governance costs when it
+        // does nothing. Decisions must match the warm pass exactly: a
+        // non-exhausted budget only splits comparison batches, and each
+        // decision is a pure function of the pair.
+        let budget = ResolveBudget::unlimited()
+            .with_deadline(Duration::from_secs(24 * 3600))
+            .with_max_comparisons(u64::MAX)
+            .with_cancel(CancelToken::new());
+        let mut li_gov = LinkIndex::new(ds.table.len());
+        let mut mg = DedupMetrics::default();
+        let t0 = Instant::now();
+        let gov_out = er
+            .resolve_governed(&ds.table, &qe, &mut li_gov, &mut mg, &budget)
+            .expect("governed resolve");
+        governed_total_ns.push(t0.elapsed().as_nanos() as u64);
+        assert!(gov_out.completion.is_complete(), "budget must not trip");
+        assert_eq!(mg.comparisons, last_warm.comparisons);
+        assert_eq!(mg.matches_found, last_warm.matches_found);
     }
 
     // `comparison_execution` is `DedupMetrics::resolution` ("Resolution"
@@ -200,6 +229,7 @@ fn main() {
     let warm_stages_json = stages_json_of(&warm_stage_medians);
     let cold_total = median_ns(total_ns);
     let warm_total = median_ns(warm_total_ns);
+    let governed_total = median_ns(governed_total_ns);
 
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -239,6 +269,10 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"governed_warm_total_ns_median\": {governed_total},"
+    );
+    let _ = writeln!(
+        json,
         "  \"comparisons_per_sec_median\": {}",
         median_ns(comp_per_sec)
     );
@@ -260,6 +294,20 @@ fn main() {
         speedup(cold_total, warm_total),
         speedup(stage_medians[4], warm_stage_medians[4]),
         speedup(stage_medians[5], warm_stage_medians[5]),
+    );
+    // Budget/cancel governance overhead on the warm workload
+    // (informational): the governed pass carries a deadline, comparison
+    // cap and cancel token that never trip, so this is the pure cost of
+    // the polls and batch splits.
+    println!(
+        "governance overhead (warm): {:+.1}% ({} ns vs {} ns)",
+        if warm_total > 0 {
+            (governed_total as f64 / warm_total as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        governed_total,
+        warm_total,
     );
 
     if let Some(base) = baseline {

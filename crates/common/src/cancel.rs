@@ -1,0 +1,67 @@
+//! Cooperative cancellation for long-running resolve work.
+//!
+//! A [`CancelToken`] is a cloneable handle around one shared flag: the
+//! owner calls [`CancelToken::cancel`], and workers poll
+//! [`CancelToken::is_cancelled`] at chunk boundaries. Cancellation is
+//! *cooperative* — nothing is interrupted mid-computation, so a
+//! consumer observing the flag always sees its own state consistent —
+//! and *sticky*: once cancelled, a token stays cancelled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag shared between a controller and any
+/// number of workers. Cheap to clone (one `Arc`), cheap to poll (one
+/// relaxed atomic load).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; every clone of this token
+    /// observes the flag.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+        // Idempotent.
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        std::thread::scope(|s| {
+            let c = t.clone();
+            s.spawn(move || c.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+}

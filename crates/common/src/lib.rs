@@ -10,7 +10,9 @@
 //! cross-query resolve caches, and a stopwatch for per-stage operator
 //! timing.
 
+pub mod cancel;
 pub mod csr;
+pub mod failpoints;
 pub mod fxhash;
 pub mod intern;
 pub mod knobs;
@@ -18,6 +20,7 @@ pub mod pairkey;
 pub mod sharded;
 pub mod timing;
 
+pub use cancel::CancelToken;
 pub use csr::Csr;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Symbol, TokenArena, TokenInterner};

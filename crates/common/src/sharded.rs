@@ -11,6 +11,19 @@
 //! [`ShardedMap::get_or_insert_with`] runs *outside* any lock, so a
 //! slow computation never serializes unrelated keys (and can itself
 //! recurse into the map for other keys without deadlocking).
+//!
+//! # Bounded mode
+//!
+//! [`ShardedMap::bounded`] caps the map at an entry budget, split
+//! evenly across shards, with per-shard CLOCK (clock-hand) eviction:
+//! each shard keeps its keys on an insertion ring with one *referenced*
+//! bit per entry; a hit sets the bit, and an insert into a full shard
+//! advances the hand, clearing bits until it finds an unreferenced
+//! victim to replace. CLOCK approximates LRU without any
+//! reorder-on-access bookkeeping, so the hit path stays one hash probe
+//! plus a bit store. Because every value is a pure function of its key,
+//! eviction can never produce a wrong answer — only a recomputation —
+//! which is what makes a *lossy* memo safe here.
 
 use crate::fxhash::FxHashMap;
 use parking_lot::Mutex;
@@ -19,7 +32,31 @@ use parking_lot::Mutex;
 /// serializing on one mutex while staying cache-friendly.
 const DEFAULT_SHARDS: usize = 16;
 
-/// A concurrent `u64 → V` memo map split across mutexed shards.
+/// One shard: the key→value map (each value carrying its CLOCK
+/// *referenced* bit) plus the insertion ring and hand driving eviction.
+/// `ring`/`hand` stay empty/0 in unbounded maps.
+#[derive(Debug)]
+struct Shard<V> {
+    map: FxHashMap<u64, (V, bool)>,
+    /// Keys in slot order; `ring.len() == map.len()` once the shard has
+    /// filled to its cap, and each slot mirrors exactly one map key.
+    ring: Vec<u64>,
+    /// Next eviction candidate slot in `ring`.
+    hand: usize,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Self {
+            map: FxHashMap::default(),
+            ring: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+/// A concurrent `u64 → V` memo map split across mutexed shards,
+/// optionally bounded with CLOCK eviction (see the module docs).
 ///
 /// Values must be cheap to clone (`f64`, `bool`, `Arc<…>`): accessors
 /// return clones so no shard lock outlives a call. Intended for
@@ -28,27 +65,99 @@ const DEFAULT_SHARDS: usize = 16;
 /// guarantee both computations would produce the same value.
 #[derive(Debug)]
 pub struct ShardedMap<V> {
-    shards: Box<[Mutex<FxHashMap<u64, V>>]>,
+    shards: Box<[Mutex<Shard<V>>]>,
     /// `shards.len() - 1`; the length is a power of two.
     mask: u64,
+    /// Per-shard entry cap; `usize::MAX` = unbounded.
+    shard_cap: usize,
+}
+
+/// First-write-wins insert into one locked shard, evicting via the
+/// CLOCK hand when the shard is at `cap`. Returns the stored value (the
+/// existing one on conflict). Free function so the batch paths can call
+/// it while holding the shard guard.
+fn insert_into<V: Clone>(shard: &mut Shard<V>, cap: usize, key: u64, value: V) -> V {
+    if let Some(e) = shard.map.get_mut(&key) {
+        if cap != usize::MAX {
+            e.1 = true;
+        }
+        return e.0.clone();
+    }
+    if cap != usize::MAX && shard.map.len() >= cap {
+        // CLOCK sweep: give every referenced entry a second chance,
+        // evict the first unreferenced one. Terminates within two laps
+        // (the first lap clears every bit it passes).
+        loop {
+            let victim = shard.ring[shard.hand];
+            let e = shard
+                .map
+                .get_mut(&victim)
+                .expect("ring slots mirror map keys");
+            if e.1 {
+                e.1 = false;
+                shard.hand = (shard.hand + 1) % shard.ring.len();
+            } else {
+                shard.map.remove(&victim);
+                shard.ring[shard.hand] = key;
+                shard.hand = (shard.hand + 1) % shard.ring.len();
+                // New entries start unreferenced: only an actual hit
+                // earns the second chance, so a one-shot insert stream
+                // can't starve the hand.
+                shard.map.insert(key, (value.clone(), false));
+                return value;
+            }
+        }
+    }
+    if cap != usize::MAX {
+        shard.ring.push(key);
+    }
+    shard.map.insert(key, (value.clone(), false));
+    value
 }
 
 impl<V: Clone> ShardedMap<V> {
-    /// Creates an empty map with the default shard count.
+    /// Creates an empty unbounded map with the default shard count.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Creates an empty map with at least `shards` shards (rounded up to
-    /// a power of two, minimum 1).
+    /// Creates an empty unbounded map with at least `shards` shards
+    /// (rounded up to a power of two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_cap(shards, usize::MAX)
+    }
+
+    /// Creates an empty map bounded at `cap` entries total (`0` =
+    /// unbounded), evicting per shard with the CLOCK rule once full.
+    ///
+    /// The budget is split evenly across shards — the shard count drops
+    /// to a power of two ≤ `cap` when the cap is small — and the floor
+    /// division guarantees `len()` can never exceed `cap`.
+    pub fn bounded(cap: usize) -> Self {
+        if cap == 0 {
+            return Self::new();
+        }
+        // Largest power of two ≤ min(DEFAULT_SHARDS, cap), so every
+        // shard gets a cap of at least one entry.
+        let n = DEFAULT_SHARDS.min(prev_power_of_two(cap));
+        Self::with_shards_and_cap(n, cap / n)
+    }
+
+    fn with_shards_and_cap(shards: usize, shard_cap: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
-        let shards: Vec<Mutex<FxHashMap<u64, V>>> =
-            (0..n).map(|_| Mutex::new(FxHashMap::default())).collect();
+        let shards: Vec<Mutex<Shard<V>>> = (0..n).map(|_| Mutex::new(Shard::default())).collect();
         Self {
             shards: shards.into_boxed_slice(),
             mask: (n - 1) as u64,
+            shard_cap,
         }
+    }
+
+    /// The total entry budget, or `None` when unbounded. May round the
+    /// cap passed to [`ShardedMap::bounded`] down (even split across
+    /// shards), never up.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.shard_cap != usize::MAX).then(|| self.shard_cap * self.shards.len())
     }
 
     /// Index of the shard a key lives in. Keys are often sequential ids
@@ -61,14 +170,22 @@ impl<V: Clone> ShardedMap<V> {
     }
 
     #[inline]
-    fn shard(&self, key: u64) -> &Mutex<FxHashMap<u64, V>> {
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
         &self.shards[self.shard_of(key)]
     }
 
-    /// Returns a clone of the value under `key`, if present.
+    /// Returns a clone of the value under `key`, if present. In bounded
+    /// maps a hit also marks the entry *referenced* for the CLOCK rule.
     #[inline]
     pub fn get(&self, key: u64) -> Option<V> {
-        self.shard(key).lock().get(&key).cloned()
+        let mut guard = self.shard(key).lock();
+        if self.shard_cap == usize::MAX {
+            return guard.map.get(&key).map(|e| e.0.clone());
+        }
+        guard.map.get_mut(&key).map(|e| {
+            e.1 = true;
+            e.0.clone()
+        })
     }
 
     /// Returns the value under `key`, computing it via `f` on a miss.
@@ -76,20 +193,22 @@ impl<V: Clone> ShardedMap<V> {
     /// `f` runs with no lock held: concurrent callers may compute
     /// redundantly, and whichever insertion lands first is the value
     /// every caller returns — callers must only memoize deterministic
-    /// values, which makes the race benign.
+    /// values, which makes the race benign. (In a bounded map an entry
+    /// may be evicted between the insert and a later call, in which
+    /// case `f` simply recomputes the identical value.)
     pub fn get_or_insert_with(&self, key: u64, f: impl FnOnce() -> V) -> V {
         if let Some(v) = self.get(key) {
             return v;
         }
         let v = f();
-        self.shard(key).lock().entry(key).or_insert(v).clone()
+        self.insert_if_absent(key, v)
     }
 
     /// Inserts `value` unless the key is already present; returns the
     /// stored value (the existing one on conflict — first write wins,
     /// matching [`ShardedMap::get_or_insert_with`]).
     pub fn insert_if_absent(&self, key: u64, value: V) -> V {
-        self.shard(key).lock().entry(key).or_insert(value).clone()
+        insert_into(&mut self.shard(key).lock(), self.shard_cap, key, value)
     }
 
     /// Groups `0..n` key indices by shard with a stable counting sort:
@@ -129,12 +248,20 @@ impl<V: Clone> ShardedMap<V> {
             if mine.is_empty() {
                 continue;
             }
-            let guard = shard.lock();
-            if guard.is_empty() {
+            let mut guard = shard.lock();
+            if guard.map.is_empty() {
                 continue;
             }
             for &i in mine {
-                out[i as usize] = guard.get(&keys[i as usize]).cloned();
+                let key = keys[i as usize];
+                out[i as usize] = if self.shard_cap == usize::MAX {
+                    guard.map.get(&key).map(|e| e.0.clone())
+                } else {
+                    guard.map.get_mut(&key).map(|e| {
+                        e.1 = true;
+                        e.0.clone()
+                    })
+                };
             }
         }
     }
@@ -152,27 +279,54 @@ impl<V: Clone> ShardedMap<V> {
             let mut guard = shard.lock();
             for &i in mine {
                 let (key, value) = &entries[i as usize];
-                guard.entry(*key).or_insert_with(|| value.clone());
+                insert_into(&mut guard, self.shard_cap, *key, value.clone());
             }
+        }
+    }
+
+    /// Grows each shard's hash capacity for about `additional` more
+    /// entries across the map, so a bulk fill (e.g. the decision
+    /// cache's insert pass for one comparison batch) never rehashes
+    /// mid-insert. Bounded maps clamp to their cap — eviction makes
+    /// extra room pointless.
+    pub fn reserve(&self, additional: usize) {
+        let per_shard = additional.div_ceil(self.shards.len());
+        for shard in self.shards.iter() {
+            let mut guard = shard.lock();
+            let want = if self.shard_cap == usize::MAX {
+                per_shard
+            } else {
+                per_shard.min(self.shard_cap.saturating_sub(guard.map.len()))
+            };
+            guard.map.reserve(want);
         }
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// `true` when no entry is cached.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
     /// Drops every cached entry, keeping shard allocations.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.lock().clear();
+            let mut guard = s.lock();
+            guard.map.clear();
+            guard.ring.clear();
+            guard.hand = 0;
         }
     }
+}
+
+/// Largest power of two ≤ `n` (`n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
 }
 
 impl<V: Clone> Default for ShardedMap<V> {
@@ -273,5 +427,113 @@ mod tests {
             }
         });
         assert_eq!(m.len(), 256);
+    }
+
+    #[test]
+    fn bounded_cap_zero_is_unbounded() {
+        let m: ShardedMap<u8> = ShardedMap::bounded(0);
+        assert_eq!(m.capacity(), None);
+        for k in 0..1000u64 {
+            m.insert_if_absent(k, 1);
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn bounded_respects_entry_budget() {
+        for cap in [1usize, 2, 3, 7, 16, 100, 1000] {
+            let m: ShardedMap<u64> = ShardedMap::bounded(cap);
+            let effective = m.capacity().unwrap();
+            assert!(effective >= 1 && effective <= cap, "cap {cap}");
+            for k in 0..5000u64 {
+                m.insert_if_absent(k, k);
+                assert!(m.len() <= cap, "len exceeded budget at cap {cap}");
+            }
+            assert_eq!(m.len(), effective, "a full stream fills the budget");
+            // Survivors still serve correct values.
+            for k in 0..5000u64 {
+                if let Some(v) = m.get(k) {
+                    assert_eq!(v, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clock_eviction_prefers_unreferenced_victims() {
+        // Single shard of cap 4 so the hand's behaviour is observable.
+        let m: ShardedMap<u64> = ShardedMap::with_shards_and_cap(1, 4);
+        for k in 0..4u64 {
+            m.insert_if_absent(k, k);
+        }
+        // Touch keys 0 and 1 → referenced; 2 and 3 stay cold. Inserts
+        // give second chances to 0 and 1, so 2 then 3 must go first.
+        assert_eq!(m.get(0), Some(0));
+        assert_eq!(m.get(1), Some(1));
+        m.insert_if_absent(100, 100);
+        assert_eq!(m.get(2), None, "cold entry evicted before hot ones");
+        m.insert_if_absent(101, 101);
+        assert_eq!(m.get(3), None, "next cold entry follows");
+        for k in [0u64, 1, 100, 101] {
+            assert_eq!(m.get(k), Some(k), "hot/new entries survive");
+        }
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn bounded_batch_ops_respect_budget() {
+        let m: ShardedMap<u64> = ShardedMap::bounded(64);
+        let entries: Vec<(u64, u64)> = (0..4096u64).map(|k| (k, k)).collect();
+        m.insert_batch(&entries);
+        assert!(m.len() <= 64);
+        let keys: Vec<u64> = (0..4096u64).collect();
+        let mut out = Vec::new();
+        m.get_batch(&keys, &mut out);
+        let hits = out.iter().flatten().count();
+        assert_eq!(hits, m.len());
+        for (k, got) in keys.iter().zip(&out) {
+            if let Some(v) = got {
+                assert_eq!(v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_never_breaks_semantics() {
+        let unbounded: ShardedMap<u64> = ShardedMap::new();
+        unbounded.reserve(10_000);
+        unbounded.insert_if_absent(5, 50);
+        assert_eq!(unbounded.get(5), Some(50));
+        let bounded: ShardedMap<u64> = ShardedMap::bounded(8);
+        bounded.reserve(10_000); // clamped to the cap internally
+        for k in 0..100u64 {
+            bounded.insert_if_absent(k, k);
+        }
+        assert!(bounded.len() <= 8);
+    }
+
+    #[test]
+    fn concurrent_bounded_access_stays_capped_and_consistent() {
+        // Eviction must never serve a torn/wrong value mid-read: every
+        // get that hits must return the key's deterministic value, and
+        // the budget must hold at every point, under 8 threads racing
+        // get_or_insert_with over a keyspace 16× the cap.
+        let m: ShardedMap<u64> = ShardedMap::bounded(64);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..2048u64 {
+                        let k = (i * 7 + t * 131) % 1024;
+                        assert_eq!(m.get_or_insert_with(k, || k * 3), k * 3);
+                        if let Some(v) = m.get((k + 13) % 1024) {
+                            assert_eq!(v, ((k + 13) % 1024) * 3);
+                        }
+                        assert!(m.len() <= 64);
+                    }
+                });
+            }
+        });
+        assert!(m.len() <= 64 && !m.is_empty());
     }
 }

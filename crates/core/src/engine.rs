@@ -267,7 +267,11 @@ impl QueryEngine {
         let t0 = Instant::now();
         let mut li = LinkIndex::new(rt.table.len());
         let mut metrics = DedupMetrics::default();
-        rt.er.resolve_all(&rt.table, &mut li, &mut metrics);
+        // invariant: batch cleaning resolves the table its own index was
+        // built from, so the governed resolve cannot report a mismatch.
+        rt.er
+            .resolve_all(&rt.table, &mut li, &mut metrics)
+            .expect("resolve against the table's own index");
         let all: Vec<RecordId> = (0..rt.table.len() as RecordId).collect();
         let cluster_map = rt.er.cluster_map(&li, &all);
         let cluster_of: Vec<RecordId> = all

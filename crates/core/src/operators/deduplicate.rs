@@ -63,7 +63,11 @@ pub fn resolve_to_tuples(ctx: &Arc<ExecContext>, table_idx: usize, qe: &[RecordI
 
     let outcome = {
         let mut li = ctx.li[table_idx].write();
+        // invariant: the engine resolves a table against its own index
+        // (same ctx slot), so the lengths always agree, and an unlimited
+        // budget never reports WorkerPanicked unless a kernel truly died.
         er.resolve(table, qe, &mut li, &mut er_metrics)
+            .expect("resolve against the table's own index")
     };
 
     let cluster_of = {

@@ -42,7 +42,10 @@ pub fn compute_table_stats(table: &Table, er: &TableErIndex) -> TableStats {
     let sample: Vec<RecordId> = (0..n).step_by(stride).map(|i| i as RecordId).collect();
     let mut li = LinkIndex::new(n);
     let mut metrics = DedupMetrics::default();
-    let outcome = er.resolve(table, &sample, &mut li, &mut metrics);
+    // invariant: stats sample the table its own index was built from.
+    let outcome = er
+        .resolve(table, &sample, &mut li, &mut metrics)
+        .expect("resolve against the table's own index");
     let clusters: FxHashSet<RecordId> = er.cluster_map(&li, &outcome.dr).into_values().collect();
     TableStats {
         duplication_factor: (outcome.dr.len() as f64 / clusters.len().max(1) as f64).max(1.0),

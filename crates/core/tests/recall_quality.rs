@@ -35,7 +35,7 @@ fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
     // Access the LI indirectly: compare via a fresh resolve on the index.
     let mut li = queryer_er::LinkIndex::new(ds.table.len());
     let mut m = queryer_er::DedupMetrics::default();
-    er.resolve_all(&ds.table, &mut li, &mut m);
+    er.resolve_all(&ds.table, &mut li, &mut m).unwrap();
     let cluster = er.cluster_map(&li, &all);
     let pc = ds
         .truth

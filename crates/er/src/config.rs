@@ -184,6 +184,19 @@ pub struct ErConfig {
     /// (pinned by `tests/cache_equivalence.rs`). Default comes from the
     /// `QUERYER_EP_CACHE` env knob.
     pub ep_cache: EpCacheMode,
+    /// Entry budget for each of the two cross-query Edge-Pruning caches
+    /// (node thresholds, surviving-neighbour lists). `0` (the default)
+    /// means unbounded; any other value caps each map at that many
+    /// entries with per-shard CLOCK eviction. Eviction trades
+    /// recomputation for memory and never changes a decision (pinned by
+    /// `tests/cache_equivalence.rs`). Default comes from the
+    /// `QUERYER_EP_CACHE_CAP` env knob.
+    pub ep_cache_cap: usize,
+    /// Entry budget for the pair-keyed comparison-decision cache. `0`
+    /// (the default) means unbounded; any other value caps the map with
+    /// per-shard CLOCK eviction, again decision-identical. Default
+    /// comes from the `QUERYER_DECISION_CACHE_CAP` env knob.
+    pub decision_cache_cap: usize,
 }
 
 impl Default for ErConfig {
@@ -205,6 +218,8 @@ impl Default for ErConfig {
             ep_threads: queryer_common::knobs::ep_threads(),
             build_threads: queryer_common::knobs::build_threads(),
             ep_cache: queryer_common::knobs::ep_cache(),
+            ep_cache_cap: queryer_common::knobs::ep_cache_cap(),
+            decision_cache_cap: queryer_common::knobs::decision_cache_cap(),
         }
     }
 }

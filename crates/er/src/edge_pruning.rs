@@ -8,8 +8,11 @@
 //! query-stable) and global (WEP-style over the examined subgraph).
 
 use crate::config::WeightScheme;
+use crate::govern::{Governed, ResolveBudget, ResolveError, ResolveStage, Stop};
 use crate::index::{CooccurrenceScratch, TableErIndex};
+use queryer_common::failpoints;
 use queryer_storage::RecordId;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Numeric slack for threshold comparisons, shared by every pruning
 /// rule so the bulk and lazy paths can never drift apart.
@@ -207,37 +210,103 @@ pub(crate) fn survivors_over(
 /// hot path: one contiguous `Vec<f64>` instead of a mutex + hash lookup
 /// per examined edge endpoint.
 pub fn bulk_node_thresholds(idx: &TableErIndex, threads: usize) -> Vec<f64> {
+    // invariant: an unlimited budget never interrupts, so the governed
+    // sweep can only come back Done; a worker panic is reported by
+    // panicking here, preserving this historical API's behaviour.
+    match bulk_node_thresholds_governed(idx, threads, &ResolveBudget::unlimited()) {
+        Ok(Governed::Done(v)) => v,
+        Ok(Governed::Interrupted(_)) => {
+            unreachable!("unlimited budget cannot interrupt the bulk sweep")
+        }
+        Err(e) => panic!("bulk EP threshold sweep failed: {e}"),
+    }
+}
+
+/// Node interval between budget polls inside the bulk sweep: small
+/// enough that a cancel/deadline stops within microseconds of work,
+/// large enough that the poll is invisible in the sweep's profile.
+const BULK_POLL_NODES: usize = 1024;
+
+/// Budget-aware [`bulk_node_thresholds`]. Workers poll the budget every
+/// [`BULK_POLL_NODES`] nodes (plus a shared stop flag, so one tripped
+/// worker stops the others at their next poll) and the partial vector is
+/// discarded on interruption — callers only ever observe a complete
+/// sweep or none. A panicking worker is caught at its join and surfaced
+/// as [`ResolveError::WorkerPanicked`]; the output vector is dropped, so
+/// nothing half-written escapes.
+pub(crate) fn bulk_node_thresholds_governed(
+    idx: &TableErIndex,
+    threads: usize,
+    budget: &ResolveBudget,
+) -> Result<Governed<Vec<f64>>, ResolveError> {
     let n = idx.n_records();
     let scheme = idx.config().weight_scheme;
     let n_blocks = idx.n_unpurged_blocks().max(1) as f64;
     let mut out = vec![0.0f64; n];
     let threads = threads.clamp(1, n.max(1));
+    let interruptible = !budget.is_unlimited();
     if threads == 1 {
         let mut scratch = CooccurrenceScratch::new();
         for (e, slot) in out.iter_mut().enumerate() {
+            if interruptible && e % BULK_POLL_NODES == 0 {
+                if let Some(stop) = budget.interrupted() {
+                    return Ok(Governed::Interrupted(stop));
+                }
+            }
             *slot = node_threshold_uncached(idx, scheme, n_blocks, e as RecordId, &mut scratch);
         }
-        return out;
+        return Ok(Governed::Done(out));
     }
     let chunk = n.div_ceil(threads);
+    let stopped = AtomicBool::new(false);
+    let mut panicked = false;
     std::thread::scope(|scope| {
-        for (i, slots) in out.chunks_mut(chunk).enumerate() {
-            let base = i * chunk;
-            scope.spawn(move || {
-                let mut scratch = CooccurrenceScratch::new();
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = node_threshold_uncached(
-                        idx,
-                        scheme,
-                        n_blocks,
-                        (base + j) as RecordId,
-                        &mut scratch,
-                    );
-                }
-            });
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, slots)| {
+                let base = i * chunk;
+                let stopped = &stopped;
+                scope.spawn(move || {
+                    failpoints::fire("ep.bulk.worker");
+                    let mut scratch = CooccurrenceScratch::new();
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        if interruptible
+                            && j % BULK_POLL_NODES == 0
+                            && (stopped.load(Ordering::Relaxed) || budget.interrupted().is_some())
+                        {
+                            stopped.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        *slot = node_threshold_uncached(
+                            idx,
+                            scheme,
+                            n_blocks,
+                            (base + j) as RecordId,
+                            &mut scratch,
+                        );
+                    }
+                })
+            })
+            .collect();
+        // Joining each handle converts a worker panic into a typed
+        // error instead of resuming the unwind in the resolver.
+        for h in handles {
+            panicked |= h.join().is_err();
         }
     });
-    out
+    if panicked {
+        return Err(ResolveError::WorkerPanicked {
+            stage: ResolveStage::EdgePruning,
+        });
+    }
+    if stopped.load(Ordering::Relaxed) {
+        // Cancellation is sticky and a passed deadline stays passed, so
+        // re-polling here reproduces the reason a worker observed.
+        let stop = budget.interrupted().unwrap_or(Stop::Deadline);
+        return Ok(Governed::Interrupted(stop));
+    }
+    Ok(Governed::Done(out))
 }
 
 /// Global (WEP-style) pruning over an explicit edge list: keeps edges

@@ -37,11 +37,14 @@
 //!    build-thread pool.
 
 use crate::config::{ErConfig, WeightScheme};
+use crate::govern::{Governed, PoisonGuard, ResolveBudget, ResolveError, ResolveStage};
 use crate::purging::purge_flags;
 use crate::tokenizer::{record_keys, record_tokens};
 use parking_lot::Mutex;
+use queryer_common::failpoints;
 use queryer_common::{Csr, FxHashMap, FxHashSet, ShardedMap, TokenArena, TokenInterner};
 use queryer_storage::{Record, RecordId, Table};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a block within a table's TBI.
@@ -207,7 +210,10 @@ pub(crate) fn scheme_node_key(scheme: WeightScheme, e: RecordId) -> u64 {
 /// surviving-neighbour lists keyed by `(weight scheme, node)`, plus the
 /// pair-keyed comparison-decision memo. All three only ever hold values
 /// that are pure functions of the immutable index, so serving them
-/// across queries can never change a decision.
+/// across queries can never change a decision — which is also why the
+/// maps can be capped ([`ErConfig::ep_cache_cap`] /
+/// [`ErConfig::decision_cache_cap`]): evicting an entry only ever costs
+/// recomputation.
 #[derive(Debug, Default)]
 struct ResolveCache {
     /// Node-centric EP threshold per `(scheme, node)` — filled as query
@@ -221,6 +227,18 @@ struct ResolveCache {
     /// Comparison decision per packed unordered pair
     /// ([`queryer_common::pack_pair`]).
     decisions: ShardedMap<bool>,
+}
+
+impl ResolveCache {
+    /// Builds the three maps with the config's entry budgets (`0` =
+    /// unbounded, the historical behaviour).
+    fn for_config(cfg: &ErConfig) -> Self {
+        Self {
+            thresholds: ShardedMap::bounded(cfg.ep_cache_cap),
+            survivors: ShardedMap::bounded(cfg.ep_cache_cap),
+            decisions: ShardedMap::bounded(cfg.decision_cache_cap),
+        }
+    }
 }
 
 /// Immutable per-table ER index. Build once, share freely (`Sync`).
@@ -276,13 +294,34 @@ pub struct TableErIndex {
     /// The cross-query resolve cache (thresholds / survivors /
     /// decisions), active when `cfg.ep_cache` enables it.
     resolve_cache: ResolveCache,
+    /// Set when a panic unwound through this index's own cache
+    /// maintenance ([`TableErIndex::clear_ep_cache`]); every later
+    /// resolve then returns [`ResolveError::Poisoned`]. Worker panics
+    /// during resolve never set this — workers publish only complete
+    /// cache entries, so the index stays sound (see `crate::govern`).
+    poisoned: AtomicBool,
 }
 
 impl TableErIndex {
     /// Builds the index for `table` under `cfg`. The id column (named
     /// "id", case-insensitive) is excluded from blocking when
     /// `cfg.skip_id_column` is set.
+    ///
+    /// Panics if a build worker thread panics; [`TableErIndex::try_build`]
+    /// is the non-panicking variant.
     pub fn build(table: &Table, cfg: &ErConfig) -> Self {
+        match Self::try_build(table, cfg) {
+            Ok(idx) => idx,
+            Err(e) => panic!("index build failed: {e}"),
+        }
+    }
+
+    /// [`TableErIndex::build`], but a panicking build worker is caught
+    /// at its join and surfaced as
+    /// [`ResolveError::WorkerPanicked`]`{ stage: Build }` instead of
+    /// unwinding through the caller. Nothing escapes a failed build —
+    /// the partially-built buffers are dropped with the error.
+    pub fn try_build(table: &Table, cfg: &ErConfig) -> Result<Self, ResolveError> {
         let skip_col = if cfg.skip_id_column {
             table
                 .schema()
@@ -302,7 +341,7 @@ impl TableErIndex {
             profile_tokens,
             lower_attrs,
             attr_meta,
-        } = tokenize_table(table, cfg, skip_col);
+        } = tokenize_table(table, cfg, skip_col)?;
 
         let n_blocks = keys.len();
 
@@ -366,16 +405,18 @@ impl TableErIndex {
         // threshold/weight math. `EpCacheMode::Off` skips it — the memory
         // is O(examined edges), and "off" promises the uncached
         // per-query footprint, not just the uncached code path.
-        let cbs_adj = (cfg.meta.edge_pruning() && cfg.ep_cache.enabled()).then(|| {
-            build_cbs_adjacency(
+        let cbs_adj = if cfg.meta.edge_pruning() && cfg.ep_cache.enabled() {
+            Some(build_cbs_adjacency(
                 &entity_retained,
                 &filtered_blocks,
                 table.len(),
                 cfg.effective_build_threads(),
-            )
-        });
+            )?)
+        } else {
+            None
+        };
 
-        Self {
+        Ok(Self {
             cfg: cfg.clone(),
             skip_col,
             n_records: table.len(),
@@ -394,8 +435,16 @@ impl TableErIndex {
             n_cols,
             ep_thresholds: Mutex::new(EpThresholdCache::default()),
             cbs_adj,
-            resolve_cache: ResolveCache::default(),
-        }
+            resolve_cache: ResolveCache::for_config(cfg),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether a panic unwound through this index's cache maintenance;
+    /// a poisoned index refuses further resolves with
+    /// [`ResolveError::Poisoned`]. Rebuild it to recover.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// The configuration this index was built with.
@@ -597,16 +646,43 @@ impl TableErIndex {
     /// and cached until [`TableErIndex::clear_ep_cache`]. The lock is
     /// held across the sweep so concurrent resolvers share one pass.
     pub fn bulk_ep_thresholds(&self) -> Arc<Vec<f64>> {
+        // invariant: an unlimited budget never interrupts, so the sweep
+        // can only come back Done (or surface a worker panic, which this
+        // historical API reports by panicking on the caller's thread).
+        match self.try_bulk_ep_thresholds(&ResolveBudget::unlimited()) {
+            Ok(Governed::Done(bulk)) => bulk,
+            Ok(Governed::Interrupted(_)) => {
+                unreachable!("unlimited budget cannot interrupt the bulk sweep")
+            }
+            Err(e) => panic!("bulk EP threshold sweep failed: {e}"),
+        }
+    }
+
+    /// Budget-aware [`TableErIndex::bulk_ep_thresholds`]: the sweep
+    /// checks `budget` between worker chunks and comes back
+    /// `Interrupted` when it trips. Only *complete* vectors are cached —
+    /// an interrupted sweep's partial output is discarded, so the cache
+    /// never serves a half-filled threshold vector.
+    pub(crate) fn try_bulk_ep_thresholds(
+        &self,
+        budget: &ResolveBudget,
+    ) -> Result<Governed<Arc<Vec<f64>>>, ResolveError> {
         let mut cache = self.ep_thresholds.lock();
         if let Some(bulk) = &cache.bulk {
-            return Arc::clone(bulk);
+            return Ok(Governed::Done(Arc::clone(bulk)));
         }
-        let bulk = Arc::new(crate::edge_pruning::bulk_node_thresholds(
+        match crate::edge_pruning::bulk_node_thresholds_governed(
             self,
             self.cfg.effective_ep_threads(),
-        ));
-        cache.bulk = Some(Arc::clone(&bulk));
-        bulk
+            budget,
+        )? {
+            Governed::Done(v) => {
+                let bulk = Arc::new(v);
+                cache.bulk = Some(Arc::clone(&bulk));
+                Ok(Governed::Done(bulk))
+            }
+            Governed::Interrupted(stop) => Ok(Governed::Interrupted(stop)),
+        }
     }
 
     /// A snapshot of the bulk threshold vector if one has been computed
@@ -649,14 +725,23 @@ impl TableErIndex {
     /// (test/ablation helper; the perf smoke bench uses it to measure
     /// cold queries). The build-time CBS partials are index data, not
     /// cache, and are never dropped.
+    /// Panic safety: clearing is the one compound mutation of the
+    /// index's shared state, so it runs under a poison latch — if a
+    /// panic unwinds mid-clear (the `"cache.clear"` failpoint stands in
+    /// for such a fault in tests), the index flips
+    /// [`TableErIndex::is_poisoned`] and refuses further resolves
+    /// instead of serving from state it can no longer vouch for.
     pub fn clear_ep_cache(&self) {
+        let guard = PoisonGuard::new(&self.poisoned);
         let mut cache = self.ep_thresholds.lock();
         cache.lazy.clear();
         cache.bulk = None;
         drop(cache);
+        failpoints::fire("cache.clear");
         self.resolve_cache.thresholds.clear();
         self.resolve_cache.survivors.clear();
         self.resolve_cache.decisions.clear();
+        guard.disarm();
     }
 
     /// The set of distinct entities appearing in a set of blocks
@@ -781,23 +866,43 @@ fn tokenize_chunk(records: &[Record], cfg: &ErConfig, skip_col: Option<usize>) -
 /// sequential assignment. Per-record rows are then remapped
 /// local→global, so every CSR buffer, symbol, and attribute lands
 /// byte-identical to a single-threaded build (`tests/build_equivalence.rs`).
-fn tokenize_table(table: &Table, cfg: &ErConfig, skip_col: Option<usize>) -> TokenizedTable {
+fn tokenize_table(
+    table: &Table,
+    cfg: &ErConfig,
+    skip_col: Option<usize>,
+) -> Result<TokenizedTable, ResolveError> {
     let records = table.records();
     let threads = cfg.effective_build_threads().clamp(1, records.len().max(1));
     let chunk_size = records.len().div_ceil(threads).max(1);
     let chunks: Vec<TokenizeChunk> = if threads == 1 {
         vec![tokenize_chunk(records, cfg, skip_col)]
     } else {
+        // Each worker owns private chunk-local buffers, so a panicking
+        // worker (caught at its join) leaves nothing shared half-written;
+        // the whole build is abandoned with a typed error.
         std::thread::scope(|scope| {
             let handles: Vec<_> = records
                 .chunks(chunk_size)
-                .map(|recs| scope.spawn(move || tokenize_chunk(recs, cfg, skip_col)))
+                .map(|recs| {
+                    scope.spawn(move || {
+                        failpoints::fire("build.tokenize.worker");
+                        tokenize_chunk(recs, cfg, skip_col)
+                    })
+                })
                 .collect();
-            handles
+            // Join *every* handle before reporting: a short-circuiting
+            // collect would leave panicked workers unjoined and the
+            // scope would re-raise their panic at exit.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            joined
                 .into_iter()
-                .map(|h| h.join().expect("tokenize worker panicked"))
-                .collect()
-        })
+                .map(|r| {
+                    r.map_err(|_| ResolveError::WorkerPanicked {
+                        stage: ResolveStage::Build,
+                    })
+                })
+                .collect::<Result<_, _>>()
+        })?
     };
 
     let n_cols = table.schema().len();
@@ -861,7 +966,7 @@ fn tokenize_table(table: &Table, cfg: &ErConfig, skip_col: Option<usize>) -> Tok
         attr_meta.extend(chunk.meta);
     }
 
-    TokenizedTable {
+    Ok(TokenizedTable {
         keys,
         key_to_block,
         entity_keys,
@@ -869,7 +974,7 @@ fn tokenize_table(table: &Table, cfg: &ErConfig, skip_col: Option<usize>) -> Tok
         profile_tokens,
         lower_attrs,
         attr_meta,
-    }
+    })
 }
 
 /// The one co-occurrence counting definition: fills `scratch` with the
@@ -924,7 +1029,7 @@ fn build_cbs_adjacency(
     filtered_blocks: &Csr<RecordId>,
     n_records: usize,
     threads: usize,
-) -> Csr<(RecordId, u32)> {
+) -> Result<Csr<(RecordId, u32)>, ResolveError> {
     let threads = threads.clamp(1, n_records.max(1));
     if threads == 1 {
         let mut scratch = CooccurrenceScratch::new();
@@ -938,31 +1043,47 @@ fn build_cbs_adjacency(
                 &mut scratch,
             ));
         }
-        return adj;
+        return Ok(adj);
     }
     let chunk = n_records.div_ceil(threads);
     let mut parts: Vec<AdjacencyPart> = vec![Default::default(); n_records.div_ceil(chunk)];
+    let mut worker_panicked = false;
     std::thread::scope(|scope| {
-        for (i, part) in parts.iter_mut().enumerate() {
-            let base = i * chunk;
-            let top = (base + chunk).min(n_records);
-            scope.spawn(move || {
-                let mut scratch = CooccurrenceScratch::new();
-                let (lens, flat) = part;
-                for id in base..top {
-                    let row = count_cooccurrences_into(
-                        entity_retained,
-                        filtered_blocks,
-                        n_records,
-                        id as RecordId,
-                        &mut scratch,
-                    );
-                    lens.push(row.len() as u32);
-                    flat.extend_from_slice(row);
-                }
-            });
+        let handles: Vec<_> = parts
+            .iter_mut()
+            .enumerate()
+            .map(|(i, part)| {
+                let base = i * chunk;
+                let top = (base + chunk).min(n_records);
+                scope.spawn(move || {
+                    failpoints::fire("build.cbs.worker");
+                    let mut scratch = CooccurrenceScratch::new();
+                    let (lens, flat) = part;
+                    for id in base..top {
+                        let row = count_cooccurrences_into(
+                            entity_retained,
+                            filtered_blocks,
+                            n_records,
+                            id as RecordId,
+                            &mut scratch,
+                        );
+                        lens.push(row.len() as u32);
+                        flat.extend_from_slice(row);
+                    }
+                })
+            })
+            .collect();
+        // Joining each handle converts a worker panic into a typed
+        // build error instead of resuming the unwind in the caller.
+        for h in handles {
+            worker_panicked |= h.join().is_err();
         }
     });
+    if worker_panicked {
+        return Err(ResolveError::WorkerPanicked {
+            stage: ResolveStage::Build,
+        });
+    }
     let total: usize = parts.iter().map(|(_, flat)| flat.len()).sum();
     let mut adj = Csr::with_capacity(n_records, total);
     for (lens, flat) in &parts {
@@ -972,7 +1093,7 @@ fn build_cbs_adjacency(
             at += len as usize;
         }
     }
-    adj
+    Ok(adj)
 }
 
 /// `n(n-1)/2`.

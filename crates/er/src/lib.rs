@@ -131,6 +131,7 @@
 pub mod blocking;
 pub mod config;
 pub mod edge_pruning;
+pub mod govern;
 pub mod index;
 pub mod kernel;
 pub mod link_index;
@@ -146,10 +147,12 @@ pub use config::{
     BlockingKind, EdgePruningScope, EpCacheMode, ErConfig, MetaBlockingConfig, SimilarityKind,
     WeightScheme,
 };
+pub use govern::{Completion, ResolveBudget, ResolveError, ResolveStage};
 pub use index::{AttrMeta, BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
 pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch};
 pub use link_index::LinkIndex;
 pub use matching::{Matcher, TokenizerScratch};
 pub use metrics::DedupMetrics;
+pub use queryer_common::CancelToken;
 pub use resolver::ResolveOutcome;
 pub use union_find::UnionFind;

@@ -46,6 +46,11 @@ pub struct DedupMetrics {
     pub decision_cache_hits: u64,
     /// Comparisons that ran a kernel and memoized their decision.
     pub decision_cache_misses: u64,
+    /// Candidate pairs that were scheduled for comparison but never
+    /// compared because the [`ResolveBudget`](crate::ResolveBudget) was
+    /// exhausted or the resolve was cancelled mid-round. Always 0 for a
+    /// run whose outcome is [`Completion::Complete`](crate::Completion).
+    pub pairs_uncompared: u64,
 }
 
 impl DedupMetrics {
@@ -76,6 +81,7 @@ impl DedupMetrics {
         self.ep_cache_misses += other.ep_cache_misses;
         self.decision_cache_hits += other.decision_cache_hits;
         self.decision_cache_misses += other.decision_cache_misses;
+        self.pairs_uncompared += other.pairs_uncompared;
     }
 }
 

@@ -13,11 +13,13 @@
 
 use crate::config::{EdgePruningScope, EpCacheMode, WeightScheme};
 use crate::edge_pruning::{keeps, prune_global, survivors_over, threshold_over, EdgePruner};
+use crate::govern::{Completion, Governed, ResolveBudget, ResolveError, ResolveStage, Stop};
 use crate::index::{scheme_node_key, BlockId, CooccurrenceScratch, TableErIndex};
 use crate::kernel::{CompiledMatcher, KernelScratch};
 use crate::link_index::LinkIndex;
 use crate::matching::{Matcher, TokenizerScratch};
 use crate::metrics::DedupMetrics;
+use queryer_common::failpoints;
 use queryer_common::{pack_pair, FxHashMap, FxHashSet, PairSet, Stopwatch};
 use queryer_storage::{Record, RecordId, Table};
 use std::sync::Arc;
@@ -38,6 +40,12 @@ const PAR_MIN_PAIRS: usize = 1024;
 /// table-sized fill per round.
 const RANK_AMORTIZE: usize = 32;
 
+/// Pairs each worker decides between budget polls when a comparison
+/// budget is in force: batches of `workers × this` keep the governed
+/// executor's fan-outs full while bounding by how much a batch can
+/// overshoot a deadline.
+const CMP_BATCH_PER_WORKER: usize = 2048;
+
 /// Result of resolving a query entity set against its table.
 #[derive(Debug, Clone)]
 pub struct ResolveOutcome {
@@ -45,6 +53,20 @@ pub struct ResolveOutcome {
     pub dr: Vec<RecordId>,
     /// Links newly added to the Link Index by this resolution.
     pub new_links: usize,
+    /// How the resolve finished. Always [`Completion::Complete`] under
+    /// an unlimited budget; a budgeted/cancelled run reports the stage
+    /// it stopped in, and its links are a subset of the full run's.
+    pub completion: Completion,
+}
+
+/// Outcome of one governed comparison batch run: decisions for the
+/// first `executed` pairs of the input (a prefix — truncation only ever
+/// happens at batch boundaries) and why the run stopped early, if it
+/// did.
+struct CmpRun {
+    decisions: Vec<bool>,
+    executed: usize,
+    stop: Option<Stop>,
 }
 
 impl TableErIndex {
@@ -59,25 +81,61 @@ impl TableErIndex {
         qe: &[RecordId],
         li: &mut LinkIndex,
         metrics: &mut DedupMetrics,
-    ) -> ResolveOutcome {
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.resolve_governed(table, qe, li, metrics, &ResolveBudget::unlimited())
+    }
+
+    /// [`TableErIndex::resolve`] under a [`ResolveBudget`]: the loop
+    /// polls the budget at round starts, the bulk Edge-Pruning sweep
+    /// polls it between worker chunks, and Comparison-Execution runs in
+    /// budget-clamped batches — so an exhausted budget or an external
+    /// cancel stops work at the next chunk boundary and the call returns
+    /// a partial-but-valid outcome whose [`ResolveOutcome::completion`]
+    /// reports the stage and comparison count.
+    ///
+    /// Partial-run guarantees (pinned by `tests/budget_equivalence.rs`):
+    /// an unlimited budget takes the historical path bit-for-bit; under
+    /// any budget, every executed comparison's decision — and hence
+    /// every emitted link — equals the full run's, so the links are a
+    /// subset of the full run's links; and a truncated round never marks
+    /// its frontier resolved, so re-resolving with more budget converges
+    /// to the full answer.
+    pub fn resolve_governed(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &mut LinkIndex,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        if self.is_poisoned() {
+            return Err(ResolveError::Poisoned);
+        }
         // Comparisons read index-internal interned profiles, so a caller
         // passing the wrong table would silently get stale decisions;
         // the length check is O(1), keep it on in release builds too.
-        assert_eq!(
-            table.len(),
-            self.n_records(),
-            "resolve must be called with the indexed table"
-        );
+        if table.len() != self.n_records() {
+            return Err(ResolveError::TableMismatch {
+                expected: self.n_records(),
+                got: table.len(),
+            });
+        }
         // Compile the matcher once per resolve: similarity kind,
         // threshold, and attribute layout resolve here, never per pair.
         let matcher = Matcher::new(self.config(), self.skip_col()).compile(self);
         let mut pair_seen = PairSet::new();
         let mut new_links = 0usize;
+        let mut comparisons_done = 0u64;
+        let mut completion = Completion::Complete;
 
         let mut frontier: Vec<RecordId> = self.dedup_unresolved(li, qe.iter().copied());
 
         while !frontier.is_empty() {
-            metrics.entities_processed += frontier.len() as u64;
+            failpoints::fire("resolve.round");
+            if let Some(stop) = budget.interrupted() {
+                completion = stop.completion(ResolveStage::EdgePruning, comparisons_done);
+                break;
+            }
 
             // Pair generation. With Edge Pruning on, the frontier's
             // neighbourhoods are read straight off the CSR blocking
@@ -86,10 +144,18 @@ impl TableErIndex {
             // is only assembled for the per-block pair path below.
             let pairs: Vec<(RecordId, RecordId)> = if self.config().meta.edge_pruning() {
                 let mut sw = Stopwatch::new();
-                let pairs =
-                    sw.time(|| self.edge_pruned_pairs_metered(&frontier, &mut pair_seen, metrics));
+                sw.start();
+                let scanned =
+                    self.edge_pruned_pairs_governed(&frontier, &mut pair_seen, metrics, budget);
+                sw.stop();
                 metrics.edge_pruning += sw.elapsed();
-                pairs
+                match scanned? {
+                    Governed::Done(pairs) => pairs,
+                    Governed::Interrupted(stop) => {
+                        completion = stop.completion(ResolveStage::EdgePruning, comparisons_done);
+                        break;
+                    }
+                }
             } else {
                 // (i) Query Blocking + (ii) Block-Join — for in-table
                 // query entities the ITBI row of each record is exactly
@@ -135,9 +201,16 @@ impl TableErIndex {
                     to_compare.push((q, c));
                 }
             }
-            metrics.comparisons += to_compare.len() as u64;
-            let decisions = self.execute_comparisons(&matcher, &to_compare, metrics);
-            for ((q, c), matched) in to_compare.into_iter().zip(decisions) {
+            let run = self.execute_comparisons_governed(
+                &matcher,
+                &to_compare,
+                metrics,
+                budget,
+                comparisons_done,
+            )?;
+            metrics.comparisons += run.executed as u64;
+            comparisons_done += run.executed as u64;
+            for (&(q, c), matched) in to_compare[..run.executed].iter().zip(run.decisions) {
                 if matched {
                     if li.add_link(q, c) {
                         new_links += 1;
@@ -149,6 +222,18 @@ impl TableErIndex {
             sw.stop();
             metrics.resolution += sw.elapsed();
 
+            if let Some(stop) = run.stop {
+                // Truncated round: its frontier is NOT marked resolved —
+                // some of its pairs were never decided, and marking
+                // would make the Link Index claim completeness it does
+                // not have. Every decided link stands; a later resolve
+                // redoes this frontier and converges to the full answer.
+                metrics.pairs_uncompared += (to_compare.len() - run.executed) as u64;
+                completion = stop.completion(ResolveStage::ComparisonExecution, comparisons_done);
+                break;
+            }
+
+            metrics.entities_processed += frontier.len() as u64;
             for &q in &frontier {
                 li.mark_resolved(q);
             }
@@ -174,7 +259,11 @@ impl TableErIndex {
             v.sort_unstable();
             v
         };
-        ResolveOutcome { dr, new_links }
+        Ok(ResolveOutcome {
+            dr,
+            new_links,
+            completion,
+        })
     }
 
     /// Resolves the entire table (the batch-ER building block).
@@ -183,9 +272,21 @@ impl TableErIndex {
         table: &Table,
         li: &mut LinkIndex,
         metrics: &mut DedupMetrics,
-    ) -> ResolveOutcome {
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.resolve_all_governed(table, li, metrics, &ResolveBudget::unlimited())
+    }
+
+    /// [`TableErIndex::resolve_all`] under a [`ResolveBudget`] — see
+    /// [`TableErIndex::resolve_governed`].
+    pub fn resolve_all_governed(
+        &self,
+        table: &Table,
+        li: &mut LinkIndex,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveOutcome, ResolveError> {
         let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
-        self.resolve(table, &all, li, metrics)
+        self.resolve_governed(table, &all, li, metrics, budget)
     }
 
     /// Order-preserving first-occurrence dedup of frontier candidates,
@@ -287,24 +388,57 @@ impl TableErIndex {
     }
 
     /// [`TableErIndex::edge_pruned_pairs`] with cache hit/miss
-    /// accounting — the resolve loop's entry point.
+    /// accounting.
     pub fn edge_pruned_pairs_metered(
         &self,
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
         metrics: &mut DedupMetrics,
     ) -> Vec<(RecordId, RecordId)> {
+        // invariant: an unlimited budget never interrupts a scan, so the
+        // governed dispatch can only come back Done; a worker panic is
+        // reported by panicking, preserving this historical API.
+        match self.edge_pruned_pairs_governed(
+            frontier,
+            pair_seen,
+            metrics,
+            &ResolveBudget::unlimited(),
+        ) {
+            Ok(Governed::Done(pairs)) => pairs,
+            Ok(Governed::Interrupted(_)) => {
+                unreachable!("unlimited budget cannot interrupt edge pruning")
+            }
+            Err(e) => panic!("edge pruning failed: {e}"),
+        }
+    }
+
+    /// Budget-aware EP pair generation — the resolve loop's entry point.
+    /// Only the bulk threshold sweep has in-stage interruption points;
+    /// the frontier scans and survivor fills run to completion once
+    /// started (they are bounded by the frontier, not the table) but are
+    /// panic-hardened: a lost worker surfaces as
+    /// [`ResolveError::WorkerPanicked`] with all shared caches holding
+    /// only complete entries.
+    fn edge_pruned_pairs_governed(
+        &self,
+        frontier: &[RecordId],
+        pair_seen: &mut PairSet,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<Governed<Vec<(RecordId, RecordId)>>, ResolveError> {
         match self.config().ep_scope {
             EdgePruningScope::NodeCentric => {
                 if self.config().ep_cache.enabled() && self.has_cbs_partials() {
-                    self.node_centric_pairs_cached(frontier, pair_seen, metrics)
+                    self.node_centric_pairs_cached(frontier, pair_seen, metrics, budget)
                 } else if self.config().ep_bulk_thresholds {
-                    self.node_centric_pairs_bulk(frontier, pair_seen)
+                    self.node_centric_pairs_bulk(frontier, pair_seen, budget)
                 } else {
-                    self.node_centric_pairs_lazy(frontier, pair_seen)
+                    Ok(Governed::Done(
+                        self.node_centric_pairs_lazy(frontier, pair_seen),
+                    ))
                 }
             }
-            EdgePruningScope::Global => self.global_pairs(frontier, pair_seen),
+            EdgePruningScope::Global => self.global_pairs(frontier, pair_seen).map(Governed::Done),
         }
     }
 
@@ -348,7 +482,8 @@ impl TableErIndex {
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
         metrics: &mut DedupMetrics,
-    ) -> Vec<(RecordId, RecordId)> {
+        budget: &ResolveBudget,
+    ) -> Result<Governed<Vec<(RecordId, RecordId)>>, ResolveError> {
         // Threshold source: a frontier covering a sizeable fraction of
         // the table will need (nearly) every node's threshold anyway —
         // same amortization rule as the rank scans — so fill the bulk
@@ -359,7 +494,10 @@ impl TableErIndex {
         if self.config().ep_cache == EpCacheMode::Prewarm
             || frontier.len() * RANK_AMORTIZE >= self.n_records()
         {
-            let _ = self.bulk_ep_thresholds();
+            match self.try_bulk_ep_thresholds(budget)? {
+                Governed::Done(_) => {}
+                Governed::Interrupted(stop) => return Ok(Governed::Interrupted(stop)),
+            }
         }
         let ctx = EpCacheCtx::new(self);
         let workers = self.config().effective_ep_threads();
@@ -370,20 +508,37 @@ impl TableErIndex {
             let chunk = frontier.len().div_ceil(workers);
             let mut counters: Vec<(u64, u64)> = vec![(0, 0); frontier.len().div_ceil(chunk)];
             let ctx_ref = &ctx;
+            let mut panicked = false;
             std::thread::scope(|scope| {
-                for (cnt, work) in counters.iter_mut().zip(frontier.chunks(chunk)) {
-                    scope.spawn(move || {
-                        for &q in work {
-                            let (_, hit) = ctx_ref.survivors(q);
-                            if hit {
-                                cnt.0 += 1;
-                            } else {
-                                cnt.1 += 1;
+                let handles: Vec<_> = counters
+                    .iter_mut()
+                    .zip(frontier.chunks(chunk))
+                    .map(|(cnt, work)| {
+                        scope.spawn(move || {
+                            failpoints::fire("ep.survivors.worker");
+                            for &q in work {
+                                let (_, hit) = ctx_ref.survivors(q);
+                                if hit {
+                                    cnt.0 += 1;
+                                } else {
+                                    cnt.1 += 1;
+                                }
                             }
-                        }
-                    });
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    panicked |= h.join().is_err();
                 }
             });
+            if panicked {
+                // Workers only ever publish *complete* survivor lists
+                // (computed fully before the insert), so the caches are
+                // sound; only this resolve call fails.
+                return Err(ResolveError::WorkerPanicked {
+                    stage: ResolveStage::EdgePruning,
+                });
+            }
             for (hits, misses) in counters {
                 metrics.ep_cache_hits += hits;
                 metrics.ep_cache_misses += misses;
@@ -398,7 +553,7 @@ impl TableErIndex {
                     }
                 }
             }
-            return out;
+            return Ok(Governed::Done(out));
         }
         let mut out = Vec::new();
         for &q in frontier {
@@ -414,7 +569,7 @@ impl TableErIndex {
                 }
             }
         }
-        out
+        Ok(Governed::Done(out))
     }
 
     /// Frontier scan positions: `rank[e]` is the index of `e`'s first
@@ -442,8 +597,12 @@ impl TableErIndex {
         &self,
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
-    ) -> Vec<(RecordId, RecordId)> {
-        let th = self.bulk_ep_thresholds();
+        budget: &ResolveBudget,
+    ) -> Result<Governed<Vec<(RecordId, RecordId)>>, ResolveError> {
+        let th = match self.try_bulk_ep_thresholds(budget)? {
+            Governed::Done(th) => th,
+            Governed::Interrupted(stop) => return Ok(Governed::Interrupted(stop)),
+        };
         let pruner = EdgePruner::new(self);
         let workers = self.config().effective_ep_threads();
         if workers == 1 || frontier.len() < PAR_MIN_FRONTIER {
@@ -466,7 +625,7 @@ impl TableErIndex {
                         }
                     }
                 }
-                return out;
+                return Ok(Governed::Done(out));
             }
             let rank = self.frontier_ranks(frontier);
             for &q in frontier {
@@ -483,7 +642,7 @@ impl TableErIndex {
                     }
                 }
             }
-            return out;
+            return Ok(Governed::Done(out));
         }
         let rank = self.frontier_ranks(frontier);
         // Parallel frontier scan: each worker chunk collects its owned
@@ -494,25 +653,41 @@ impl TableErIndex {
         let mut parts: Vec<Vec<(RecordId, RecordId)>> =
             vec![Vec::new(); frontier.len().div_ceil(chunk)];
         let (th_ref, pruner_ref, rank_ref) = (&th, &pruner, &rank);
+        let mut panicked = false;
         std::thread::scope(|scope| {
-            for (part, work) in parts.iter_mut().zip(frontier.chunks(chunk)) {
-                scope.spawn(move || {
-                    let mut scratch = CooccurrenceScratch::new();
-                    for &q in work {
-                        let rq = rank_ref[q as usize];
-                        for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
-                            if rank_ref[c as usize] < rq {
-                                continue;
-                            }
-                            let w = pruner_ref.weight(q, c, cbs);
-                            if keeps(w, th_ref[q as usize]) || keeps(w, th_ref[c as usize]) {
-                                part.push((q, c));
+            let handles: Vec<_> = parts
+                .iter_mut()
+                .zip(frontier.chunks(chunk))
+                .map(|(part, work)| {
+                    scope.spawn(move || {
+                        failpoints::fire("ep.scan.worker");
+                        let mut scratch = CooccurrenceScratch::new();
+                        for &q in work {
+                            let rq = rank_ref[q as usize];
+                            for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                                if rank_ref[c as usize] < rq {
+                                    continue;
+                                }
+                                let w = pruner_ref.weight(q, c, cbs);
+                                if keeps(w, th_ref[q as usize]) || keeps(w, th_ref[c as usize]) {
+                                    part.push((q, c));
+                                }
                             }
                         }
-                    }
-                });
+                    })
+                })
+                .collect();
+            for h in handles {
+                panicked |= h.join().is_err();
             }
         });
+        if panicked {
+            // Each part is worker-private; dropping them all with the
+            // error leaves `pair_seen` and the index untouched.
+            return Err(ResolveError::WorkerPanicked {
+                stage: ResolveStage::EdgePruning,
+            });
+        }
         let mut out = Vec::new();
         for part in parts {
             for (q, c) in part {
@@ -521,7 +696,7 @@ impl TableErIndex {
                 }
             }
         }
-        out
+        Ok(Governed::Done(out))
     }
 
     /// Global (WEP-style) EP: collect every distinct edge of the
@@ -531,7 +706,7 @@ impl TableErIndex {
         &self,
         frontier: &[RecordId],
         pair_seen: &mut PairSet,
-    ) -> Vec<(RecordId, RecordId)> {
+    ) -> Result<Vec<(RecordId, RecordId)>, ResolveError> {
         let pruner = EdgePruner::new(self);
         let workers = self.config().effective_ep_threads();
         let mut edges: Vec<(RecordId, RecordId, f64)> = Vec::new();
@@ -548,10 +723,10 @@ impl TableErIndex {
                         }
                     }
                 }
-                return prune_global(&edges)
+                return Ok(prune_global(&edges)
                     .into_iter()
                     .filter(|&(a, b)| pair_seen.insert(a, b))
-                    .collect();
+                    .collect());
             }
             let rank = self.frontier_ranks(frontier);
             for &q in frontier {
@@ -569,22 +744,36 @@ impl TableErIndex {
             let mut parts: Vec<Vec<(RecordId, RecordId, f64)>> =
                 vec![Vec::new(); frontier.len().div_ceil(chunk)];
             let (pruner_ref, rank_ref) = (&pruner, &rank);
+            let mut panicked = false;
             std::thread::scope(|scope| {
-                for (part, work) in parts.iter_mut().zip(frontier.chunks(chunk)) {
-                    scope.spawn(move || {
-                        let mut scratch = CooccurrenceScratch::new();
-                        for &q in work {
-                            let rq = rank_ref[q as usize];
-                            for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
-                                if rank_ref[c as usize] < rq {
-                                    continue;
+                let handles: Vec<_> = parts
+                    .iter_mut()
+                    .zip(frontier.chunks(chunk))
+                    .map(|(part, work)| {
+                        scope.spawn(move || {
+                            failpoints::fire("ep.scan.worker");
+                            let mut scratch = CooccurrenceScratch::new();
+                            for &q in work {
+                                let rq = rank_ref[q as usize];
+                                for &(c, cbs) in self.cooccurrences_into(q, &mut scratch) {
+                                    if rank_ref[c as usize] < rq {
+                                        continue;
+                                    }
+                                    part.push((q, c, pruner_ref.weight(q, c, cbs)));
                                 }
-                                part.push((q, c, pruner_ref.weight(q, c, cbs)));
                             }
-                        }
-                    });
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    panicked |= h.join().is_err();
                 }
             });
+            if panicked {
+                return Err(ResolveError::WorkerPanicked {
+                    stage: ResolveStage::EdgePruning,
+                });
+            }
             // Concatenate in frontier order: ownership already made each
             // edge unique, so the merged list (and hence the pruning
             // mean) equals the sequential collection exactly.
@@ -592,10 +781,10 @@ impl TableErIndex {
                 edges.extend(part);
             }
         }
-        prune_global(&edges)
+        Ok(prune_global(&edges)
             .into_iter()
             .filter(|&(a, b)| pair_seen.insert(a, b))
-            .collect()
+            .collect())
     }
 
     /// Runs the match decisions for `pairs`, consulting the pair-keyed
@@ -611,7 +800,7 @@ impl TableErIndex {
         matcher: &CompiledMatcher<'_>,
         pairs: &[(RecordId, RecordId)],
         metrics: &mut DedupMetrics,
-    ) -> Vec<bool> {
+    ) -> Result<Vec<bool>, ResolveError> {
         if !self.config().ep_cache.enabled() {
             return self.run_comparison_kernels(matcher, pairs);
         }
@@ -640,16 +829,73 @@ impl TableErIndex {
         metrics.decision_cache_hits += (pairs.len() - misses.len()) as u64;
         metrics.decision_cache_misses += misses.len() as u64;
         if misses.is_empty() {
-            return decisions;
+            return Ok(decisions);
         }
-        let fresh = self.run_comparison_kernels(matcher, &misses);
+        let fresh = self.run_comparison_kernels(matcher, &misses)?;
         let mut entries: Vec<(u64, bool)> = Vec::with_capacity(misses.len());
         for (&at, d) in miss_at.iter().zip(fresh) {
             entries.push((keys[at as usize], d));
             decisions[at as usize] = d;
         }
+        // Pre-size the memo for this batch's misses before the bulk
+        // insert: a resolve_all round can add hundreds of thousands of
+        // decisions at once, and growing shard tables mid-insert would
+        // rehash every existing entry several times.
+        cache.reserve(entries.len());
         cache.insert_batch(&entries);
-        decisions
+        Ok(decisions)
+    }
+
+    /// [`TableErIndex::execute_comparisons`] under a budget. Unlimited
+    /// budgets take the historical single-batch path (bit-identical, no
+    /// polls); otherwise pairs run in batches of
+    /// `workers ×`[`CMP_BATCH_PER_WORKER`], each batch clamped to the
+    /// remaining comparison allowance, with a budget poll between
+    /// batches. Decisions are a prefix of `pairs` — batch splitting
+    /// cannot change them, since each decision is a pure function of the
+    /// pair — so a truncated run's links are a subset of the full run's.
+    fn execute_comparisons_governed(
+        &self,
+        matcher: &CompiledMatcher<'_>,
+        pairs: &[(RecordId, RecordId)],
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+        comparisons_done: u64,
+    ) -> Result<CmpRun, ResolveError> {
+        if budget.is_unlimited() {
+            let decisions = self.execute_comparisons(matcher, pairs, metrics)?;
+            return Ok(CmpRun {
+                executed: pairs.len(),
+                decisions,
+                stop: None,
+            });
+        }
+        let batch =
+            (self.config().effective_parallelism() * CMP_BATCH_PER_WORKER).max(PAR_MIN_PAIRS);
+        let mut decisions: Vec<bool> = Vec::with_capacity(pairs.len());
+        let mut at = 0usize;
+        let mut stop = None;
+        while at < pairs.len() {
+            if let Some(s) = budget.interrupted() {
+                stop = Some(s);
+                break;
+            }
+            let allowed = budget.remaining_comparisons(comparisons_done + at as u64);
+            if allowed == 0 {
+                stop = Some(Stop::Comparisons);
+                break;
+            }
+            let take = batch
+                .min(pairs.len() - at)
+                .min(usize::try_from(allowed).unwrap_or(usize::MAX));
+            decisions.extend(self.execute_comparisons(matcher, &pairs[at..at + take], metrics)?);
+            at += take;
+        }
+        Ok(CmpRun {
+            decisions,
+            executed: at,
+            stop,
+        })
     }
 
     /// Runs the match decisions through the compiled kernel, fanning out
@@ -665,28 +911,43 @@ impl TableErIndex {
         &self,
         matcher: &CompiledMatcher<'_>,
         pairs: &[(RecordId, RecordId)],
-    ) -> Vec<bool> {
+    ) -> Result<Vec<bool>, ResolveError> {
         let workers = self.config().effective_parallelism();
         if workers == 1 || pairs.len() < PAR_MIN_PAIRS {
             let mut scratch = KernelScratch::new();
-            return pairs
+            return Ok(pairs
                 .iter()
                 .map(|&(q, c)| matcher.decide(q, c, &mut scratch))
-                .collect();
+                .collect());
         }
         let chunk = pairs.len().div_ceil(workers);
         let mut decisions = vec![false; pairs.len()];
+        let mut panicked = false;
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
             for (slot, work) in decisions.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
+                    failpoints::fire("cmp.worker");
                     let mut scratch = KernelScratch::new();
                     for (d, &(q, c)) in slot.iter_mut().zip(work) {
                         *d = matcher.decide(q, c, &mut scratch);
                     }
-                });
+                }));
+            }
+            // Join each worker ourselves so a panic is consumed here
+            // instead of re-raised by the scope; a dead worker only
+            // leaves `false` defaults in its private slot, which are
+            // discarded with the Err.
+            for h in handles {
+                panicked |= h.join().is_err();
             }
         });
-        decisions
+        if panicked {
+            return Err(ResolveError::WorkerPanicked {
+                stage: ResolveStage::ComparisonExecution,
+            });
+        }
+        Ok(decisions)
     }
 
     /// Finds the in-table duplicates of an ad-hoc `record` that is *not*
@@ -817,6 +1078,8 @@ impl<'a> EpCacheCtx<'a> {
         self.idx
             .threshold_cache()
             .get_or_insert_with(scheme_node_key(self.scheme, e), || {
+                // invariant: EpCacheCtx is only constructed on the cached
+                // EP path, which `build()` gates on CBS partials existing.
                 let nbh = self
                     .idx
                     .cbs_neighbourhood(e)
@@ -833,6 +1096,8 @@ impl<'a> EpCacheCtx<'a> {
         if let Some(cached) = self.idx.survivor_cache().get(key) {
             return (cached, true);
         }
+        // invariant: EpCacheCtx is only constructed on the cached EP
+        // path, which `build()` gates on CBS partials existing.
         let nbh = self
             .idx
             .cbs_neighbourhood(q)
@@ -877,7 +1142,7 @@ mod tests {
         let idx = TableErIndex::build(&table, cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&table, qe, &mut li, &mut m);
+        let out = idx.resolve(&table, qe, &mut li, &mut m).unwrap();
         (out, m, li)
     }
 
@@ -930,7 +1195,7 @@ mod tests {
 
         let mut li_cold = LinkIndex::new(table.len());
         let mut m_cold = DedupMetrics::default();
-        let out_cold = idx.resolve_all(&table, &mut li_cold, &mut m_cold);
+        let out_cold = idx.resolve_all(&table, &mut li_cold, &mut m_cold).unwrap();
         assert_eq!(m_cold.ep_cache_hits, 0, "nothing cached before query 1");
         assert!(m_cold.ep_cache_misses > 0);
         assert_eq!(m_cold.decision_cache_hits, 0);
@@ -941,7 +1206,7 @@ mod tests {
         // must match the cold pass exactly.
         let mut li_warm = LinkIndex::new(table.len());
         let mut m_warm = DedupMetrics::default();
-        let out_warm = idx.resolve_all(&table, &mut li_warm, &mut m_warm);
+        let out_warm = idx.resolve_all(&table, &mut li_warm, &mut m_warm).unwrap();
         assert_eq!(out_warm.dr, out_cold.dr);
         assert_eq!(out_warm.new_links, out_cold.new_links);
         assert_eq!(m_warm.comparisons, m_cold.comparisons);
@@ -961,7 +1226,7 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve(&table, &[0], &mut li, &mut m);
+        idx.resolve(&table, &[0], &mut li, &mut m).unwrap();
         let (_, survivors, _) = idx.resolve_cache_sizes();
         assert_eq!(
             survivors as u64, m.entities_processed,
@@ -978,7 +1243,7 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li, &mut m);
+        idx.resolve_all(&table, &mut li, &mut m).unwrap();
         assert_eq!(idx.resolve_cache_sizes(), (0, 0, 0));
         assert_eq!(m.ep_cache_hits + m.ep_cache_misses, 0);
         assert_eq!(m.decision_cache_hits + m.decision_cache_misses, 0);
@@ -991,10 +1256,10 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m1 = DedupMetrics::default();
-        idx.resolve(&table, &[0, 1], &mut li, &mut m1);
+        idx.resolve(&table, &[0, 1], &mut li, &mut m1).unwrap();
         assert!(m1.comparisons > 0);
         let mut m2 = DedupMetrics::default();
-        let out2 = idx.resolve(&table, &[0, 1], &mut li, &mut m2);
+        let out2 = idx.resolve(&table, &[0, 1], &mut li, &mut m2).unwrap();
         assert_eq!(
             m2.comparisons, 0,
             "resolved entities must be served from LI"
@@ -1017,14 +1282,14 @@ mod tests {
         let idx = TableErIndex::build(&t, &cfg);
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0], &mut li, &mut m);
+        let out = idx.resolve(&t, &[0], &mut li, &mut m).unwrap();
         assert_eq!(out.dr, vec![0, 1, 2], "C reachable only through B");
 
         cfg.transitive = false;
         let idx = TableErIndex::build(&t, &cfg);
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0], &mut li, &mut m);
+        let out = idx.resolve(&t, &[0], &mut li, &mut m).unwrap();
         assert_eq!(out.dr, vec![0, 1], "no expansion without transitivity");
     }
 
@@ -1036,12 +1301,12 @@ mod tests {
 
         let mut li_batch = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li_batch, &mut m);
+        idx.resolve_all(&table, &mut li_batch, &mut m).unwrap();
 
         let mut li_inc = LinkIndex::new(table.len());
         for q in 0..table.len() as RecordId {
             let mut m = DedupMetrics::default();
-            idx.resolve(&table, &[q], &mut li_inc, &mut m);
+            idx.resolve(&table, &[q], &mut li_inc, &mut m).unwrap();
         }
         for a in 0..table.len() as RecordId {
             for b in 0..table.len() as RecordId {
@@ -1074,12 +1339,12 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li_par = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li_par, &mut m);
+        idx.resolve_all(&table, &mut li_par, &mut m).unwrap();
 
         let idx_seq = TableErIndex::build(&table, &ErConfig::default());
         let mut li_seq = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx_seq.resolve_all(&table, &mut li_seq, &mut m);
+        idx_seq.resolve_all(&table, &mut li_seq, &mut m).unwrap();
         assert_eq!(li_par.link_count(), li_seq.link_count());
     }
 
@@ -1091,6 +1356,105 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_resolve_reports_complete() {
+        let (out, _, _) = resolve_qe(&ErConfig::default(), &[0, 1, 2, 3, 4]);
+        assert!(out.completion.is_complete());
+        assert_eq!(out.completion, Completion::Complete);
+    }
+
+    #[test]
+    fn wrong_length_table_is_table_mismatch() {
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let mut short = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+        short
+            .push_row(vec!["0".into(), "x".into(), "y".into()])
+            .unwrap();
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        let err = idx.resolve(&short, &[0], &mut li, &mut m).unwrap_err();
+        assert_eq!(
+            err,
+            ResolveError::TableMismatch {
+                expected: table.len(),
+                got: 1
+            }
+        );
+        assert_eq!(li.link_count(), 0, "failed resolve must not touch links");
+    }
+
+    #[test]
+    fn cancelled_before_start_does_no_work() {
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = ResolveBudget::unlimited().with_cancel(token);
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        let out = idx
+            .resolve_governed(&table, &[0, 1, 2, 3, 4], &mut li, &mut m, &budget)
+            .unwrap();
+        assert_eq!(
+            out.completion,
+            Completion::Cancelled {
+                stage: ResolveStage::EdgePruning,
+                comparisons_done: 0
+            }
+        );
+        assert_eq!(m.comparisons, 0);
+        assert_eq!(out.new_links, 0);
+        assert_eq!(li.link_count(), 0);
+    }
+
+    #[test]
+    fn zero_comparison_budget_yields_partial_outcome() {
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let budget = ResolveBudget::unlimited().with_max_comparisons(0);
+        let mut li = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        let out = idx
+            .resolve_governed(&table, &[0, 1, 2, 3, 4], &mut li, &mut m, &budget)
+            .unwrap();
+        assert!(!out.completion.is_complete());
+        assert_eq!(m.comparisons, 0);
+        assert!(m.pairs_uncompared > 0, "skipped pairs must be accounted");
+        assert_eq!(li.link_count(), 0);
+    }
+
+    #[test]
+    fn budgeted_links_are_subset_of_full_run() {
+        let table = dirty_table();
+        let idx = TableErIndex::build(&table, &ErConfig::default());
+        let mut li_full = LinkIndex::new(table.len());
+        let mut m = DedupMetrics::default();
+        idx.resolve_all(&table, &mut li_full, &mut m).unwrap();
+        for cap in 0..=m.comparisons {
+            let budget = ResolveBudget::unlimited().with_max_comparisons(cap);
+            let mut li = LinkIndex::new(table.len());
+            let mut mb = DedupMetrics::default();
+            let out = idx
+                .resolve_all_governed(&table, &mut li, &mut mb, &budget)
+                .unwrap();
+            assert!(mb.comparisons <= cap, "cap {cap} exceeded");
+            for a in 0..table.len() as RecordId {
+                for b in 0..table.len() as RecordId {
+                    if li.are_linked(a, b) {
+                        assert!(
+                            li_full.are_linked(a, b),
+                            "({a},{b}) not in full run (cap {cap})"
+                        );
+                    }
+                }
+            }
+            if cap == m.comparisons && out.completion.is_complete() {
+                assert_eq!(li.link_count(), li_full.link_count());
+            }
+        }
+    }
+
+    #[test]
     fn nulls_do_not_block() {
         let mut t = Table::new("p", Schema::of_strings(&["id", "a"]));
         t.push_row(vec!["0".into(), Value::Null]).unwrap();
@@ -1098,7 +1462,7 @@ mod tests {
         let idx = TableErIndex::build(&t, &ErConfig::default());
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0, 1], &mut li, &mut m);
+        let out = idx.resolve(&t, &[0, 1], &mut li, &mut m).unwrap();
         assert_eq!(out.dr, vec![0, 1]);
         assert_eq!(m.comparisons, 0, "all-null records share no blocks");
         assert_eq!(li.link_count(), 0);

@@ -81,6 +81,8 @@ fn low_bits(k: usize) -> u128 {
 /// so the compiled kernels and the canonical path can never drift.
 fn jaro_ascii(a: &[u8], b: &[u8]) -> f64 {
     let mut pos = [0u128; 256];
+    // invariant: the bounded kernel only returns None when fewer than
+    // `m_min` matches exist; with m_min = 0 that is impossible.
     jaro_ascii_bounded(a, b, 0, &mut pos).expect("m_min = 0 never rejects")
 }
 

@@ -157,10 +157,10 @@ fn assert_same_decisions(reference: &TableErIndex, parallel: &TableErIndex, tabl
     let qe: Vec<RecordId> = (0..table.len() as RecordId).collect();
     let mut li_a = LinkIndex::new(table.len());
     let mut m_a = DedupMetrics::default();
-    let out_a = reference.resolve(table, &qe, &mut li_a, &mut m_a);
+    let out_a = reference.resolve(table, &qe, &mut li_a, &mut m_a).unwrap();
     let mut li_b = LinkIndex::new(table.len());
     let mut m_b = DedupMetrics::default();
-    let out_b = parallel.resolve(table, &qe, &mut li_b, &mut m_b);
+    let out_b = parallel.resolve(table, &qe, &mut li_b, &mut m_b).unwrap();
     assert_eq!(out_a.dr, out_b.dr);
     assert_eq!(out_a.new_links, out_b.new_links);
     assert_eq!(m_a.candidate_pairs, m_b.candidate_pairs);

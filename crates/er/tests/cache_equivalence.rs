@@ -152,7 +152,7 @@ fn run_sequence(
     let mut traces = Vec::with_capacity(queries.len());
     for qe in queries {
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(table, qe, &mut li, &mut m);
+        let out = idx.resolve(table, qe, &mut li, &mut m).unwrap();
         traces.push(QueryTrace {
             dr: out.dr,
             new_links: out.new_links,
@@ -254,11 +254,119 @@ fn parallel_cached_scan_matches_uncached() {
     }
 }
 
+/// Bounded resolve caches (CLOCK eviction) never change a decision: a
+/// capped index replays the uncapped index's query traces exactly, while
+/// each cache stays under its entry budget after every query. Tiny caps
+/// force heavy eviction on the large parallel workload.
+#[test]
+fn capped_caches_identical_and_bounded() {
+    let table = large_table(420);
+    let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+    let queries: Vec<&[RecordId]> = vec![&all[..5], &all[..300], &all[..], &all[..300], &all[..5]];
+    for mode in [EpCacheMode::On, EpCacheMode::Prewarm] {
+        let unbounded_cfg = cfg_with(
+            WeightScheme::Ecbs,
+            EdgePruningScope::NodeCentric,
+            MetaBlockingConfig::All,
+            mode,
+            4,
+        );
+        let mut capped_cfg = unbounded_cfg.clone();
+        capped_cfg.ep_cache_cap = 64;
+        capped_cfg.decision_cache_cap = 256;
+
+        let unbounded = TableErIndex::build(&table, &unbounded_cfg);
+        let capped = TableErIndex::build(&table, &capped_cfg);
+        let mut li_u = LinkIndex::new(table.len());
+        let mut li_c = LinkIndex::new(table.len());
+        for (i, qe) in queries.iter().enumerate() {
+            let mut m_u = DedupMetrics::default();
+            let mut m_c = DedupMetrics::default();
+            let out_u = unbounded.resolve(&table, qe, &mut li_u, &mut m_u).unwrap();
+            let out_c = capped.resolve(&table, qe, &mut li_c, &mut m_c).unwrap();
+            assert_eq!(out_c.dr, out_u.dr, "query {i} mode {mode:?}");
+            assert_eq!(out_c.new_links, out_u.new_links, "query {i}");
+            assert_eq!(m_c.comparisons, m_u.comparisons, "query {i}");
+            assert_eq!(m_c.candidate_pairs, m_u.candidate_pairs, "query {i}");
+            assert_eq!(m_c.matches_found, m_u.matches_found, "query {i}");
+
+            let (th, sv, dec) = capped.resolve_cache_sizes();
+            assert!(th <= 64, "threshold cache over budget: {th}");
+            assert!(sv <= 64, "survivor cache over budget: {sv}");
+            assert!(dec <= 256, "decision cache over budget: {dec}");
+        }
+        // The budgets really bit: the unbounded run kept more entries.
+        // (The threshold memo is exempt — prewarmed bulk thresholds are
+        // served from the bulk vector, leaving the memo legitimately
+        // small.)
+        let (_, sv_u, dec_u) = unbounded.resolve_cache_sizes();
+        assert!(sv_u > 64 && dec_u > 256, "caps must be exercised");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: proptest_cases(16),
         .. ProptestConfig::default()
     })]
+
+    /// Entry-capped caches over random tables and query sequences:
+    /// identical per-query traces and final links vs the unbounded
+    /// index, with every cache at or under its budget after each query.
+    #[test]
+    fn capped_query_sequences_identical_to_unbounded(
+        rows in rows(),
+        spec in queries(),
+        scheme in 0usize..3,
+        meta in 0usize..2,
+        ep_cap in 1usize..8,
+        dec_cap in 1usize..64,
+        threads in 1usize..5,
+    ) {
+        let table = build_table(&rows);
+        let qs = concrete_queries(&spec, table.len());
+        let base = cfg_with(
+            scheme_of(scheme),
+            EdgePruningScope::NodeCentric,
+            meta_of(meta),
+            EpCacheMode::On,
+            threads,
+        );
+        let mut capped_cfg = base.clone();
+        capped_cfg.ep_cache_cap = ep_cap;
+        capped_cfg.decision_cache_cap = dec_cap;
+
+        let unbounded = TableErIndex::build(&table, &base);
+        let want = run_sequence(&table, &unbounded, &qs);
+
+        let capped = TableErIndex::build(&table, &capped_cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut traces = Vec::new();
+        for qe in &qs {
+            let mut m = DedupMetrics::default();
+            let out = capped.resolve(&table, qe, &mut li, &mut m).unwrap();
+            traces.push(QueryTrace {
+                dr: out.dr,
+                new_links: out.new_links,
+                comparisons: m.comparisons,
+                candidate_pairs: m.candidate_pairs,
+                matches_found: m.matches_found,
+            });
+            let (th, sv, dec) = capped.resolve_cache_sizes();
+            prop_assert!(th <= ep_cap, "threshold cache {} over cap {}", th, ep_cap);
+            prop_assert!(sv <= ep_cap, "survivor cache {} over cap {}", sv, ep_cap);
+            prop_assert!(dec <= dec_cap, "decision cache {} over cap {}", dec, dec_cap);
+        }
+        prop_assert_eq!(&traces, &want.0, "capped traces diverged");
+        let n = table.len() as RecordId;
+        let mut links = Vec::with_capacity((n * n) as usize);
+        for a in 0..n {
+            for b in 0..n {
+                links.push(li.are_linked(a, b));
+            }
+        }
+        prop_assert_eq!(&links, &want.1, "capped final links diverged");
+    }
 
     /// Sequences of overlapping point + range queries produce identical
     /// per-query DR sets, links, and decision counts in every cache mode
@@ -323,7 +431,7 @@ proptest! {
         let mut warm_traces = Vec::new();
         for qe in &qs {
             let mut m = DedupMetrics::default();
-            let out = idx.resolve(&table, qe, &mut li, &mut m);
+            let out = idx.resolve(&table, qe, &mut li, &mut m).unwrap();
             prop_assert_eq!(m.ep_cache_misses, 0, "survivor lists must all be hot");
             prop_assert_eq!(m.decision_cache_misses, 0, "decisions must all be hot");
             warm_traces.push(QueryTrace {

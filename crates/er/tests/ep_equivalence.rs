@@ -280,11 +280,11 @@ proptest! {
 
         let mut li_bulk = LinkIndex::new(table.len());
         let mut m_bulk = DedupMetrics::default();
-        let out_bulk = bulk_idx.resolve(&table, &qe, &mut li_bulk, &mut m_bulk);
+        let out_bulk = bulk_idx.resolve(&table, &qe, &mut li_bulk, &mut m_bulk).unwrap();
 
         let mut li_lazy = LinkIndex::new(table.len());
         let mut m_lazy = DedupMetrics::default();
-        let out_lazy = lazy_idx.resolve(&table, &qe, &mut li_lazy, &mut m_lazy);
+        let out_lazy = lazy_idx.resolve(&table, &qe, &mut li_lazy, &mut m_lazy).unwrap();
 
         prop_assert_eq!(&out_bulk.dr, &out_lazy.dr, "DR sets diverged (qe {:?})", &qe);
         prop_assert_eq!(out_bulk.new_links, out_lazy.new_links);

@@ -1,0 +1,318 @@
+//! Fault-injection proof of the resolver's panic isolation (requires
+//! `--features failpoints`).
+//!
+//! Each test arms one failpoint site planted inside a `thread::scope`
+//! fan-out (or at a stage boundary), drives a resolve into it, and
+//! asserts the contract the governance layer promises:
+//!
+//! - a panicking **worker** is consumed at its join and surfaces as
+//!   `ResolveError::WorkerPanicked { stage }` — never an unwinding
+//!   resolve call;
+//! - after the fault (site disarmed), the *same* index serves
+//!   byte-identical decisions to a freshly built one: the shared caches
+//!   only ever hold complete entries, so a lost worker cannot leave
+//!   half-written state behind;
+//! - the one compound mutation (`clear_ep_cache`) poisons the index if
+//!   interrupted mid-flight, and a poisoned index refuses to resolve
+//!   with `ResolveError::Poisoned` instead of serving a half-cleared
+//!   cache hierarchy;
+//! - delay actions (the CI fault-matrix mode) perturb timing only —
+//!   decisions stay bit-identical.
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! one mutex and disarms all sites before releasing it.
+
+#![cfg(feature = "failpoints")]
+#![allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+
+use parking_lot::Mutex;
+use queryer_common::failpoints::{self, FailAction};
+use queryer_er::{
+    DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, ResolveError, ResolveStage,
+    TableErIndex,
+};
+use queryer_storage::{RecordId, Table};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Serializes tests: failpoints are process-global state.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Guard that holds the test lock and disarms every site on drop, so a
+/// failing assertion cannot leak an armed site into the next test.
+struct FaultGuard<'a>(#[allow(dead_code)] parking_lot::MutexGuard<'a, ()>);
+
+impl Drop for FaultGuard<'_> {
+    fn drop(&mut self) {
+        failpoints::disarm_all();
+    }
+}
+
+fn faults() -> FaultGuard<'static> {
+    let guard = FAULT_LOCK.lock();
+    failpoints::disarm_all();
+    FaultGuard(guard)
+}
+
+/// Workload big enough that every parallel fan-out actually spawns:
+/// frontier ≥ the 256-node parallel-scan cutoff and first-round pair
+/// volume ≥ the 1024-pair parallel-comparison cutoff.
+fn workload() -> Table {
+    queryer_datagen::scholarly::dblp_scholar(1000, 7).table
+}
+
+/// All knobs pinned to 4 threads so the scoped fan-outs (and their
+/// failpoints) run on every machine, plus a choice of EP mode.
+fn cfg(mode: EpCacheMode, scope: EdgePruningScope) -> ErConfig {
+    let mut cfg = ErConfig::default();
+    cfg.ep_cache = mode;
+    cfg.ep_scope = scope;
+    cfg.parallelism = 4;
+    cfg.ep_threads = 4;
+    cfg.build_threads = 4;
+    cfg
+}
+
+/// The observable outcome of a full resolve: DR, decision counts, and
+/// the complete link matrix.
+#[derive(Debug, PartialEq)]
+struct Decisions {
+    dr: Vec<RecordId>,
+    comparisons: u64,
+    candidate_pairs: u64,
+    matches_found: u64,
+    links: Vec<bool>,
+}
+
+fn resolve_decisions(idx: &TableErIndex, table: &Table) -> Decisions {
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    let out = idx.resolve_all(table, &mut li, &mut m).unwrap();
+    let n = table.len() as RecordId;
+    let mut links = Vec::with_capacity((n * n) as usize);
+    for a in 0..n {
+        for b in 0..n {
+            links.push(li.are_linked(a, b));
+        }
+    }
+    Decisions {
+        dr: out.dr,
+        comparisons: m.comparisons,
+        candidate_pairs: m.candidate_pairs,
+        matches_found: m.matches_found,
+        links,
+    }
+}
+
+/// After a fault, the injured index must serve byte-identical decisions
+/// to a freshly built one.
+fn assert_serves_like_fresh(injured: &TableErIndex, table: &Table, config: &ErConfig) {
+    let fresh = TableErIndex::build(table, config);
+    let got = resolve_decisions(injured, table);
+    let want = resolve_decisions(&fresh, table);
+    assert_eq!(got, want, "injured index diverged from a fresh build");
+    assert!(got.comparisons > 0, "workload must execute comparisons");
+}
+
+/// One armed-panic round-trip: arm `site`, expect `resolve_all` to
+/// return `WorkerPanicked` at `stage`, disarm, and prove the index still
+/// serves like a fresh one.
+fn assert_worker_panic_isolated(site: &str, config: &ErConfig, stage: ResolveStage) {
+    let table = workload();
+    let idx = TableErIndex::build(&table, config);
+
+    failpoints::arm(site, FailAction::Panic);
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    let err = idx.resolve_all(&table, &mut li, &mut m).unwrap_err();
+    assert_eq!(
+        err,
+        ResolveError::WorkerPanicked { stage },
+        "site {site} must surface as a typed worker panic"
+    );
+    assert!(!idx.is_poisoned(), "worker panics never poison the index");
+
+    failpoints::disarm(site);
+    assert_serves_like_fresh(&idx, &table, config);
+}
+
+#[test]
+fn tokenize_worker_panic_fails_build_with_typed_error() {
+    let _guard = faults();
+    let table = workload();
+    let config = cfg(EpCacheMode::On, EdgePruningScope::NodeCentric);
+
+    failpoints::arm("build.tokenize.worker", FailAction::Panic);
+    let err = TableErIndex::try_build(&table, &config).unwrap_err();
+    assert_eq!(
+        err,
+        ResolveError::WorkerPanicked {
+            stage: ResolveStage::Build
+        }
+    );
+
+    failpoints::disarm("build.tokenize.worker");
+    let idx = TableErIndex::try_build(&table, &config).unwrap();
+    assert_serves_like_fresh(&idx, &table, &config);
+}
+
+#[test]
+fn cbs_worker_panic_fails_build_with_typed_error() {
+    let _guard = faults();
+    let table = workload();
+    // CBS partials are only built for cache-enabled EP configs.
+    let config = cfg(EpCacheMode::On, EdgePruningScope::NodeCentric);
+
+    failpoints::arm("build.cbs.worker", FailAction::Panic);
+    let err = TableErIndex::try_build(&table, &config).unwrap_err();
+    assert_eq!(
+        err,
+        ResolveError::WorkerPanicked {
+            stage: ResolveStage::Build
+        }
+    );
+
+    failpoints::disarm("build.cbs.worker");
+    let idx = TableErIndex::try_build(&table, &config).unwrap();
+    assert_serves_like_fresh(&idx, &table, &config);
+}
+
+#[test]
+fn bulk_sweep_worker_panic_is_isolated() {
+    let _guard = faults();
+    // Prewarm forces the bulk threshold sweep on the first resolve.
+    assert_worker_panic_isolated(
+        "ep.bulk.worker",
+        &cfg(EpCacheMode::Prewarm, EdgePruningScope::NodeCentric),
+        ResolveStage::EdgePruning,
+    );
+}
+
+#[test]
+fn survivor_fill_worker_panic_is_isolated() {
+    let _guard = faults();
+    assert_worker_panic_isolated(
+        "ep.survivors.worker",
+        &cfg(EpCacheMode::On, EdgePruningScope::NodeCentric),
+        ResolveStage::EdgePruning,
+    );
+}
+
+#[test]
+fn bulk_scan_worker_panic_is_isolated() {
+    let _guard = faults();
+    // Cache off routes the full-frontier resolve through the uncached
+    // bulk-threshold scan, whose parallel branch owns this site.
+    assert_worker_panic_isolated(
+        "ep.scan.worker",
+        &cfg(EpCacheMode::Off, EdgePruningScope::NodeCentric),
+        ResolveStage::EdgePruning,
+    );
+}
+
+#[test]
+fn global_scan_worker_panic_is_isolated() {
+    let _guard = faults();
+    assert_worker_panic_isolated(
+        "ep.scan.worker",
+        &cfg(EpCacheMode::Off, EdgePruningScope::Global),
+        ResolveStage::EdgePruning,
+    );
+}
+
+#[test]
+fn comparison_worker_panic_is_isolated() {
+    let _guard = faults();
+    for mode in [EpCacheMode::Off, EpCacheMode::On] {
+        assert_worker_panic_isolated(
+            "cmp.worker",
+            &cfg(mode, EdgePruningScope::NodeCentric),
+            ResolveStage::ComparisonExecution,
+        );
+    }
+}
+
+#[test]
+fn resolver_thread_panic_leaves_index_clean() {
+    let _guard = faults();
+    let table = workload();
+    let config = cfg(EpCacheMode::On, EdgePruningScope::NodeCentric);
+    let idx = TableErIndex::build(&table, &config);
+
+    // "resolve.round" fires on the *caller's* thread, so the panic
+    // unwinds out of resolve_all itself — the shape of a bug in resolver
+    // glue rather than in a worker. The index (and any links applied by
+    // completed rounds) must stay valid.
+    failpoints::arm("resolve.round", FailAction::Panic);
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let _ = idx.resolve_all(&table, &mut li, &mut m);
+    }));
+    assert!(unwound.is_err(), "armed resolve.round must panic");
+    assert!(!idx.is_poisoned());
+
+    failpoints::disarm("resolve.round");
+    assert_serves_like_fresh(&idx, &table, &config);
+}
+
+#[test]
+fn interrupted_cache_clear_poisons_the_index() {
+    let _guard = faults();
+    let table = workload();
+    let config = cfg(EpCacheMode::On, EdgePruningScope::NodeCentric);
+    let idx = TableErIndex::build(&table, &config);
+
+    // Warm the caches so the clear actually has state to tear down.
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    idx.resolve_all(&table, &mut li, &mut m).unwrap();
+
+    // "cache.clear" sits between the EP-threshold clear and the resolve
+    // cache clears — a panic there leaves the hierarchy half-cleared,
+    // which is exactly what the poison latch exists to fence off.
+    failpoints::arm("cache.clear", FailAction::Panic);
+    let unwound = catch_unwind(AssertUnwindSafe(|| idx.clear_ep_cache()));
+    assert!(unwound.is_err(), "armed cache.clear must panic");
+    assert!(idx.is_poisoned(), "interrupted clear must poison");
+
+    failpoints::disarm("cache.clear");
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    let err = idx.resolve_all(&table, &mut li, &mut m).unwrap_err();
+    assert_eq!(err, ResolveError::Poisoned);
+
+    // A completed clear on a healthy index does not poison.
+    let fresh = TableErIndex::build(&table, &config);
+    fresh.clear_ep_cache();
+    assert!(!fresh.is_poisoned());
+}
+
+#[test]
+fn delay_actions_change_no_decisions() {
+    let _guard = faults();
+    let table = workload();
+    let config = cfg(EpCacheMode::On, EdgePruningScope::NodeCentric);
+
+    let baseline = {
+        let idx = TableErIndex::build(&table, &config);
+        resolve_decisions(&idx, &table)
+    };
+
+    // The CI fault-matrix mode: every site armed with a small delay to
+    // widen scheduling windows. Everything must stay bit-identical.
+    for site in [
+        "build.tokenize.worker",
+        "build.cbs.worker",
+        "ep.bulk.worker",
+        "ep.survivors.worker",
+        "ep.scan.worker",
+        "cmp.worker",
+        "resolve.round",
+    ] {
+        failpoints::arm(site, FailAction::Delay(1));
+    }
+    let idx = TableErIndex::build(&table, &config);
+    let delayed = resolve_decisions(&idx, &table);
+    failpoints::disarm_all();
+    assert_eq!(delayed, baseline, "delays must not change decisions");
+}

@@ -306,7 +306,7 @@ proptest! {
 
         let mut li_hot = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&table, &qe, &mut li_hot, &mut m);
+        let out = idx.resolve(&table, &qe, &mut li_hot, &mut m).unwrap();
         prop_assert_eq!(m.qbi_tokenized_records, 0, "hot path must not tokenize");
 
         idx.clear_ep_cache();

@@ -165,7 +165,7 @@ fn parallel_executor_matches_sequential() {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve_all(&table, &mut li, &mut m);
+        let out = idx.resolve_all(&table, &mut li, &mut m).unwrap();
         if workers > 1 {
             assert!(
                 m.candidate_pairs >= 1024,
@@ -266,7 +266,7 @@ proptest! {
             let idx = TableErIndex::build(&table, &cfg);
             let mut li = LinkIndex::new(table.len());
             let mut m = DedupMetrics::default();
-            let out = idx.resolve(&table, &qe, &mut li, &mut m);
+            let out = idx.resolve(&table, &qe, &mut li, &mut m).unwrap();
             let mut links: Vec<(RecordId, RecordId)> = Vec::new();
             for a in 0..table.len() as RecordId {
                 for b in (a + 1)..table.len() as RecordId {

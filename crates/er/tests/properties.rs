@@ -144,14 +144,17 @@ proptest! {
         let er = TableErIndex::build(&t, &cfg);
 
         let mut li_batch = LinkIndex::new(rows);
-        er.resolve_all(&t, &mut li_batch, &mut DedupMetrics::default());
+        er.resolve_all(&t, &mut li_batch, &mut DedupMetrics::default())
+            .unwrap();
 
         let mut li_inc = LinkIndex::new(rows);
         let pivot = rows * split / 10;
         let first: Vec<u32> = (0..pivot as u32).collect();
         let second: Vec<u32> = (pivot as u32..rows as u32).collect();
-        er.resolve(&t, &first, &mut li_inc, &mut DedupMetrics::default());
-        er.resolve(&t, &second, &mut li_inc, &mut DedupMetrics::default());
+        er.resolve(&t, &first, &mut li_inc, &mut DedupMetrics::default())
+            .unwrap();
+        er.resolve(&t, &second, &mut li_inc, &mut DedupMetrics::default())
+            .unwrap();
 
         for a in 0..rows as u32 {
             for b in 0..rows as u32 {
