@@ -15,6 +15,15 @@
 //! must equal the cold ones (cache state never changes decisions), so
 //! `--check` pins both; the governed pass asserts its counts in-process.
 //!
+//! A final **snapshot leg** persists the warm index + resolved Link
+//! Index to a temp file, reopens it, and asserts the reopened index
+//! serves the identical decision counts in-process — the crash-safe
+//! persistence path exercised on the exact pinned workload.
+//! `snapshot_write_ns_median` / `snapshot_open_ns_median` /
+//! `snapshot_file_bytes` are informational: `index_build_ns` vs
+//! `snapshot_open_ns_median` is the cold-start trade-off a deployment
+//! tunes `QUERYER_SNAPSHOT` by.
+//!
 //! Usage: `bench_resolve [OUT_PATH] [--check]` (default
 //! `BENCH_resolve.json` in the current directory). With `--check`, the
 //! decision counts (cold `comparisons` / `candidate_pairs` /
@@ -202,6 +211,45 @@ fn main() {
         assert_eq!(mg.matches_found, last_warm.matches_found);
     }
 
+    // Snapshot leg: persist the warm index + a resolved Link Index,
+    // reopen it, and verify the opened index serves the build path's
+    // exact decision counts. Write/open timings are informational (the
+    // cold-start cost a snapshot saves is `index_build_ns` vs
+    // `snapshot_open_ns_median`).
+    let snap_dir = std::env::temp_dir().join(format!("qer-bench-snap-{}", std::process::id()));
+    let snap_path = queryer_er::snapshot_path(&snap_dir, ds.table.name());
+    let mut snap_li = LinkIndex::new(ds.table.len());
+    let mut snap_m = DedupMetrics::default();
+    er.resolve(&ds.table, &qe, &mut snap_li, &mut snap_m)
+        .expect("snapshot-leg resolve");
+    let mut snap_write_ns = Vec::with_capacity(reps);
+    let mut snap_open_ns = Vec::with_capacity(reps);
+    let mut opened = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        queryer_er::write_index_snapshot(&snap_path, &er, &snap_li, &ds.table)
+            .expect("snapshot write");
+        snap_write_ns.push(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        opened = Some(
+            queryer_er::open_index_snapshot(&snap_path, &ds.table, &cfg).expect("snapshot open"),
+        );
+        snap_open_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    let snapshot_file_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+    let (snap_er, _snap_li) = opened.expect("at least one rep");
+    let mut li_snap = LinkIndex::new(ds.table.len());
+    let mut ms = DedupMetrics::default();
+    snap_er
+        .resolve(&ds.table, &qe, &mut li_snap, &mut ms)
+        .expect("resolve on reopened snapshot");
+    assert_eq!(ms.comparisons, last_warm.comparisons);
+    assert_eq!(ms.candidate_pairs, last_warm.candidate_pairs);
+    assert_eq!(ms.matches_found, last_warm.matches_found);
+    std::fs::remove_dir_all(&snap_dir).ok();
+    let snapshot_write = median_ns(snap_write_ns);
+    let snapshot_open = median_ns(snap_open_ns);
+
     // `comparison_execution` is `DedupMetrics::resolution` ("Resolution"
     // in the paper's Table 6) — named here for the pipeline stage it
     // times, since it is the stage the kernel work targets.
@@ -267,6 +315,9 @@ fn main() {
         "  \"warm_decision_cache_hits\": {},",
         last_warm.decision_cache_hits
     );
+    let _ = writeln!(json, "  \"snapshot_write_ns_median\": {snapshot_write},");
+    let _ = writeln!(json, "  \"snapshot_open_ns_median\": {snapshot_open},");
+    let _ = writeln!(json, "  \"snapshot_file_bytes\": {snapshot_file_bytes},");
     let _ = writeln!(
         json,
         "  \"governed_warm_total_ns_median\": {governed_total},"
@@ -299,6 +350,14 @@ fn main() {
     // (informational): the governed pass carries a deadline, comparison
     // cap and cancel token that never trip, so this is the pure cost of
     // the polls and batch splits.
+    // Snapshot economics (informational): open-vs-build is the cold
+    // start a snapshot trades for write-time fsyncs. At this small
+    // pinned scale the build is cheap enough that opening (which also
+    // restores the warm caches) can cost more than building cold.
+    println!(
+        "snapshot: write {snapshot_write} ns, open {snapshot_open} ns, \
+         build {build_ns} ns, file {snapshot_file_bytes} bytes",
+    );
     println!(
         "governance overhead (warm): {:+.1}% ({} ns vs {} ns)",
         if warm_total > 0 {

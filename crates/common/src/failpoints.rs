@@ -53,6 +53,22 @@ pub fn fire(site: &str) {
     let _ = site;
 }
 
+/// Returns whether `site` is currently armed. Always `false` without
+/// the `failpoints` feature. Lets code *branch* on an armed fault
+/// (e.g. the snapshot writer deliberately truncating its payload for
+/// the torn-write test) instead of only panicking/sleeping at it.
+pub fn is_armed(site: &str) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        imp::is_armed(site)
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
 /// Arms `site` with `action`. No-op without the `failpoints` feature.
 pub fn arm(site: &str, action: FailAction) {
     #[cfg(feature = "failpoints")]
@@ -132,15 +148,28 @@ mod imp {
         }
     }
 
+    pub(super) fn is_armed(site: &str) -> bool {
+        init_from_env();
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        with_registry(|m| m.contains_key(site))
+    }
+
     pub(super) fn arm(site: &str, action: FailAction) {
+        // Drain the env spec first so a later `fire` can't resurrect
+        // sites a test already disarmed.
+        init_from_env();
         with_registry(|m| m.insert(site.to_string(), action));
     }
 
     pub(super) fn disarm(site: &str) {
+        init_from_env();
         with_registry(|m| m.remove(site));
     }
 
     pub(super) fn disarm_all() {
+        init_from_env();
         with_registry(|m| m.clear());
     }
 }

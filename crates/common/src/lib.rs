@@ -11,6 +11,7 @@
 //! timing.
 
 pub mod cancel;
+pub mod checksum;
 pub mod csr;
 pub mod failpoints;
 pub mod fxhash;
@@ -21,10 +22,11 @@ pub mod sharded;
 pub mod timing;
 
 pub use cancel::CancelToken;
+pub use checksum::{crc32c, fnv1a64, Crc32c, Fnv64};
 pub use csr::Csr;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Symbol, TokenArena, TokenInterner};
-pub use knobs::EpCacheMode;
+pub use knobs::{EpCacheMode, SnapshotMode};
 pub use pairkey::{pack_pair, unpack_pair, PairSet};
 pub use sharded::ShardedMap;
 pub use timing::Stopwatch;

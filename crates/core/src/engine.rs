@@ -117,9 +117,8 @@ impl QueryEngine {
                 table.name()
             )));
         }
-        let er = TableErIndex::build(&table, &self.cfg);
+        let (er, li) = self.open_or_build(&table)?;
         let stats = compute_table_stats(&table, &er);
-        let li = LinkIndex::new(table.len());
         let idx = self.tables.len();
         self.tables.push(RegisteredTable {
             table: Arc::new(table),
@@ -130,6 +129,39 @@ impl QueryEngine {
         });
         self.by_name.insert(name, idx);
         Ok(idx)
+    }
+
+    /// Obtains a table's ER index + Link Index: from the on-disk
+    /// snapshot when the snapshot layer is on and the file validates,
+    /// otherwise by building from the table.
+    ///
+    /// Any open failure — missing file, truncation, checksum mismatch,
+    /// version skew, stale content — degrades to a rebuild under
+    /// `QUERYER_SNAPSHOT=on` (re-persisting best-effort: a *write*
+    /// failure never fails registration either), and surfaces as
+    /// [`CoreError::Snapshot`] under `QUERYER_SNAPSHOT=required`.
+    fn open_or_build(&self, table: &Table) -> Result<(TableErIndex, LinkIndex)> {
+        let mode = queryer_common::knobs::snapshot_mode();
+        if !mode.enabled() {
+            return Ok((
+                TableErIndex::build(table, &self.cfg),
+                LinkIndex::new(table.len()),
+            ));
+        }
+        let dir = queryer_common::knobs::snapshot_dir();
+        let path = queryer_er::snapshot::snapshot_path(&dir, table.name());
+        match queryer_er::open_index_snapshot(&path, table, &self.cfg) {
+            Ok(opened) => Ok(opened),
+            Err(e) => {
+                if mode == queryer_common::SnapshotMode::Required {
+                    return Err(CoreError::Snapshot(e));
+                }
+                let er = TableErIndex::build(table, &self.cfg);
+                let li = LinkIndex::new(table.len());
+                let _ = queryer_er::write_index_snapshot(&path, &er, &li, table);
+                Ok((er, li))
+            }
+        }
     }
 
     /// Registers a table parsed from CSV text (header row, inferred

@@ -11,6 +11,10 @@ pub enum CoreError {
     Sql(queryer_sql::SqlError),
     /// Engine-level planning or execution failure.
     Plan(String),
+    /// A snapshot open failed under `QUERYER_SNAPSHOT=required` — the
+    /// deployment asked to *notice* a missing/stale/corrupt snapshot
+    /// instead of silently absorbing a rebuild.
+    Snapshot(queryer_storage::SnapshotError),
 }
 
 impl fmt::Display for CoreError {
@@ -19,6 +23,7 @@ impl fmt::Display for CoreError {
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Sql(e) => write!(f, "sql error: {e}"),
             CoreError::Plan(m) => write!(f, "plan error: {m}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot required but unusable: {e}"),
         }
     }
 }
@@ -29,6 +34,7 @@ impl std::error::Error for CoreError {
             CoreError::Storage(e) => Some(e),
             CoreError::Sql(e) => Some(e),
             CoreError::Plan(_) => None,
+            CoreError::Snapshot(e) => Some(e),
         }
     }
 }

@@ -1,0 +1,167 @@
+//! Engine-level snapshot modes: `QUERYER_SNAPSHOT=off|on|required`.
+//!
+//! `register_table` routes through the open-or-build path, which reads
+//! the mode and directory knobs from the environment. The environment
+//! is process-global, so every test here serializes on one mutex,
+//! scopes its variables through a guard, and this file is the *only*
+//! test binary in the workspace that sets the snapshot knobs.
+
+use parking_lot::Mutex;
+use queryer_core::engine::QueryEngine;
+use queryer_core::CoreError;
+use queryer_er::ErConfig;
+use queryer_storage::{Schema, Table, Value};
+use std::path::PathBuf;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the env lock, sets the snapshot knobs, and restores (removes)
+/// them on drop — a panicking assertion can't leak them into another
+/// test body.
+struct SnapshotEnv<'a> {
+    _guard: parking_lot::MutexGuard<'a, ()>,
+    dir: PathBuf,
+}
+
+impl SnapshotEnv<'_> {
+    fn new(mode: &str, tag: &str) -> Self {
+        let guard = ENV_LOCK.lock();
+        // CI's snapshot-matrix legs arm snapshot failpoint sites
+        // process-wide via QUERYER_FAILPOINT; these tests assert exact
+        // open/persist outcomes, so they must run with clean I/O.
+        // Disarm is surgical (other sites keep their env arming) and a
+        // no-op when the failpoints feature is off.
+        for site in [
+            "snapshot.write.torn",
+            "snapshot.write.crash-before-rename",
+            "snapshot.open.short-read",
+        ] {
+            queryer_common::failpoints::disarm(site);
+        }
+        let dir =
+            std::env::temp_dir().join(format!("qer-snap-engine-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::env::set_var("QUERYER_SNAPSHOT", mode);
+        std::env::set_var("QUERYER_SNAPSHOT_DIR", &dir);
+        SnapshotEnv { _guard: guard, dir }
+    }
+
+    fn set_mode(&self, mode: &str) {
+        std::env::set_var("QUERYER_SNAPSHOT", mode);
+    }
+}
+
+impl Drop for SnapshotEnv<'_> {
+    fn drop(&mut self) {
+        std::env::remove_var("QUERYER_SNAPSHOT");
+        std::env::remove_var("QUERYER_SNAPSHOT_DIR");
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Small dirty table: one duplicate cluster {0, 1} plus singletons.
+fn pubs() -> Table {
+    let rows = [
+        ("collective entity resolution", "edbt"),
+        ("collective entity resolution", "edbt"),
+        ("entity resolution on big data", "sigmod"),
+        ("query optimization survey", "vldb"),
+    ];
+    let mut t = Table::new("pubs", Schema::of_strings(&["id", "title", "venue"]));
+    for (i, (title, venue)) in rows.iter().enumerate() {
+        t.push_row(vec![
+            format!("{i}").into(),
+            Value::str(*title),
+            Value::str(*venue),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+#[test]
+fn off_mode_touches_no_files() {
+    let env = SnapshotEnv::new("off", "off");
+    let mut engine = QueryEngine::new(ErConfig::default());
+    engine.register_table(pubs()).expect("register");
+    assert!(
+        !env.dir.exists(),
+        "off mode must not create the snapshot directory"
+    );
+}
+
+#[test]
+fn on_mode_persists_then_reopens_and_heals_corruption() {
+    let env = SnapshotEnv::new("on", "on");
+    let cfg = ErConfig::default();
+    let table = pubs();
+    let path = queryer_er::snapshot_path(&env.dir, table.name());
+
+    // First registration: cache miss → build + persist.
+    let mut engine = QueryEngine::new(cfg.clone());
+    engine.register_table(table.clone()).expect("register");
+    assert!(path.exists(), "on mode must persist the index");
+    queryer_er::open_index_snapshot(&path, &table, &cfg).expect("persisted snapshot must open");
+
+    // Second engine: warm start off the same file.
+    let mut engine2 = QueryEngine::new(cfg.clone());
+    engine2
+        .register_table(table.clone())
+        .expect("warm register");
+
+    // Corrupt the file: registration must still succeed (fallback to
+    // rebuild) and must heal the snapshot by re-persisting it.
+    let mut image = std::fs::read(&path).unwrap();
+    let mid = image.len() / 2;
+    image[mid] ^= 0x40;
+    std::fs::write(&path, &image).unwrap();
+    assert!(
+        queryer_er::open_index_snapshot(&path, &table, &cfg).is_err(),
+        "corrupted file must not open"
+    );
+    let mut engine3 = QueryEngine::new(cfg.clone());
+    engine3
+        .register_table(table.clone())
+        .expect("corrupt snapshot must degrade to rebuild");
+    queryer_er::open_index_snapshot(&path, &table, &cfg)
+        .expect("fallback registration must re-persist a valid snapshot");
+}
+
+#[test]
+fn required_mode_surfaces_missing_or_corrupt_snapshots() {
+    let env = SnapshotEnv::new("required", "required");
+    let cfg = ErConfig::default();
+    let table = pubs();
+    let path = queryer_er::snapshot_path(&env.dir, table.name());
+
+    // No snapshot yet: required mode refuses to absorb the rebuild.
+    let mut engine = QueryEngine::new(cfg.clone());
+    match engine.register_table(table.clone()) {
+        Err(CoreError::Snapshot(_)) => {}
+        other => panic!("required mode without a snapshot must fail, got {other:?}"),
+    }
+
+    // Seed a snapshot via on mode, then required mode succeeds.
+    env.set_mode("on");
+    let mut seeder = QueryEngine::new(cfg.clone());
+    seeder.register_table(table.clone()).expect("seed register");
+    env.set_mode("required");
+    let mut engine2 = QueryEngine::new(cfg.clone());
+    engine2
+        .register_table(table.clone())
+        .expect("required mode with a valid snapshot");
+
+    // Corrupt it: required mode surfaces the typed failure.
+    let mut image = std::fs::read(&path).unwrap();
+    let last = image.len() - 1;
+    image[last] ^= 0x01;
+    std::fs::write(&path, &image).unwrap();
+    let mut engine3 = QueryEngine::new(cfg);
+    match engine3.register_table(table) {
+        Err(CoreError::Snapshot(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("checksum"), "unexpected error: {msg}");
+        }
+        other => panic!("required mode with a corrupt snapshot must fail, got {other:?}"),
+    }
+}

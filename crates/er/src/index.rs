@@ -183,9 +183,9 @@ impl CooccurrenceScratch {
 /// (point queries that only examine a few neighbourhoods). When `bulk`
 /// is present it wins — both modes compute bit-identical values.
 #[derive(Debug, Default)]
-struct EpThresholdCache {
-    lazy: FxHashMap<RecordId, f64>,
-    bulk: Option<Arc<Vec<f64>>>,
+pub(crate) struct EpThresholdCache {
+    pub(crate) lazy: FxHashMap<RecordId, f64>,
+    pub(crate) bulk: Option<Arc<Vec<f64>>>,
 }
 
 /// Tag of a weight scheme inside the cross-query cache keys, so one
@@ -215,24 +215,24 @@ pub(crate) fn scheme_node_key(scheme: WeightScheme, e: RecordId) -> u64 {
 /// [`ErConfig::decision_cache_cap`]): evicting an entry only ever costs
 /// recomputation.
 #[derive(Debug, Default)]
-struct ResolveCache {
+pub(crate) struct ResolveCache {
     /// Node-centric EP threshold per `(scheme, node)` — filled as query
     /// frontiers first touch a node (or its neighbours).
-    thresholds: ShardedMap<f64>,
+    pub(crate) thresholds: ShardedMap<f64>,
     /// Surviving neighbours per `(scheme, node)`, in the first-touch
     /// scan order of [`TableErIndex::cooccurrences_into`] — exactly the
     /// edges node-centric EP keeps for that node, so a warm frontier
     /// scan never re-weights an edge.
-    survivors: ShardedMap<Arc<[RecordId]>>,
+    pub(crate) survivors: ShardedMap<Arc<[RecordId]>>,
     /// Comparison decision per packed unordered pair
     /// ([`queryer_common::pack_pair`]).
-    decisions: ShardedMap<bool>,
+    pub(crate) decisions: ShardedMap<bool>,
 }
 
 impl ResolveCache {
     /// Builds the three maps with the config's entry budgets (`0` =
     /// unbounded, the historical behaviour).
-    fn for_config(cfg: &ErConfig) -> Self {
+    pub(crate) fn for_config(cfg: &ErConfig) -> Self {
         Self {
             thresholds: ShardedMap::bounded(cfg.ep_cache_cap),
             survivors: ShardedMap::bounded(cfg.ep_cache_cap),
@@ -249,57 +249,57 @@ impl ResolveCache {
 /// scan is a contiguous slice sweep with no per-row heap indirection.
 #[derive(Debug)]
 pub struct TableErIndex {
-    cfg: ErConfig,
-    skip_col: Option<usize>,
-    n_records: usize,
+    pub(crate) cfg: ErConfig,
+    pub(crate) skip_col: Option<usize>,
+    pub(crate) n_records: usize,
     /// Block key (token) per block.
-    keys: Vec<String>,
+    pub(crate) keys: Vec<String>,
     /// Token → block id (the TBI hash index).
-    key_to_block: FxHashMap<String, BlockId>,
+    pub(crate) key_to_block: FxHashMap<String, BlockId>,
     /// Full block contents (pre meta-blocking), ids ascending.
-    raw_blocks: Csr<RecordId>,
+    pub(crate) raw_blocks: Csr<RecordId>,
     /// Table-level Block Purging decision per block.
-    purged: Vec<bool>,
+    pub(crate) purged: Vec<bool>,
     /// The BP cardinality threshold (`u64::MAX` = nothing purged).
-    purge_threshold: u64,
+    pub(crate) purge_threshold: u64,
     /// Block contents after BP + BF: the entities that *retain* the block.
     /// Empty for purged blocks. Ids ascending.
-    filtered_blocks: Csr<RecordId>,
+    pub(crate) filtered_blocks: Csr<RecordId>,
     /// ITBI: per record, its blocks sorted ascending by (size, id).
-    entity_blocks: Csr<BlockId>,
+    pub(crate) entity_blocks: Csr<BlockId>,
     /// Per record, the retained (post BP+BF) prefix of `entity_blocks`.
-    entity_retained: Csr<BlockId>,
+    pub(crate) entity_retained: Csr<BlockId>,
     /// Interner over the table's profile tokens.
-    interner: TokenInterner,
+    pub(crate) interner: TokenInterner,
     /// Per record, its sorted interned profile-token slice.
-    profile_tokens: TokenArena,
+    pub(crate) profile_tokens: TokenArena,
     /// Per record × column (stride = schema width), the pre-lowercased
     /// rendered attribute text; `None` for NULLs and the id column.
-    lower_attrs: Vec<Option<Box<str>>>,
+    pub(crate) lower_attrs: Vec<Option<Box<str>>>,
     /// Per record × column (same stride), kernel-ready attribute
     /// metadata (char lengths, Winkler prefix bytes) for the compiled
     /// comparison kernels' upper bounds.
-    attr_meta: Vec<AttrMeta>,
+    pub(crate) attr_meta: Vec<AttrMeta>,
     /// Schema width (the `lower_attrs` stride).
-    n_cols: usize,
+    pub(crate) n_cols: usize,
     /// Node-centric Edge Pruning thresholds (bulk vector or lazy map).
-    ep_thresholds: Mutex<EpThresholdCache>,
+    pub(crate) ep_thresholds: Mutex<EpThresholdCache>,
     /// Weight-scheme-independent CBS partials, built once at index time
     /// when the config runs Edge Pruning: per node, its distinct
     /// co-occurring entities with their common-block counts, in the
     /// first-touch order of [`TableErIndex::cooccurrences_into`]. With
     /// this in place every neighbourhood "scan" is a contiguous row
     /// read, and per-scheme node thresholds are a cheap finishing pass.
-    cbs_adj: Option<Csr<(RecordId, u32)>>,
+    pub(crate) cbs_adj: Option<Csr<(RecordId, u32)>>,
     /// The cross-query resolve cache (thresholds / survivors /
     /// decisions), active when `cfg.ep_cache` enables it.
-    resolve_cache: ResolveCache,
+    pub(crate) resolve_cache: ResolveCache,
     /// Set when a panic unwound through this index's own cache
     /// maintenance ([`TableErIndex::clear_ep_cache`]); every later
     /// resolve then returns [`ResolveError::Poisoned`]. Worker panics
     /// during resolve never set this — workers publish only complete
     /// cache entries, so the index stays sound (see `crate::govern`).
-    poisoned: AtomicBool,
+    pub(crate) poisoned: AtomicBool,
 }
 
 impl TableErIndex {

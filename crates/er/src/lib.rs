@@ -140,6 +140,7 @@ pub mod metrics;
 pub mod purging;
 pub mod resolver;
 pub mod similarity;
+pub mod snapshot;
 pub mod tokenizer;
 pub mod union_find;
 
@@ -155,4 +156,7 @@ pub use matching::{Matcher, TokenizerScratch};
 pub use metrics::DedupMetrics;
 pub use queryer_common::CancelToken;
 pub use resolver::ResolveOutcome;
+pub use snapshot::{
+    content_fingerprint, open_index_snapshot, snapshot_path, write_index_snapshot, SnapshotError,
+};
 pub use union_find::UnionFind;

@@ -12,9 +12,9 @@ use queryer_storage::RecordId;
 /// Per-table link index: resolved flags + symmetric link adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct LinkIndex {
-    resolved: Vec<bool>,
-    adj: FxHashMap<RecordId, Vec<RecordId>>,
-    n_links: usize,
+    pub(crate) resolved: Vec<bool>,
+    pub(crate) adj: FxHashMap<RecordId, Vec<RecordId>>,
+    pub(crate) n_links: usize,
 }
 
 impl LinkIndex {

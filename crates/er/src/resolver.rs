@@ -378,6 +378,15 @@ impl TableErIndex {
     /// `frontier` entries must be distinct (the resolve loop always
     /// deduplicates): the scans assign each edge to its first-scanned
     /// endpoint, and a repeated entity would own its edges twice.
+    ///
+    /// `pair_seen` carries already-emitted pairs across calls; emitted
+    /// pairs are recorded into it — except on the cached path's
+    /// resolve-all shape (empty `pair_seen`, frontier spanning the whole
+    /// table), where rank ownership performs the dedup and nothing is
+    /// inserted. That shape exhausts every pair the index can emit, and
+    /// the resolve loop marks its whole frontier resolved, so no later
+    /// round can replay one of its pairs (pinned by
+    /// `tests/ep_equivalence.rs`).
     pub fn edge_pruned_pairs(
         &self,
         frontier: &[RecordId],
@@ -477,6 +486,17 @@ impl TableErIndex {
     /// a survival-filtered neighbourhood, so the pair sequence is
     /// bit-identical to the uncached modes (pinned by
     /// `tests/cache_equivalence.rs`).
+    ///
+    /// For the resolve-all shape — a duplicate-free frontier spanning
+    /// the whole table with no pairs seen yet — the warm replay skips
+    /// the per-surviving-edge `PairSet` hash insert entirely: the
+    /// frontier-rank ownership rule (each edge emitted only by its
+    /// lower-rank endpoint, the same rule the bulk path uses) performs
+    /// the dedup with two array loads per edge. The emitted sequence is
+    /// bit-identical to the insert-probing loop (pinned by
+    /// `tests/ep_equivalence.rs`), and later rounds are unaffected: a
+    /// full-table round resolves every record, so no subsequent
+    /// frontier can replay one of its pairs.
     fn node_centric_pairs_cached(
         &self,
         frontier: &[RecordId],
@@ -499,6 +519,17 @@ impl TableErIndex {
                 Governed::Interrupted(stop) => return Ok(Governed::Interrupted(stop)),
             }
         }
+        // Resolve-all fast path: rank-ownership dedup instead of a
+        // `PairSet` insert per surviving edge. Only sound when no pair
+        // has been recorded yet (nothing to dedup against) and the
+        // frontier covers every record without duplicates (so every
+        // edge endpoint has a rank and each edge one unambiguous
+        // owner); anything else falls back to the insert-probing loop.
+        let replay_ranks = if pair_seen.is_empty() && frontier.len() == self.n_records() {
+            self.distinct_frontier_ranks(frontier)
+        } else {
+            None
+        };
         let ctx = EpCacheCtx::new(self);
         let workers = self.config().effective_ep_threads();
         if workers > 1 && frontier.len() >= PAR_MIN_FRONTIER {
@@ -544,12 +575,25 @@ impl TableErIndex {
                 metrics.ep_cache_misses += misses;
             }
             let mut out = Vec::new();
-            for &q in frontier {
-                // Guaranteed hit after the fill pass; not re-counted.
-                let (surv, _) = ctx.survivors(q);
-                for &c in surv.iter() {
-                    if pair_seen.insert(q, c) {
+            if let Some(rank) = &replay_ranks {
+                for &q in frontier {
+                    // Guaranteed hit after the fill pass; not re-counted.
+                    let (surv, _) = ctx.survivors(q);
+                    let rq = rank[q as usize];
+                    for &c in surv.iter() {
+                        if rank[c as usize] < rq {
+                            continue;
+                        }
                         out.push((q, c));
+                    }
+                }
+            } else {
+                for &q in frontier {
+                    let (surv, _) = ctx.survivors(q);
+                    for &c in surv.iter() {
+                        if pair_seen.insert(q, c) {
+                            out.push((q, c));
+                        }
                     }
                 }
             }
@@ -563,13 +607,43 @@ impl TableErIndex {
             } else {
                 metrics.ep_cache_misses += 1;
             }
-            for &c in surv.iter() {
-                if pair_seen.insert(q, c) {
-                    out.push((q, c));
+            match &replay_ranks {
+                Some(rank) => {
+                    let rq = rank[q as usize];
+                    for &c in surv.iter() {
+                        if rank[c as usize] < rq {
+                            continue;
+                        }
+                        out.push((q, c));
+                    }
+                }
+                None => {
+                    for &c in surv.iter() {
+                        if pair_seen.insert(q, c) {
+                            out.push((q, c));
+                        }
+                    }
                 }
             }
         }
         Ok(Governed::Done(out))
+    }
+
+    /// [`TableErIndex::frontier_ranks`], but `None` when the frontier
+    /// contains a duplicate — the resolve loop always deduplicates its
+    /// frontiers, but the public `edge_pruned_pairs` API does not
+    /// promise it, and rank ownership would emit a duplicated node's
+    /// edges twice.
+    fn distinct_frontier_ranks(&self, frontier: &[RecordId]) -> Option<Vec<u32>> {
+        let mut rank = vec![u32::MAX; self.n_records()];
+        for (i, &q) in frontier.iter().enumerate() {
+            let slot = &mut rank[q as usize];
+            if *slot != u32::MAX {
+                return None;
+            }
+            *slot = i as u32;
+        }
+        Some(rank)
     }
 
     /// Frontier scan positions: `rank[e]` is the index of `e`'s first

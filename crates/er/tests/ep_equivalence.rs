@@ -176,6 +176,75 @@ fn parallel_frontier_scan_matches_sequential() {
     }
 }
 
+/// The cached path's resolve-all fast path — rank-ownership dedup with
+/// no per-surviving-edge `PairSet` insert — emits the exact pair
+/// sequence of the insert-probing loop, sequentially and across the
+/// parallel fan-out. Seeding the carried set with the self-pair
+/// `(0, 0)` forces the insert-probing loop (a non-empty `pair_seen`
+/// disables the fast path) without perturbing output, since EP
+/// survivor lists never contain self-pairs.
+#[test]
+fn resolve_all_fast_path_matches_insert_probing() {
+    let table = large_table(420);
+    let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+    for scheme in [WeightScheme::Cbs, WeightScheme::Ecbs, WeightScheme::Js] {
+        for threads in [1usize, 4] {
+            let mut cfg = ErConfig::default().with_meta(MetaBlockingConfig::All);
+            cfg.weight_scheme = scheme;
+            cfg.ep_threads = threads;
+            // `ep_cache` stays default-enabled: the fast path lives on
+            // the cached scan only.
+            let idx = TableErIndex::build(&table, &cfg);
+
+            let mut fresh = PairSet::new();
+            let fast = idx.edge_pruned_pairs(&all, &mut fresh);
+            // The fast path performs no inserts — an empty carried set
+            // after a full-table scan proves it actually ran (and pins
+            // the documented `pair_seen` contract for this shape).
+            assert!(
+                fresh.is_empty(),
+                "fast path must not populate pair_seen (scheme {scheme:?} threads {threads})"
+            );
+
+            let mut seeded = PairSet::new();
+            seeded.insert(0, 0);
+            let classic = idx.edge_pruned_pairs(&all, &mut seeded);
+            assert!(seeded.len() > 1, "classic path must record its pairs");
+
+            assert_eq!(fast, classic, "scheme {scheme:?} threads {threads}");
+            assert!(!fast.is_empty(), "workload must generate pairs");
+        }
+    }
+}
+
+/// A full-length frontier containing a duplicate must fall back to the
+/// insert-probing loop — rank ownership would emit the duplicated
+/// node's edges twice. The trailing duplicate contributes nothing the
+/// insert-probing loop hasn't already recorded, so the emission equals
+/// the duplicate-free prefix's run exactly.
+#[test]
+fn duplicate_full_frontier_falls_back_to_classic() {
+    let table = large_table(420);
+    let n = table.len();
+    let cfg = ErConfig::default().with_meta(MetaBlockingConfig::All);
+    let idx = TableErIndex::build(&table, &cfg);
+    // Same length as the table, but record 0 appears twice and the last
+    // record never: `frontier.len() == n_records` holds, distinctness
+    // does not.
+    let mut dup: Vec<RecordId> = (0..(n - 1) as RecordId).collect();
+    dup.push(0);
+    let mut seen_dup = PairSet::new();
+    let pairs_dup = idx.edge_pruned_pairs(&dup, &mut seen_dup);
+    assert!(
+        !seen_dup.is_empty(),
+        "duplicate frontier must take the insert-probing loop"
+    );
+    let mut seen_prefix = PairSet::new();
+    let pairs_prefix = idx.edge_pruned_pairs(&dup[..n - 1], &mut seen_prefix);
+    assert_eq!(pairs_dup, pairs_prefix);
+    assert!(!pairs_dup.is_empty(), "workload must generate pairs");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: proptest_cases(16),

@@ -4,14 +4,16 @@
 //! parquet) or a relational table, although no PKs and FKs are considered"
 //! (Sec. 4). This crate provides exactly that model: dynamically-typed
 //! [`Value`]s, [`Schema`]s, row-oriented [`Table`]s whose records are
-//! addressed by dense [`RecordId`]s, a from-scratch CSV reader/writer, and
-//! a small [`Catalog`].
+//! addressed by dense [`RecordId`]s, a from-scratch CSV reader/writer, a
+//! small [`Catalog`], and the crash-safe sectioned [`snapshot`]
+//! container the persistent ER index serializes into.
 
 pub mod catalog;
 pub mod csv;
 pub mod error;
 pub mod record;
 pub mod schema;
+pub mod snapshot;
 pub mod table;
 pub mod value;
 
@@ -19,5 +21,6 @@ pub use catalog::Catalog;
 pub use error::{Result, StorageError};
 pub use record::{Record, RecordId};
 pub use schema::{DataType, Field, Schema};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use table::Table;
 pub use value::Value;
