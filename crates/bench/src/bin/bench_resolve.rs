@@ -224,6 +224,7 @@ fn main() {
         .expect("snapshot-leg resolve");
     let mut snap_write_ns = Vec::with_capacity(reps);
     let mut snap_open_ns = Vec::with_capacity(reps);
+    let mut snap_open_nocache_ns = Vec::with_capacity(reps);
     let mut opened = None;
     for _ in 0..reps {
         let t0 = Instant::now();
@@ -235,6 +236,13 @@ fn main() {
             queryer_er::open_index_snapshot(&snap_path, &ds.table, &cfg).expect("snapshot open"),
         );
         snap_open_ns.push(t0.elapsed().as_nanos() as u64);
+        // Caches-off open (the `QUERYER_SNAPSHOT_CACHES=off` variant):
+        // skips decoding the warm-cache sections entirely — the
+        // fastest-open / coldest-serve end of the snapshot trade-off.
+        let t0 = Instant::now();
+        let _ = queryer_er::open_index_snapshot_with_caches(&snap_path, &ds.table, &cfg, false)
+            .expect("snapshot open without caches");
+        snap_open_nocache_ns.push(t0.elapsed().as_nanos() as u64);
     }
     let snapshot_file_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
     let (snap_er, _snap_li) = opened.expect("at least one rep");
@@ -249,6 +257,7 @@ fn main() {
     std::fs::remove_dir_all(&snap_dir).ok();
     let snapshot_write = median_ns(snap_write_ns);
     let snapshot_open = median_ns(snap_open_ns);
+    let snapshot_open_nocache = median_ns(snap_open_nocache_ns);
 
     // `comparison_execution` is `DedupMetrics::resolution` ("Resolution"
     // in the paper's Table 6) — named here for the pipeline stage it
@@ -317,6 +326,10 @@ fn main() {
     );
     let _ = writeln!(json, "  \"snapshot_write_ns_median\": {snapshot_write},");
     let _ = writeln!(json, "  \"snapshot_open_ns_median\": {snapshot_open},");
+    let _ = writeln!(
+        json,
+        "  \"snapshot_open_nocache_ns_median\": {snapshot_open_nocache},"
+    );
     let _ = writeln!(json, "  \"snapshot_file_bytes\": {snapshot_file_bytes},");
     let _ = writeln!(
         json,
@@ -355,8 +368,9 @@ fn main() {
     // pinned scale the build is cheap enough that opening (which also
     // restores the warm caches) can cost more than building cold.
     println!(
-        "snapshot: write {snapshot_write} ns, open {snapshot_open} ns, \
-         build {build_ns} ns, file {snapshot_file_bytes} bytes",
+        "snapshot: write {snapshot_write} ns, open {snapshot_open} ns \
+         (caches off: {snapshot_open_nocache} ns), build {build_ns} ns, \
+         file {snapshot_file_bytes} bytes",
     );
     println!(
         "governance overhead (warm): {:+.1}% ({} ns vs {} ns)",

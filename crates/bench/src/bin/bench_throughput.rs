@@ -1,0 +1,444 @@
+//! Concurrent-serving throughput benchmark: W worker threads drain a
+//! seeded mixed query stream (point / range / resolve-all shapes)
+//! against ONE shared `TableErIndex` + `RwLock<LinkIndex>` through the
+//! shared-LI resolve path, and the results land in
+//! `BENCH_throughput.json`.
+//!
+//! The stream runs **warm**: a serial warm-up first resolves the whole
+//! table, so every stream query is served from the Link Index (zero
+//! comparisons, closure reads only) and its answer is a pure function
+//! of the stream — deterministic at any worker count. That is what
+//! makes the benchmark checkable: the warm-up decision counts and the
+//! stream's aggregate row/decision totals are pinned by `--check`,
+//! and every leg asserts in-process that each query's per-query
+//! decisions (comparison count, match count, DR set) are identical to
+//! a serial reference drain of the same stream.
+//!
+//! Timings — QPS per leg, p50/p99 latency, accumulated lock-wait —
+//! are informational, never gated: per the repo's bench discipline,
+//! `--check` pins counts only, so the gate cannot flake on runner
+//! speed. Scaling (the 4-worker vs 1-worker QPS ratio this PR targets)
+//! is only meaningful on multi-core runners; on a 1-core box every
+//! leg serializes and the ratio hovers around 1.0, which the JSON
+//! records via `host_cores`.
+//!
+//! Usage: `bench_throughput [OUT_PATH] [--check] [--workers LIST]`
+//! (default `BENCH_throughput.json`, legs `1,2,4`). `--workers 2` or
+//! `--workers 1,2,4` overrides the leg list, as does the
+//! `QUERYER_SERVE_THREADS` knob (flag wins). `QUERYER_BENCH_REPS`
+//! overrides the per-leg repetition count (default 7).
+
+use parking_lot::RwLock;
+use queryer_datagen::scholarly;
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_storage::{RecordId, Table, Value};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const RECORDS: usize = 2000;
+const SEED: u64 = 99;
+const STREAM_LEN: usize = 512;
+
+/// The counts `--check` pins (timings are never compared). All are
+/// leg-independent: the warm-up totals and the deterministic aggregate
+/// shape of the serial stream drain.
+const CHECKED_COUNTS: [&str; 6] = [
+    "warmup_comparisons",
+    "warmup_matches_found",
+    "stream_queries",
+    "stream_comparisons_total",
+    "stream_matches_total",
+    "stream_dr_rows_total",
+];
+
+fn median_ns(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn percentile_ns(xs: &mut [u64], p: f64) -> u64 {
+    xs.sort_unstable();
+    let at = ((xs.len() as f64 - 1.0) * p).round() as usize;
+    xs[at]
+}
+
+/// Extracts `"key": <u64>` from the hand-rolled JSON (no serde in the
+/// offline dependency set).
+fn json_u64(s: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = s.find(&pat)? + pat.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Seeded xorshift so the stream is identical on every run and host.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The mixed stream: 60% point lookups, ~35% year-range scans, ~5%
+/// whole-table resolves — the query shapes the engine's Deduplicate
+/// operator feeds the resolver (`WHERE id = k`, `WHERE year BETWEEN a
+/// AND b`, full `SELECT DEDUP *`).
+fn build_stream(table: &Table) -> Vec<Vec<RecordId>> {
+    let n = table.len();
+    let year_col = table
+        .schema()
+        .index_of("year")
+        .expect("dblp_scholar has a year column");
+    let years: Vec<i64> = (0..n as RecordId)
+        .map(|id| match table.record_unchecked(id).values[year_col] {
+            Value::Int(y) => y,
+            _ => 0,
+        })
+        .collect();
+    let all: Vec<RecordId> = (0..n as RecordId).collect();
+    let mut rng = Rng(SEED.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+    let mut stream = Vec::with_capacity(STREAM_LEN);
+    while stream.len() < STREAM_LEN {
+        let shape = rng.next() % 20;
+        let qe: Vec<RecordId> = if shape == 0 {
+            all.clone()
+        } else if shape < 8 {
+            let a = 1990 + (rng.next() % 33) as i64;
+            let b = (a + (rng.next() % 8) as i64).min(2022);
+            let qe: Vec<RecordId> = (0..n as RecordId)
+                .filter(|&id| (a..=b).contains(&years[id as usize]))
+                .collect();
+            if qe.is_empty() {
+                vec![(rng.next() % n as u64) as RecordId]
+            } else {
+                qe
+            }
+        } else {
+            vec![(rng.next() % n as u64) as RecordId]
+        };
+        stream.push(qe);
+    }
+    stream
+}
+
+/// What one query answers with: everything that must be identical at
+/// every worker count.
+#[derive(Debug, Clone, PartialEq)]
+struct QueryResult {
+    comparisons: u64,
+    matches_found: u64,
+    dr: Vec<RecordId>,
+}
+
+/// Per-worker harvest: `(stream index, latency ns, result)` triples
+/// plus the worker's total lock wait.
+type WorkerOutput = (Vec<(usize, u64, QueryResult)>, Duration);
+
+/// One measured drain of the stream with `workers` threads pulling
+/// queries off a shared cursor.
+struct LegRun {
+    wall_ns: u64,
+    latencies_ns: Vec<u64>,
+    lock_wait: Duration,
+    results: Vec<Option<QueryResult>>,
+}
+
+fn run_leg(
+    er: &TableErIndex,
+    table: &Table,
+    li: &RwLock<LinkIndex>,
+    stream: &[Vec<RecordId>],
+    workers: usize,
+) -> LegRun {
+    let cursor = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let per_worker: Vec<WorkerOutput> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut lock_wait = Duration::ZERO;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= stream.len() {
+                            break;
+                        }
+                        let mut m = DedupMetrics::default();
+                        let q0 = Instant::now();
+                        let res = er
+                            .resolve_shared(table, &stream[i], li, &mut m)
+                            .expect("stream resolve");
+                        let lat = q0.elapsed().as_nanos() as u64;
+                        lock_wait += m.lock_wait;
+                        out.push((
+                            i,
+                            lat,
+                            QueryResult {
+                                comparisons: m.comparisons,
+                                matches_found: m.matches_found,
+                                dr: res.dr,
+                            },
+                        ));
+                    }
+                    (out, lock_wait)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut latencies_ns = Vec::with_capacity(stream.len());
+    let mut lock_wait = Duration::ZERO;
+    let mut results: Vec<Option<QueryResult>> = vec![None; stream.len()];
+    for (rows, lw) in per_worker {
+        lock_wait += lw;
+        for (i, lat, r) in rows {
+            latencies_ns.push(lat);
+            results[i] = Some(r);
+        }
+    }
+    LegRun {
+        wall_ns,
+        latencies_ns,
+        lock_wait,
+        results,
+    }
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut check = false;
+    let mut workers_flag: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--workers" => match args.next() {
+                Some(v) => workers_flag = Some(v),
+                None => {
+                    eprintln!("--workers needs a value (e.g. --workers 1,2,4)");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--workers=") => {
+                workers_flag = Some(flag["--workers=".len()..].to_string());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag}; usage: bench_throughput [OUT_PATH] [--check] [--workers LIST]"
+                );
+                std::process::exit(2);
+            }
+            path => {
+                if out_path.replace(path.to_string()).is_some() {
+                    eprintln!(
+                        "more than one OUT_PATH given; usage: bench_throughput [OUT_PATH] [--check] [--workers LIST]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    // Leg list precedence: --workers flag, then QUERYER_SERVE_THREADS
+    // (0 = default), then the standard 1/2/4 sweep.
+    let worker_legs: Vec<usize> = match workers_flag {
+        Some(list) => list
+            .split(',')
+            .map(|w| match w.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--workers wants positive integers, got {w:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+        None => match queryer_common::knobs::serve_threads() {
+            0 => vec![1, 2, 4],
+            n => vec![n],
+        },
+    };
+    let baseline = if check {
+        match std::fs::read_to_string(&out_path) {
+            Ok(s) => Some(s),
+            Err(_) => {
+                eprintln!("--check: no baseline at {out_path}; treating run as fresh");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let reps: usize = std::env::var("QUERYER_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+
+    let ds = scholarly::dblp_scholar(RECORDS, SEED);
+    let cfg = ErConfig::default();
+    let er = TableErIndex::build(&ds.table, &cfg);
+    let stream = build_stream(&ds.table);
+
+    // Serial warm-up through the shared path: after it the LI is fully
+    // resolved, so every stream query is LI-served and deterministic.
+    let li = RwLock::new(LinkIndex::new(ds.table.len()));
+    let mut warm_m = DedupMetrics::default();
+    let warm = er
+        .resolve_all_shared(&ds.table, &li, &mut warm_m)
+        .expect("warm-up resolve");
+    assert!(warm.completion.is_complete());
+    assert!(warm_m.comparisons > 0, "warm-up must execute comparisons");
+
+    // Serial reference drain: per-query ground truth every concurrent
+    // leg must reproduce exactly.
+    let reference = run_leg(&er, &ds.table, &li, &stream, 1);
+    let reference: Vec<QueryResult> = reference
+        .results
+        .into_iter()
+        .map(|r| r.expect("reference covers the stream"))
+        .collect();
+    let stream_comparisons: u64 = reference.iter().map(|r| r.comparisons).sum();
+    let stream_matches: u64 = reference.iter().map(|r| r.matches_found).sum();
+    let stream_dr_rows: u64 = reference.iter().map(|r| r.dr.len() as u64).sum();
+
+    struct LegStats {
+        workers: usize,
+        qps_median: u64,
+        wall_ns_median: u64,
+        p50_ns: u64,
+        p99_ns: u64,
+        lock_wait_ns_median: u64,
+    }
+    let mut legs: Vec<LegStats> = Vec::with_capacity(worker_legs.len());
+    for &w in &worker_legs {
+        let mut walls = Vec::with_capacity(reps);
+        let mut lock_waits = Vec::with_capacity(reps);
+        let mut lats: Vec<u64> = Vec::with_capacity(reps * stream.len());
+        for _ in 0..reps {
+            let leg = run_leg(&er, &ds.table, &li, &stream, w);
+            // Decision identity: every query answered exactly as in the
+            // serial reference, regardless of interleaving.
+            for (i, r) in leg.results.iter().enumerate() {
+                let r = r.as_ref().expect("leg covers the stream");
+                assert_eq!(
+                    r, &reference[i],
+                    "query {i} diverged from the serial reference at {w} workers"
+                );
+            }
+            walls.push(leg.wall_ns);
+            lock_waits.push(leg.lock_wait.as_nanos() as u64);
+            lats.extend(leg.latencies_ns);
+        }
+        let wall = median_ns(walls.clone());
+        let qps = if wall > 0 {
+            (stream.len() as u128 * 1_000_000_000 / wall as u128) as u64
+        } else {
+            0
+        };
+        legs.push(LegStats {
+            workers: w,
+            qps_median: qps,
+            wall_ns_median: wall,
+            p50_ns: percentile_ns(&mut lats, 0.50),
+            p99_ns: percentile_ns(&mut lats, 0.99),
+            lock_wait_ns_median: median_ns(lock_waits),
+        });
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"dataset\": \"dblp_scholar\", \"records\": {RECORDS}, \"seed\": {SEED}, \"stream\": \"warm mixed point/range/resolve-all\"}},"
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"warmup_comparisons\": {},", warm_m.comparisons);
+    let _ = writeln!(
+        json,
+        "  \"warmup_matches_found\": {},",
+        warm_m.matches_found
+    );
+    let _ = writeln!(json, "  \"stream_queries\": {},", stream.len());
+    let _ = writeln!(
+        json,
+        "  \"stream_comparisons_total\": {stream_comparisons},"
+    );
+    let _ = writeln!(json, "  \"stream_matches_total\": {stream_matches},");
+    let _ = writeln!(json, "  \"stream_dr_rows_total\": {stream_dr_rows},");
+    let _ = writeln!(json, "  \"legs\": [");
+    for (i, leg) in legs.iter().enumerate() {
+        let comma = if i + 1 < legs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"qps_median\": {}, \"wall_ns_median\": {}, \"latency_p50_ns\": {}, \"latency_p99_ns\": {}, \"lock_wait_ns_median\": {}}}{comma}",
+            leg.workers,
+            leg.qps_median,
+            leg.wall_ns_median,
+            leg.p50_ns,
+            leg.p99_ns,
+            leg.lock_wait_ns_median,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    for leg in &legs {
+        println!(
+            "{} workers: {} qps, p50 {} ns, p99 {} ns, lock-wait {} ns",
+            leg.workers, leg.qps_median, leg.p50_ns, leg.p99_ns, leg.lock_wait_ns_median
+        );
+    }
+    // Scaling ratio (informational — never gated; see the module docs
+    // for why counts are the only checked facts).
+    let qps_of = |w: usize| legs.iter().find(|l| l.workers == w).map(|l| l.qps_median);
+    if let (Some(q1), Some(q4)) = (qps_of(1), qps_of(4)) {
+        if q1 > 0 {
+            println!(
+                "scaling: 4 workers / 1 worker = {:.2}x on {host_cores} core(s){}",
+                q4 as f64 / q1 as f64,
+                if host_cores < 4 {
+                    " (ratio is only meaningful on >= 4 cores)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    if let Some(base) = baseline {
+        let mut drift = false;
+        for key in CHECKED_COUNTS {
+            let old = json_u64(&base, key);
+            let new = json_u64(&json, key);
+            if old != new {
+                eprintln!(
+                    "--check: {key} drifted: baseline {} vs fresh {}",
+                    old.map_or_else(|| "<missing>".into(), |v| v.to_string()),
+                    new.map_or_else(|| "<missing>".into(), |v| v.to_string()),
+                );
+                drift = true;
+            }
+        }
+        if drift {
+            eprintln!("--check: decision counts drifted from the committed baseline");
+            std::process::exit(1);
+        }
+        println!("--check: decision counts match the baseline");
+    }
+}

@@ -220,6 +220,28 @@ pub fn cmp_threads() -> usize {
     env_usize("QUERYER_CMP_THREADS", 0)
 }
 
+/// Worker-thread count for concurrent query serving
+/// (`QUERYER_SERVE_THREADS`): how many resolver threads a serving
+/// harness drives against one shared index. `0` (the default) means
+/// "auto" — harnesses pick their own sweep (e.g. `bench_throughput`
+/// measures 1, 2, and 4 workers); a non-zero value pins a single
+/// worker count. Worker count never affects decisions: concurrent
+/// resolves are serializable against the shared Link Index (pinned by
+/// `crates/er/tests/concurrent_equivalence.rs`). See docs/TUNING.md.
+pub fn serve_threads() -> usize {
+    env_usize("QUERYER_SERVE_THREADS", 0)
+}
+
+/// Whether opening an index snapshot also decodes the persisted warm
+/// resolve caches (`QUERYER_SNAPSHOT_CACHES`, default `true`). `off`
+/// skips the EP-threshold / survivor / decision cache sections — the
+/// open gets cheaper and the first queries run cold, recomputing
+/// bit-identical entries on demand. Decisions are identical either way
+/// (cache state never changes a decision). See docs/TUNING.md.
+pub fn snapshot_caches() -> bool {
+    env_flag("QUERYER_SNAPSHOT_CACHES", true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +263,17 @@ mod tests {
             assert_eq!(env_usize("QUERYER_NO_SUCH_KNOB", 5), 5);
             assert!(env_flag("QUERYER_NO_SUCH_KNOB", true));
             assert!(!env_flag("QUERYER_NO_SUCH_KNOB", false));
+        }
+    }
+
+    #[test]
+    fn serving_and_snapshot_cache_knobs_fall_back_when_unset() {
+        // Only the unset path is asserted (see above on set/restore races).
+        if std::env::var("QUERYER_SERVE_THREADS").is_err() {
+            assert_eq!(serve_threads(), 0);
+        }
+        if std::env::var("QUERYER_SNAPSHOT_CACHES").is_err() {
+            assert!(snapshot_caches());
         }
     }
 

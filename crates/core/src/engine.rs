@@ -297,21 +297,25 @@ impl QueryEngine {
             return b.clone();
         }
         let t0 = Instant::now();
-        let mut li = LinkIndex::new(rt.table.len());
+        // The batch LI is born shared: resolve_all goes through the same
+        // delta-commit path as concurrent query serving, and readers of
+        // an in-progress batch clean (none today, but `with_batch_link_index`
+        // hands out the same lock) never observe a half-applied round.
+        let li = Arc::new(RwLock::new(LinkIndex::new(rt.table.len())));
         let mut metrics = DedupMetrics::default();
         // invariant: batch cleaning resolves the table its own index was
         // built from, so the governed resolve cannot report a mismatch.
         rt.er
-            .resolve_all(&rt.table, &mut li, &mut metrics)
+            .resolve_all_shared(&rt.table, &li, &mut metrics)
             .expect("resolve against the table's own index");
         let all: Vec<RecordId> = (0..rt.table.len() as RecordId).collect();
-        let cluster_map = rt.er.cluster_map(&li, &all);
+        let cluster_map = rt.er.cluster_map(&li.read(), &all);
         let cluster_of: Vec<RecordId> = all
             .iter()
             .map(|id| *cluster_map.get(id).unwrap_or(id))
             .collect();
         let batch = Arc::new(BatchClean {
-            li: Arc::new(RwLock::new(li)),
+            li,
             cluster_of: Arc::new(cluster_of),
             duration: t0.elapsed(),
             metrics,

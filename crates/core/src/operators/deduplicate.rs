@@ -61,14 +61,17 @@ pub fn resolve_to_tuples(ctx: &Arc<ExecContext>, table_idx: usize, qe: &[RecordI
     let er = &ctx.er[table_idx];
     let mut er_metrics = DedupMetrics::default();
 
-    let outcome = {
-        let mut li = ctx.li[table_idx].write();
-        // invariant: the engine resolves a table against its own index
-        // (same ctx slot), so the lengths always agree, and an unlimited
-        // budget never reports WorkerPanicked unless a kernel truly died.
-        er.resolve(table, qe, &mut li, &mut er_metrics)
-            .expect("resolve against the table's own index")
-    };
+    // Shared-LI resolve: concurrent queries over the same table proceed
+    // simultaneously — the resolver takes short read locks for its LI
+    // probes and one brief write section to commit its link delta,
+    // instead of owning the write lock for the whole resolve.
+    //
+    // invariant: the engine resolves a table against its own index
+    // (same ctx slot), so the lengths always agree, and an unlimited
+    // budget never reports WorkerPanicked unless a kernel truly died.
+    let outcome = er
+        .resolve_shared(table, qe, &ctx.li[table_idx], &mut er_metrics)
+        .expect("resolve against the table's own index");
 
     let cluster_of = {
         let li = ctx.li[table_idx].read();

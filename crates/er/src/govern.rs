@@ -32,6 +32,16 @@
 //! caches hold only complete entries, so it keeps serving), and an
 //! index whose cache maintenance was torn by a panic refuses service
 //! with [`ResolveError::Poisoned`].
+//!
+//! All of the above applies unchanged to the shared-LI entry points
+//! ([`resolve_shared`](crate::TableErIndex::resolve_shared) and
+//! friends), with two sharpenings pinned by
+//! `crates/er/tests/concurrent_equivalence.rs`: a budget-stopped query
+//! commits only complete link-sets (truncated rounds never enter its
+//! delta's resolved marks), and an erroring query commits *nothing* —
+//! a worker panic or poisoned index leaves the shared Link Index
+//! byte-identical to before the call, so concurrent queries are fault-
+//! isolated from each other.
 
 use queryer_common::CancelToken;
 use std::fmt;

@@ -146,11 +146,37 @@ impl<'idx> CompiledMatcher<'idx> {
     /// `Matcher::is_match_interned` on the same profiles, but with the
     /// threshold-aware early exits engaged.
     pub fn decide(&self, q: RecordId, c: RecordId, scratch: &mut KernelScratch) -> bool {
-        let a = self.idx.profile(q);
+        self.decide_loaded(&self.load_query(q), c, scratch)
+    }
+
+    /// Loads the query-side half of a comparison once, for a run of
+    /// candidate pairs sharing `q`. The executor's candidate pairs
+    /// arrive grouped by query record (frontier scan order), so one
+    /// load serves the whole run — see
+    /// [`CompiledMatcher::decide_loaded`].
+    pub fn load_query(&self, q: RecordId) -> QuerySide<'idx> {
+        QuerySide {
+            q,
+            profile: self.idx.profile(q),
+            meta: self.idx.attr_meta(q),
+        }
+    }
+
+    /// [`CompiledMatcher::decide`] with the query side pre-loaded via
+    /// [`CompiledMatcher::load_query`]. Decisions are bit-identical to
+    /// `decide` — the loads are pure index reads, hoisted, not changed
+    /// (pinned by `tests/kernel_equivalence.rs`).
+    pub fn decide_loaded(
+        &self,
+        qs: &QuerySide<'idx>,
+        c: RecordId,
+        scratch: &mut KernelScratch,
+    ) -> bool {
+        let a = qs.profile;
         let b = self.idx.profile(c);
         match self.kernel {
-            CompareKernel::JwMean => self.decide_mean(q, c, a, b, scratch, MeanAttr::JaroWinkler),
-            CompareKernel::LevMean => self.decide_mean(q, c, a, b, scratch, MeanAttr::Levenshtein),
+            CompareKernel::JwMean => self.decide_mean(qs, c, b, scratch, MeanAttr::JaroWinkler),
+            CompareKernel::LevMean => self.decide_mean(qs, c, b, scratch, MeanAttr::Levenshtein),
             CompareKernel::JaccardInterned => self.decide_jaccard(a.tokens, b.tokens),
             CompareKernel::OverlapInterned => overlap_ge(a.tokens, b.tokens, self.threshold),
             CompareKernel::Hybrid => {
@@ -159,7 +185,7 @@ impl<'idx> CompiledMatcher<'idx> {
                 // goes first (the canonical path computes jw first only
                 // because it must *return* the max).
                 overlap_ge(a.tokens, b.tokens, self.threshold)
-                    || self.decide_mean(q, c, a, b, scratch, MeanAttr::JaroWinkler)
+                    || self.decide_mean(qs, c, b, scratch, MeanAttr::JaroWinkler)
             }
         }
     }
@@ -208,14 +234,14 @@ impl<'idx> CompiledMatcher<'idx> {
     /// error of the bound sums.
     fn decide_mean(
         &self,
-        q: RecordId,
+        qs: &QuerySide<'_>,
         c: RecordId,
-        a: InternedProfile<'_>,
         b: InternedProfile<'_>,
         scratch: &mut KernelScratch,
         attr: MeanAttr,
     ) -> bool {
-        let ma = self.idx.attr_meta(q);
+        let a = qs.profile;
+        let ma = qs.meta;
         let mb = self.idx.attr_meta(c);
         let t = self.threshold;
         let n_cols = a.attrs.len();
@@ -296,6 +322,26 @@ impl<'idx> CompiledMatcher<'idx> {
             }
         }
         sum / n >= t
+    }
+}
+
+/// The query-side half of a comparison, loaded once per candidate run:
+/// the record's interned profile plus its per-attribute metadata.
+/// Comparison batching by record (`run_comparison_kernels`) keeps one
+/// of these alive across a run of pairs sharing the same query record,
+/// so the q-side profile/metadata lookups are paid once per run instead
+/// of once per pair.
+#[derive(Clone, Copy)]
+pub struct QuerySide<'idx> {
+    q: RecordId,
+    profile: InternedProfile<'idx>,
+    meta: &'idx [AttrMeta],
+}
+
+impl QuerySide<'_> {
+    /// The record this side was loaded from.
+    pub fn record(&self) -> RecordId {
+        self.q
     }
 }
 

@@ -150,13 +150,14 @@ pub use config::{
 };
 pub use govern::{Completion, ResolveBudget, ResolveError, ResolveStage};
 pub use index::{AttrMeta, BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
-pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch};
-pub use link_index::LinkIndex;
+pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch, QuerySide};
+pub use link_index::{LinkDelta, LinkIndex};
 pub use matching::{Matcher, TokenizerScratch};
 pub use metrics::DedupMetrics;
 pub use queryer_common::CancelToken;
 pub use resolver::ResolveOutcome;
 pub use snapshot::{
-    content_fingerprint, open_index_snapshot, snapshot_path, write_index_snapshot, SnapshotError,
+    content_fingerprint, open_index_snapshot, open_index_snapshot_with_caches, snapshot_path,
+    write_index_snapshot, SnapshotError,
 };
 pub use union_find::UnionFind;

@@ -6,7 +6,7 @@
 //! query (Fig. 11): entities already marked *resolved* skip Query
 //! Blocking and Comparison-Execution entirely.
 
-use queryer_common::FxHashMap;
+use queryer_common::{FxHashMap, FxHashSet, PairSet};
 use queryer_storage::RecordId;
 
 /// Per-table link index: resolved flags + symmetric link adjacency.
@@ -115,6 +115,100 @@ impl LinkIndex {
         self.adj.clear();
         self.n_links = 0;
     }
+
+    /// Applies a query's private [`LinkDelta`] under the caller's write
+    /// critical section. Returns how many of the delta's links were
+    /// actually new — links already present (committed earlier by this
+    /// or a concurrent query) are deduped, so committing is idempotent
+    /// and safe under any interleaving of concurrent resolvers.
+    ///
+    /// Links and resolved marks land atomically with respect to readers
+    /// (the caller holds the write lock), preserving the LI contract:
+    /// once `is_resolved(x)` is observable, every link incident to `x`
+    /// is observable too.
+    pub fn commit(&mut self, delta: &LinkDelta) -> usize {
+        let mut added = 0;
+        for &(a, b) in &delta.links {
+            if self.add_link(a, b) {
+                added += 1;
+            }
+        }
+        for &id in &delta.resolved {
+            self.mark_resolved(id);
+        }
+        added
+    }
+}
+
+/// A query's private accumulator of links and resolved marks, for the
+/// shared-index resolve path (read-snapshot + delta-commit).
+///
+/// A concurrent resolver never mutates the shared [`LinkIndex`]
+/// mid-query: it reads through short-lived read locks, records every
+/// match and completed-round resolved mark here, and publishes the
+/// whole delta with one brief [`LinkIndex::commit`] at the end. The
+/// delta dedups its own inserts (`add_link` is set-semantics, exactly
+/// like the LI's) and `commit` dedups against links other queries
+/// committed in the meantime.
+#[derive(Debug, Clone, Default)]
+pub struct LinkDelta {
+    links: Vec<(RecordId, RecordId)>,
+    seen: PairSet,
+    resolved: Vec<RecordId>,
+    resolved_set: FxHashSet<RecordId>,
+}
+
+impl LinkDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a duplicate link. Returns `true` if new to this delta.
+    #[inline]
+    pub fn add_link(&mut self, a: RecordId, b: RecordId) -> bool {
+        if a == b || !self.seen.insert(a, b) {
+            return false;
+        }
+        self.links.push((a, b));
+        true
+    }
+
+    /// Whether this delta already holds the unordered link `(a, b)`.
+    #[inline]
+    pub fn are_linked(&self, a: RecordId, b: RecordId) -> bool {
+        self.seen.contains(a, b)
+    }
+
+    /// Marks an entity resolved as of this delta's commit.
+    #[inline]
+    pub fn mark_resolved(&mut self, id: RecordId) {
+        if self.resolved_set.insert(id) {
+            self.resolved.push(id);
+        }
+    }
+
+    /// Whether this delta will mark `id` resolved on commit.
+    #[inline]
+    pub fn is_resolved(&self, id: RecordId) -> bool {
+        self.resolved_set.contains(&id)
+    }
+
+    /// Number of distinct links recorded.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of distinct resolved marks recorded.
+    pub fn resolved_count(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// `true` when the delta carries no links and no marks — committing
+    /// it would be a no-op, so callers skip the write lock entirely.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.resolved.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +235,67 @@ mod tests {
         assert_eq!(li.closure([1]), vec![1, 2, 5]);
         assert_eq!(li.closure([1, 7]), vec![1, 2, 5, 7, 8]);
         assert_eq!(li.closure([9]), vec![9]);
+    }
+
+    #[test]
+    fn delta_commit_is_idempotent() {
+        let mut d = LinkDelta::new();
+        assert!(d.add_link(1, 2));
+        assert!(!d.add_link(2, 1));
+        assert!(!d.add_link(3, 3));
+        d.add_link(2, 5);
+        d.mark_resolved(1);
+        d.mark_resolved(1);
+        d.mark_resolved(2);
+        assert_eq!((d.link_count(), d.resolved_count()), (2, 2));
+
+        let mut li = LinkIndex::new(10);
+        assert_eq!(li.commit(&d), 2);
+        // Committing the same delta again adds nothing and changes nothing.
+        assert_eq!(li.commit(&d), 0);
+        assert_eq!(li.link_count(), 2);
+        assert_eq!(li.resolved_count(), 2);
+        assert!(li.are_linked(2, 1) && li.are_linked(5, 2));
+    }
+
+    #[test]
+    fn delta_commit_dedups_concurrently_committed_links() {
+        // Two "threads" resolve overlapping work: their deltas share the
+        // (1,2) link in opposite orientations. Whichever commits second
+        // must dedup it but still land its own new links and marks.
+        let mut a = LinkDelta::new();
+        a.add_link(1, 2);
+        a.add_link(1, 4);
+        a.mark_resolved(1);
+        let mut b = LinkDelta::new();
+        b.add_link(2, 1);
+        b.add_link(2, 7);
+        b.mark_resolved(2);
+
+        let mut li = LinkIndex::new(10);
+        assert_eq!(li.commit(&a), 2);
+        assert_eq!(li.commit(&b), 1);
+        assert_eq!(li.link_count(), 3);
+        assert_eq!(li.neighbors(1), &[2, 4]);
+        assert!(li.is_resolved(1) && li.is_resolved(2));
+        // Adjacency stays symmetric: no committed neighbour is dropped.
+        for (&x, ns) in li.adj.iter() {
+            for &n in ns {
+                assert!(li.neighbors(n).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_overlay_queries() {
+        let mut d = LinkDelta::new();
+        assert!(!d.are_linked(1, 2) && !d.is_resolved(1));
+        d.add_link(1, 2);
+        d.mark_resolved(1);
+        assert!(d.are_linked(2, 1));
+        assert!(d.is_resolved(1) && !d.is_resolved(2));
+        assert!(!d.is_empty());
+        assert!(LinkDelta::new().is_empty());
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct DedupMetrics {
     /// exhausted or the resolve was cancelled mid-round. Always 0 for a
     /// run whose outcome is [`Completion::Complete`](crate::Completion).
     pub pairs_uncompared: u64,
+    /// Time spent waiting to acquire the shared Link Index lock
+    /// (read snapshots + the final delta commit) on the concurrent
+    /// resolve path (`resolve_shared*`). Always zero for the exclusive
+    /// `&mut LinkIndex` entry points, which never lock. This is the
+    /// contention signal `bench_throughput` reports per worker count.
+    pub lock_wait: Duration,
 }
 
 impl DedupMetrics {
@@ -82,6 +88,7 @@ impl DedupMetrics {
         self.decision_cache_hits += other.decision_cache_hits;
         self.decision_cache_misses += other.decision_cache_misses;
         self.pairs_uncompared += other.pairs_uncompared;
+        self.lock_wait += other.lock_wait;
     }
 }
 
@@ -106,6 +113,7 @@ mod tests {
             ep_cache_misses: 6,
             decision_cache_hits: 7,
             decision_cache_misses: 8,
+            lock_wait: Duration::from_millis(4),
             ..Default::default()
         };
         a.merge(&b);
@@ -117,6 +125,7 @@ mod tests {
         assert_eq!(a.ep_cache_misses, 6);
         assert_eq!(a.decision_cache_hits, 7);
         assert_eq!(a.decision_cache_misses, 8);
+        assert_eq!(a.lock_wait, Duration::from_millis(4));
         assert_eq!(a.total_er(), Duration::from_millis(8));
     }
 

@@ -15,14 +15,16 @@ use crate::config::{EdgePruningScope, EpCacheMode, WeightScheme};
 use crate::edge_pruning::{keeps, prune_global, survivors_over, threshold_over, EdgePruner};
 use crate::govern::{Completion, Governed, ResolveBudget, ResolveError, ResolveStage, Stop};
 use crate::index::{scheme_node_key, BlockId, CooccurrenceScratch, TableErIndex};
-use crate::kernel::{CompiledMatcher, KernelScratch};
-use crate::link_index::LinkIndex;
+use crate::kernel::{CompiledMatcher, KernelScratch, QuerySide};
+use crate::link_index::{LinkDelta, LinkIndex};
 use crate::matching::{Matcher, TokenizerScratch};
 use crate::metrics::DedupMetrics;
+use parking_lot::{RwLock, RwLockReadGuard};
 use queryer_common::failpoints;
 use queryer_common::{pack_pair, FxHashMap, FxHashSet, PairSet, Stopwatch};
 use queryer_storage::{Record, RecordId, Table};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Minimum frontier size before the Edge Pruning scans fan out across
 /// threads; below this the per-thread scratch setup outweighs the win
@@ -69,6 +71,156 @@ struct CmpRun {
     stop: Option<Stop>,
 }
 
+/// Per-query mutable resolve state. Everything a resolve mutates —
+/// the cross-round pair-seen set, link/comparison tallies, budget
+/// progress, completion status — lives here (or in the round-local
+/// frontier/scratch vectors), so N concurrent queries over one
+/// `Arc<TableErIndex>` share nothing mutable except the Link Index,
+/// which they touch only through [`LiAccess`].
+struct ResolveCtx {
+    /// Pairs already emitted by earlier rounds of *this* query.
+    pair_seen: PairSet,
+    /// Links this query added (exclusive path: counted at insert time;
+    /// shared path: overwritten with the commit's deduped count).
+    new_links: usize,
+    /// Comparisons executed so far, for budget accounting.
+    comparisons_done: u64,
+    /// How the run finished (or why it stopped early).
+    completion: Completion,
+}
+
+impl ResolveCtx {
+    fn new() -> Self {
+        Self {
+            pair_seen: PairSet::new(),
+            new_links: 0,
+            comparisons_done: 0,
+            completion: Completion::Complete,
+        }
+    }
+}
+
+/// How a resolve touches the Link Index.
+///
+/// `Exclusive` is the historical `&mut LinkIndex` path: direct,
+/// lock-free mutation, bit-identical to pre-concurrency behaviour
+/// (pinned by `tests/budget_equivalence.rs` and the equivalence
+/// suites). `Shared` is the concurrent-serving path: reads go through
+/// short-lived read locks held only for hash probes — never across
+/// Edge Pruning or comparison work — writes accumulate in a private
+/// [`LinkDelta`], and the caller publishes the delta with one brief
+/// write critical section at the end ([`LinkIndex::commit`]).
+enum LiAccess<'a> {
+    /// Direct mutable access; the caller owns the index for the call.
+    Exclusive(&'a mut LinkIndex),
+    /// Lock-striped access for concurrent resolvers over one shared LI.
+    Shared {
+        /// The shared index; locked briefly per round, never across work.
+        lock: &'a RwLock<LinkIndex>,
+        /// This query's private links + resolved marks, commit-pending.
+        delta: LinkDelta,
+        /// Time spent blocked on lock acquisitions, for
+        /// [`DedupMetrics::lock_wait`].
+        lock_wait: Duration,
+    },
+}
+
+impl LiAccess<'_> {
+    /// Acquires a read guard, charging the wait to `lock_wait`.
+    fn timed_read<'l>(
+        lock: &'l RwLock<LinkIndex>,
+        wait: &mut Duration,
+    ) -> RwLockReadGuard<'l, LinkIndex> {
+        let t0 = Instant::now();
+        let guard = lock.read();
+        *wait += t0.elapsed();
+        guard
+    }
+
+    /// Whether a record counts as resolved for frontier pruning. In
+    /// shared mode a record is resolved if any committed query resolved
+    /// it *or* this query already did (in its own uncommitted delta).
+    fn dedup_unresolved(
+        &mut self,
+        idx: &TableErIndex,
+        candidates: impl ExactSizeIterator<Item = RecordId>,
+    ) -> Vec<RecordId> {
+        match self {
+            LiAccess::Exclusive(li) => idx.dedup_unresolved(li, candidates),
+            LiAccess::Shared {
+                lock,
+                delta,
+                lock_wait,
+            } => {
+                let g = Self::timed_read(lock, lock_wait);
+                idx.dedup_unresolved_where(|q| g.is_resolved(q) || delta.is_resolved(q), candidates)
+            }
+        }
+    }
+
+    /// Splits candidate pairs into already-linked partners and pairs
+    /// still needing comparison. One read lock for the whole batch in
+    /// shared mode — the loop body is hash probes only.
+    fn partition_pairs(
+        &mut self,
+        pairs: Vec<(RecordId, RecordId)>,
+        partners: &mut Vec<RecordId>,
+        to_compare: &mut Vec<(RecordId, RecordId)>,
+    ) {
+        match self {
+            LiAccess::Exclusive(li) => {
+                for (q, c) in pairs {
+                    if li.are_linked(q, c) {
+                        partners.push(c);
+                    } else {
+                        to_compare.push((q, c));
+                    }
+                }
+            }
+            LiAccess::Shared {
+                lock,
+                delta,
+                lock_wait,
+            } => {
+                let g = Self::timed_read(lock, lock_wait);
+                for (q, c) in pairs {
+                    if g.are_linked(q, c) || delta.are_linked(q, c) {
+                        partners.push(c);
+                    } else {
+                        to_compare.push((q, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a match. Returns `true` if new to this access view.
+    fn add_link(&mut self, q: RecordId, c: RecordId) -> bool {
+        match self {
+            LiAccess::Exclusive(li) => li.add_link(q, c),
+            LiAccess::Shared { delta, .. } => delta.add_link(q, c),
+        }
+    }
+
+    /// Marks a fully-compared frontier resolved (exclusive: directly;
+    /// shared: in the delta, published atomically with its links so the
+    /// LI never claims completeness for links not yet visible).
+    fn mark_frontier_resolved(&mut self, frontier: &[RecordId]) {
+        match self {
+            LiAccess::Exclusive(li) => {
+                for &q in frontier {
+                    li.mark_resolved(q);
+                }
+            }
+            LiAccess::Shared { delta, .. } => {
+                for &q in frontier {
+                    delta.mark_resolved(q);
+                }
+            }
+        }
+    }
+}
+
 impl TableErIndex {
     /// Resolves the duplicates of `qe` within `table`, amending `li` with
     /// every link found and `metrics` with stage timings and comparison
@@ -108,6 +260,126 @@ impl TableErIndex {
         metrics: &mut DedupMetrics,
         budget: &ResolveBudget,
     ) -> Result<ResolveOutcome, ResolveError> {
+        self.check_serve(table)?;
+        let mut access = LiAccess::Exclusive(li);
+        let ctx = self.resolve_rounds(&mut access, qe, metrics, budget)?;
+        let LiAccess::Exclusive(li) = access else {
+            unreachable!("exclusive access stays exclusive")
+        };
+        Ok(ResolveOutcome {
+            dr: self.dr_of(li, qe),
+            new_links: ctx.new_links,
+            completion: ctx.completion,
+        })
+    }
+
+    /// [`TableErIndex::resolve`] against a *shared* Link Index — the
+    /// concurrent-serving entry point. N threads may call this for N
+    /// different queries over one `Arc<TableErIndex>` and one
+    /// `RwLock<LinkIndex>` simultaneously: the query resolves against
+    /// short-lived read snapshots (locks held for hash probes only,
+    /// never across Edge Pruning or comparison work), accumulates its
+    /// links and resolved marks in a private [`LinkDelta`], and commits
+    /// them in one brief write critical section that dedups against
+    /// concurrently-committed links.
+    ///
+    /// Because every match decision is a pure function of the immutable
+    /// index, concurrent execution is serializable: any interleaving
+    /// leaves the LI (links + resolved marks) identical to a serial
+    /// execution of the same queries — races only cause duplicate work,
+    /// which the commit dedups (pinned by
+    /// `tests/concurrent_equivalence.rs`). A query that discovers
+    /// nothing new (the warm, fully-resolved common case) skips the
+    /// write lock entirely, so warm reads scale with reader concurrency.
+    pub fn resolve_shared(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &RwLock<LinkIndex>,
+        metrics: &mut DedupMetrics,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.resolve_shared_governed(table, qe, li, metrics, &ResolveBudget::unlimited())
+    }
+
+    /// [`TableErIndex::resolve_shared`] under a [`ResolveBudget`] — the
+    /// same polling points and partial-run guarantees as
+    /// [`TableErIndex::resolve_governed`], with one addition: a
+    /// truncated round's marks never enter the delta, so a budget-
+    /// stopped commit publishes only complete link-sets and retrying
+    /// with more budget converges exactly as on the exclusive path. On
+    /// error (worker panic, poisoned index) nothing is committed — a
+    /// failed query leaves the shared LI untouched.
+    pub fn resolve_shared_governed(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &RwLock<LinkIndex>,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.check_serve(table)?;
+        let mut access = LiAccess::Shared {
+            lock: li,
+            delta: LinkDelta::new(),
+            lock_wait: Duration::ZERO,
+        };
+        let rounds = self.resolve_rounds(&mut access, qe, metrics, budget);
+        let LiAccess::Shared {
+            delta,
+            mut lock_wait,
+            ..
+        } = access
+        else {
+            unreachable!("shared access stays shared")
+        };
+        let ctx = match rounds {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                metrics.lock_wait += lock_wait;
+                return Err(e);
+            }
+        };
+        // Delta commit: the only write critical section of the query,
+        // skipped when there is nothing to publish. The commit's return
+        // value replaces the loop-time tally — a link this query found
+        // may have been committed by a concurrent query meanwhile.
+        let new_links = if delta.is_empty() {
+            0
+        } else {
+            let t0 = Instant::now();
+            let mut g = li.write();
+            lock_wait += t0.elapsed();
+            g.commit(&delta)
+        };
+        // DR_E reads the post-commit LI, so this query's own links are
+        // visible; concurrent commits may enlarge clusters, which only
+        // moves the result closer to the full batch answer.
+        let dr = {
+            let g = Self::timed_read_li(li, &mut lock_wait);
+            self.dr_of(&g, qe)
+        };
+        metrics.lock_wait += lock_wait;
+        Ok(ResolveOutcome {
+            dr,
+            new_links,
+            completion: ctx.completion,
+        })
+    }
+
+    /// [`TableErIndex::resolve_all`] against a shared Link Index — see
+    /// [`TableErIndex::resolve_shared`].
+    pub fn resolve_all_shared(
+        &self,
+        table: &Table,
+        li: &RwLock<LinkIndex>,
+        metrics: &mut DedupMetrics,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
+        self.resolve_shared(table, &all, li, metrics)
+    }
+
+    /// Entry checks shared by every resolve flavour.
+    fn check_serve(&self, table: &Table) -> Result<(), ResolveError> {
         if self.is_poisoned() {
             return Err(ResolveError::Poisoned);
         }
@@ -120,20 +392,58 @@ impl TableErIndex {
                 got: table.len(),
             });
         }
+        Ok(())
+    }
+
+    /// Read-lock acquisition charged to `lock_wait` (outcome assembly
+    /// outside [`LiAccess`]).
+    fn timed_read_li<'l>(
+        lock: &'l RwLock<LinkIndex>,
+        wait: &mut Duration,
+    ) -> RwLockReadGuard<'l, LinkIndex> {
+        let t0 = Instant::now();
+        let g = lock.read();
+        *wait += t0.elapsed();
+        g
+    }
+
+    /// DR_E: the query entities plus every duplicate reachable in `li`.
+    fn dr_of(&self, li: &LinkIndex, qe: &[RecordId]) -> Vec<RecordId> {
+        if self.config().transitive {
+            li.closure(qe.iter().copied())
+        } else {
+            let mut out: FxHashSet<RecordId> = qe.iter().copied().collect();
+            for &q in qe {
+                out.extend(li.neighbors(q).iter().copied());
+            }
+            let mut v: Vec<RecordId> = out.into_iter().collect();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    /// The resolve round loop, generic over Link Index access mode. The
+    /// `Exclusive` arm is the historical resolve bit-for-bit; `Shared`
+    /// differs only in *where* LI reads/writes land (guards + delta),
+    /// never in what is compared or decided.
+    fn resolve_rounds(
+        &self,
+        li: &mut LiAccess<'_>,
+        qe: &[RecordId],
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveCtx, ResolveError> {
         // Compile the matcher once per resolve: similarity kind,
         // threshold, and attribute layout resolve here, never per pair.
         let matcher = Matcher::new(self.config(), self.skip_col()).compile(self);
-        let mut pair_seen = PairSet::new();
-        let mut new_links = 0usize;
-        let mut comparisons_done = 0u64;
-        let mut completion = Completion::Complete;
+        let mut ctx = ResolveCtx::new();
 
-        let mut frontier: Vec<RecordId> = self.dedup_unresolved(li, qe.iter().copied());
+        let mut frontier: Vec<RecordId> = li.dedup_unresolved(self, qe.iter().copied());
 
         while !frontier.is_empty() {
             failpoints::fire("resolve.round");
             if let Some(stop) = budget.interrupted() {
-                completion = stop.completion(ResolveStage::EdgePruning, comparisons_done);
+                ctx.completion = stop.completion(ResolveStage::EdgePruning, ctx.comparisons_done);
                 break;
             }
 
@@ -146,13 +456,14 @@ impl TableErIndex {
                 let mut sw = Stopwatch::new();
                 sw.start();
                 let scanned =
-                    self.edge_pruned_pairs_governed(&frontier, &mut pair_seen, metrics, budget);
+                    self.edge_pruned_pairs_governed(&frontier, &mut ctx.pair_seen, metrics, budget);
                 sw.stop();
                 metrics.edge_pruning += sw.elapsed();
                 match scanned? {
                     Governed::Done(pairs) => pairs,
                     Governed::Interrupted(stop) => {
-                        completion = stop.completion(ResolveStage::EdgePruning, comparisons_done);
+                        ctx.completion =
+                            stop.completion(ResolveStage::EdgePruning, ctx.comparisons_done);
                         break;
                     }
                 }
@@ -184,7 +495,7 @@ impl TableErIndex {
                 }
                 metrics.filtering += sw.elapsed();
 
-                self.block_pairs(&eqbi, &mut pair_seen)
+                self.block_pairs(&eqbi, &mut ctx.pair_seen)
             };
             metrics.candidate_pairs += pairs.len() as u64;
 
@@ -194,26 +505,20 @@ impl TableErIndex {
             sw.start();
             let mut partners: Vec<RecordId> = Vec::new();
             let mut to_compare: Vec<(RecordId, RecordId)> = Vec::with_capacity(pairs.len());
-            for (q, c) in pairs {
-                if li.are_linked(q, c) {
-                    partners.push(c);
-                } else {
-                    to_compare.push((q, c));
-                }
-            }
+            li.partition_pairs(pairs, &mut partners, &mut to_compare);
             let run = self.execute_comparisons_governed(
                 &matcher,
                 &to_compare,
                 metrics,
                 budget,
-                comparisons_done,
+                ctx.comparisons_done,
             )?;
             metrics.comparisons += run.executed as u64;
-            comparisons_done += run.executed as u64;
+            ctx.comparisons_done += run.executed as u64;
             for (&(q, c), matched) in to_compare[..run.executed].iter().zip(run.decisions) {
                 if matched {
                     if li.add_link(q, c) {
-                        new_links += 1;
+                        ctx.new_links += 1;
                     }
                     metrics.matches_found += 1;
                     partners.push(c);
@@ -229,41 +534,23 @@ impl TableErIndex {
                 // not have. Every decided link stands; a later resolve
                 // redoes this frontier and converges to the full answer.
                 metrics.pairs_uncompared += (to_compare.len() - run.executed) as u64;
-                completion = stop.completion(ResolveStage::ComparisonExecution, comparisons_done);
+                ctx.completion =
+                    stop.completion(ResolveStage::ComparisonExecution, ctx.comparisons_done);
                 break;
             }
 
             metrics.entities_processed += frontier.len() as u64;
-            for &q in &frontier {
-                li.mark_resolved(q);
-            }
+            li.mark_frontier_resolved(&frontier);
 
             // Transitive expansion: newly discovered duplicates must be
             // resolved too, so DR groups equal batch connected components.
             frontier = if self.config().transitive {
-                self.dedup_unresolved(li, partners.into_iter())
+                li.dedup_unresolved(self, partners.into_iter())
             } else {
                 Vec::new()
             };
         }
-
-        // DR_E: the query entities plus every duplicate reachable in the LI.
-        let dr = if self.config().transitive {
-            li.closure(qe.iter().copied())
-        } else {
-            let mut out: FxHashSet<RecordId> = qe.iter().copied().collect();
-            for &q in qe {
-                out.extend(li.neighbors(q).iter().copied());
-            }
-            let mut v: Vec<RecordId> = out.into_iter().collect();
-            v.sort_unstable();
-            v
-        };
-        Ok(ResolveOutcome {
-            dr,
-            new_links,
-            completion,
-        })
+        Ok(ctx)
     }
 
     /// Resolves the entire table (the batch-ER building block).
@@ -301,15 +588,26 @@ impl TableErIndex {
         li: &LinkIndex,
         candidates: impl ExactSizeIterator<Item = RecordId>,
     ) -> Vec<RecordId> {
+        self.dedup_unresolved_where(|q| li.is_resolved(q), candidates)
+    }
+
+    /// [`TableErIndex::dedup_unresolved`] over an arbitrary resolved
+    /// predicate — the shared-LI path filters against the committed
+    /// index *and* the query's own uncommitted delta in one pass.
+    fn dedup_unresolved_where(
+        &self,
+        is_resolved: impl Fn(RecordId) -> bool,
+        candidates: impl ExactSizeIterator<Item = RecordId>,
+    ) -> Vec<RecordId> {
         if candidates.len() * RANK_AMORTIZE < self.n_records() {
             let mut seen = FxHashSet::default();
             candidates
-                .filter(|&q| !li.is_resolved(q) && seen.insert(q))
+                .filter(|&q| !is_resolved(q) && seen.insert(q))
                 .collect()
         } else {
             let mut seen = vec![false; self.n_records()];
             candidates
-                .filter(|&q| !li.is_resolved(q) && !std::mem::replace(&mut seen[q as usize], true))
+                .filter(|&q| !is_resolved(q) && !std::mem::replace(&mut seen[q as usize], true))
                 .collect()
         }
     }
@@ -989,10 +1287,9 @@ impl TableErIndex {
         let workers = self.config().effective_parallelism();
         if workers == 1 || pairs.len() < PAR_MIN_PAIRS {
             let mut scratch = KernelScratch::new();
-            return Ok(pairs
-                .iter()
-                .map(|&(q, c)| matcher.decide(q, c, &mut scratch))
-                .collect());
+            let mut decisions = vec![false; pairs.len()];
+            decide_pairs_batched(matcher, pairs, &mut decisions, &mut scratch);
+            return Ok(decisions);
         }
         let chunk = pairs.len().div_ceil(workers);
         let mut decisions = vec![false; pairs.len()];
@@ -1003,9 +1300,7 @@ impl TableErIndex {
                 handles.push(scope.spawn(move || {
                     failpoints::fire("cmp.worker");
                     let mut scratch = KernelScratch::new();
-                    for (d, &(q, c)) in slot.iter_mut().zip(work) {
-                        *d = matcher.decide(q, c, &mut scratch);
-                    }
+                    decide_pairs_batched(matcher, work, slot, &mut scratch);
                 }));
             }
             // Join each worker ourselves so a panic is consumed here
@@ -1115,6 +1410,32 @@ impl TableErIndex {
             .enumerate()
             .map(|(i, &r)| (r, members[clusters[i] as usize]))
             .collect()
+    }
+}
+
+/// Decides a slice of pairs with comparison batching by record: pairs
+/// arrive in runs sharing a query record (EP emits each frontier
+/// entity's survivors consecutively; the decision-cache miss list is a
+/// subsequence, so runs survive filtering), and the query-side
+/// profile/AttrMeta loads are hoisted to once per run via
+/// [`CompiledMatcher::load_query`]. Decisions land position-aligned in
+/// `out` and are bit-identical to per-pair `decide` calls — the loads
+/// are pure index reads (pinned by `tests/kernel_equivalence.rs`).
+fn decide_pairs_batched(
+    matcher: &CompiledMatcher<'_>,
+    pairs: &[(RecordId, RecordId)],
+    out: &mut [bool],
+    scratch: &mut KernelScratch,
+) {
+    let mut loaded: Option<QuerySide<'_>> = None;
+    for (d, &(q, c)) in out.iter_mut().zip(pairs) {
+        if !matches!(&loaded, Some(l) if l.record() == q) {
+            loaded = Some(matcher.load_query(q));
+        }
+        let Some(qs) = loaded.as_ref() else {
+            unreachable!("query side loaded above")
+        };
+        *d = matcher.decide_loaded(qs, c, scratch);
     }
 }
 

@@ -439,10 +439,30 @@ fn check_ids(ids: &[u32], bound: usize, section: &str) -> Result<(), SnapshotErr
 /// configuration; any drift reopens as
 /// [`SnapshotError::StaleTableHash`], any damage as the corresponding
 /// typed error — the caller's cue to rebuild.
+///
+/// Whether the persisted warm resolve caches are decoded follows the
+/// `QUERYER_SNAPSHOT_CACHES` knob (default on); use
+/// [`open_index_snapshot_with_caches`] to decide in code.
 pub fn open_index_snapshot(
     path: &Path,
     table: &Table,
     cfg: &ErConfig,
+) -> Result<(TableErIndex, LinkIndex), SnapshotError> {
+    open_index_snapshot_with_caches(path, table, cfg, queryer_common::knobs::snapshot_caches())
+}
+
+/// [`open_index_snapshot`] with the warm-cache decode decided by
+/// `caches` instead of the environment. With `caches` false, the
+/// EP-threshold, survivor, and decision cache sections are skipped
+/// entirely (the file-level commit CRC still validates the whole image
+/// at open): the index starts with empty caches, exactly as a fresh
+/// build would, and the first queries recompute bit-identical entries
+/// on demand — decisions never depend on cache state.
+pub fn open_index_snapshot_with_caches(
+    path: &Path,
+    table: &Table,
+    cfg: &ErConfig,
+    caches: bool,
 ) -> Result<(TableErIndex, LinkIndex), SnapshotError> {
     let snap = SnapshotReader::open(path, content_fingerprint(table, cfg))?;
 
@@ -623,71 +643,78 @@ pub fn open_index_snapshot(
         return Err(corrupt("index.cbs_adj"));
     }
 
-    // EP thresholds.
-    let mut r = section(&snap, "ep.thresholds")?;
-    let bulk = match r.take_u8()? {
-        0 => None,
-        1 => {
-            let n = r.take_len(8)?;
-            if n != n_records {
-                return Err(corrupt("ep.thresholds"));
-            }
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                v.push(r.take_f64()?);
-            }
-            Some(Arc::new(v))
-        }
-        _ => return Err(corrupt("ep.thresholds")),
-    };
-    let n_lazy = r.take_len(12)?;
-    let mut lazy: FxHashMap<RecordId, f64> = FxHashMap::default();
-    lazy.reserve(n_lazy);
-    for _ in 0..n_lazy {
-        let k = r.take_u32()?;
-        if k as usize >= n_records {
-            return Err(corrupt("ep.thresholds"));
-        }
-        lazy.insert(k, r.take_f64()?);
-    }
-    finish(r, "ep.thresholds")?;
-    let ep_thresholds = EpThresholdCache { lazy, bulk };
-
-    // Cross-query caches. The maps are rebuilt under the *current*
+    // EP thresholds + cross-query caches — skipped wholesale when the
+    // caller opens without warm caches (`QUERYER_SNAPSHOT_CACHES=off`):
+    // the sections stay unread (the commit CRC already validated the
+    // whole image), and the index starts cold exactly like a fresh
+    // build. The maps are otherwise rebuilt under the *current*
     // capacity knobs — a smaller cap simply readmits fewer entries
     // (eviction never changes decisions).
     let resolve_cache = ResolveCache::for_config(cfg);
-    let mut r = section(&snap, "cache.thresholds")?;
-    let n = r.take_len(16)?;
-    for _ in 0..n {
-        let k = r.take_u64()?;
-        let v = r.take_f64()?;
-        resolve_cache.thresholds.insert_if_absent(k, v);
-    }
-    finish(r, "cache.thresholds")?;
-
-    let mut r = section(&snap, "cache.survivors")?;
-    let n = r.take_len(16)?;
-    for _ in 0..n {
-        let k = r.take_u64()?;
-        let ids = r.take_u32_vec()?;
-        check_ids(&ids, n_records, "cache.survivors")?;
-        resolve_cache.survivors.insert_if_absent(k, ids.into());
-    }
-    finish(r, "cache.survivors")?;
-
-    let mut r = section(&snap, "cache.decisions")?;
-    let n = r.take_len(9)?;
-    for _ in 0..n {
-        let k = r.take_u64()?;
-        let v = match r.take_u8()? {
-            0 => false,
-            1 => true,
-            _ => return Err(corrupt("cache.decisions")),
+    let ep_thresholds = if !caches {
+        EpThresholdCache::default()
+    } else {
+        let mut r = section(&snap, "ep.thresholds")?;
+        let bulk = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let n = r.take_len(8)?;
+                if n != n_records {
+                    return Err(corrupt("ep.thresholds"));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(r.take_f64()?);
+                }
+                Some(Arc::new(v))
+            }
+            _ => return Err(corrupt("ep.thresholds")),
         };
-        resolve_cache.decisions.insert_if_absent(k, v);
-    }
-    finish(r, "cache.decisions")?;
+        let n_lazy = r.take_len(12)?;
+        let mut lazy: FxHashMap<RecordId, f64> = FxHashMap::default();
+        lazy.reserve(n_lazy);
+        for _ in 0..n_lazy {
+            let k = r.take_u32()?;
+            if k as usize >= n_records {
+                return Err(corrupt("ep.thresholds"));
+            }
+            lazy.insert(k, r.take_f64()?);
+        }
+        finish(r, "ep.thresholds")?;
+
+        let mut r = section(&snap, "cache.thresholds")?;
+        let n = r.take_len(16)?;
+        for _ in 0..n {
+            let k = r.take_u64()?;
+            let v = r.take_f64()?;
+            resolve_cache.thresholds.insert_if_absent(k, v);
+        }
+        finish(r, "cache.thresholds")?;
+
+        let mut r = section(&snap, "cache.survivors")?;
+        let n = r.take_len(16)?;
+        for _ in 0..n {
+            let k = r.take_u64()?;
+            let ids = r.take_u32_vec()?;
+            check_ids(&ids, n_records, "cache.survivors")?;
+            resolve_cache.survivors.insert_if_absent(k, ids.into());
+        }
+        finish(r, "cache.survivors")?;
+
+        let mut r = section(&snap, "cache.decisions")?;
+        let n = r.take_len(9)?;
+        for _ in 0..n {
+            let k = r.take_u64()?;
+            let v = match r.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(corrupt("cache.decisions")),
+            };
+            resolve_cache.decisions.insert_if_absent(k, v);
+        }
+        finish(r, "cache.decisions")?;
+        EpThresholdCache { lazy, bulk }
+    };
 
     // Link Index.
     let mut r = section(&snap, "links")?;

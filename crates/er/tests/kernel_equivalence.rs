@@ -108,12 +108,22 @@ fn assert_pairs_equivalent(
     let compiled = matcher.compile(idx);
     let mut scratch = KernelScratch::new();
     for a in 0..table.len() as RecordId {
+        // The executor batches comparisons by query record: one
+        // load_query per same-query run, then decide_loaded per pair.
+        // Loading once up front here mirrors that shape and must never
+        // flip a decision against the per-pair decide path.
+        let qs = compiled.load_query(a);
         for b in 0..table.len() as RecordId {
             let reference = matcher.is_match_interned(idx.profile(a), idx.profile(b));
             let decided = compiled.decide(a, b, &mut scratch);
             assert_eq!(
                 decided, reference,
                 "decision diverged on ({a}, {b}) kind {kind:?} thr {threshold}"
+            );
+            let batched = compiled.decide_loaded(&qs, b, &mut scratch);
+            assert_eq!(
+                batched, reference,
+                "batched decision diverged on ({a}, {b}) kind {kind:?} thr {threshold}"
             );
             let s_ref = matcher.similarity_interned(idx.profile(a), idx.profile(b));
             let s_ker = compiled.similarity(a, b);

@@ -31,9 +31,9 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
 use queryer_er::{
-    open_index_snapshot, write_index_snapshot, DedupMetrics, EdgePruningScope, EpCacheMode,
-    ErConfig, LinkIndex, MetaBlockingConfig, SimilarityKind, SnapshotError, TableErIndex,
-    WeightScheme,
+    open_index_snapshot, open_index_snapshot_with_caches, write_index_snapshot, DedupMetrics,
+    EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig, SimilarityKind,
+    SnapshotError, TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 use std::path::PathBuf;
@@ -240,6 +240,19 @@ proptest! {
             cache_counters(&m2),
             "cache state diverged after reopen"
         );
+
+        // Caches-off open (the `QUERYER_SNAPSHOT_CACHES=off` knob):
+        // skips decoding the warm-cache sections, so the index opens
+        // cold — decisions, DR, and links must still be identical;
+        // only the cache hit counters may legitimately differ.
+        let (idx3, mut li3) =
+            open_index_snapshot_with_caches(&path, &table, &cfg, false)
+                .expect("caches-off snapshot open");
+        let mut m3 = DedupMetrics::default();
+        let out3 = idx3.resolve(&table, &qe, &mut li3, &mut m3).unwrap();
+        prop_assert_eq!(&out1.dr, &out3.dr, "DR diverged on caches-off reopen");
+        prop_assert_eq!(out1.new_links, out3.new_links);
+        prop_assert_eq!(count_triple(&m1), count_triple(&m3));
 
         // State evolution stays in lockstep.
         let after1 = snapshot_bytes(&idx1, &li1, &table, "after1");
