@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use queryer_datagen::scholarly;
 use queryer_er::similarity::{jaccard_sorted, jaro_winkler, levenshtein};
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, ResolveRequest, TableErIndex};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -41,7 +41,8 @@ fn bench(c: &mut Criterion) {
             || LinkIndex::new(ds.table.len()),
             |mut li| {
                 let mut m = DedupMetrics::default();
-                er.resolve(&ds.table, &qe, &mut li, &mut m).unwrap()
+                er.run(ResolveRequest::records(&ds.table, &qe, &mut li).metrics(&mut m))
+                    .unwrap()
             },
             BatchSize::SmallInput,
         )

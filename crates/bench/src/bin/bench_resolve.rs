@@ -24,7 +24,15 @@
 //! `snapshot_open_ns_median` is the cold-start trade-off a deployment
 //! tunes `QUERYER_SNAPSHOT` by.
 //!
-//! Usage: `bench_resolve [OUT_PATH] [--check]` (default
+//! With `--ingest`, an extra leg runs a scripted insert → query →
+//! compact → query sequence on a copy of the workload *after* all
+//! pinned measurement: it times the delta apply, the first post-ingest
+//! resolve and the compaction, and asserts in-process that links pinned
+//! before compaction keep serving after it and that the compacted index
+//! is decision-identical to a rebuild. `snapshot_breakeven` summarises
+//! the open-vs-build cold-start trade-off.
+//!
+//! Usage: `bench_resolve [OUT_PATH] [--check] [--ingest]` (default
 //! `BENCH_resolve.json` in the current directory). With `--check`, the
 //! decision counts (cold `comparisons` / `candidate_pairs` /
 //! `matches_found` plus their `warm_*` twins) of a pre-existing OUT_PATH
@@ -38,7 +46,10 @@
 //! medians want an odd number).
 
 use queryer_datagen::scholarly;
-use queryer_er::{CancelToken, DedupMetrics, ErConfig, LinkIndex, ResolveBudget, TableErIndex};
+use queryer_er::{
+    Affected, CancelToken, DedupMetrics, DeltaOp, ErConfig, LinkIndex, ResolveBudget,
+    ResolveRequest, TableErIndex,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -78,19 +89,23 @@ fn json_u64(s: &str, key: &str) -> Option<u64> {
 fn main() {
     let mut out_path: Option<String> = None;
     let mut check = false;
+    let mut ingest = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--check" => check = true,
+            "--ingest" => ingest = true,
             flag if flag.starts_with("--") => {
                 // A typo'd flag must not silently become the output path
                 // (it would skip the baseline diff and pass vacuously).
-                eprintln!("unknown flag {flag}; usage: bench_resolve [OUT_PATH] [--check]");
+                eprintln!(
+                    "unknown flag {flag}; usage: bench_resolve [OUT_PATH] [--check] [--ingest]"
+                );
                 std::process::exit(2);
             }
             path => {
                 if out_path.replace(path.to_string()).is_some() {
                     eprintln!(
-                        "more than one OUT_PATH given; usage: bench_resolve [OUT_PATH] [--check]"
+                        "more than one OUT_PATH given; usage: bench_resolve [OUT_PATH] [--check] [--ingest]"
                     );
                     std::process::exit(2);
                 }
@@ -129,7 +144,7 @@ fn main() {
         let mut m = DedupMetrics::default();
         er.clear_ep_cache();
         let out = er
-            .resolve(&ds.table, &qe, &mut li, &mut m)
+            .run(ResolveRequest::records(&ds.table, &qe, &mut li).metrics(&mut m))
             .expect("warmup resolve");
         assert!(m.comparisons > 0, "workload must execute comparisons");
         assert!(!out.dr.is_empty());
@@ -160,7 +175,7 @@ fn main() {
         // per-query cost the paper measures.
         er.clear_ep_cache();
         let t0 = Instant::now();
-        er.resolve(&ds.table, &qe, &mut li, &mut m)
+        er.run(ResolveRequest::records(&ds.table, &qe, &mut li).metrics(&mut m))
             .expect("cold resolve");
         total_ns.push(t0.elapsed().as_nanos() as u64);
         for (acc, d) in stage_ns.iter_mut().zip(stages_of(&m)) {
@@ -181,7 +196,7 @@ fn main() {
         let mut li_warm = LinkIndex::new(ds.table.len());
         let mut mw = DedupMetrics::default();
         let t0 = Instant::now();
-        er.resolve(&ds.table, &qe, &mut li_warm, &mut mw)
+        er.run(ResolveRequest::records(&ds.table, &qe, &mut li_warm).metrics(&mut mw))
             .expect("warm resolve");
         warm_total_ns.push(t0.elapsed().as_nanos() as u64);
         for (acc, d) in warm_stage_ns.iter_mut().zip(stages_of(&mw)) {
@@ -203,7 +218,11 @@ fn main() {
         let mut mg = DedupMetrics::default();
         let t0 = Instant::now();
         let gov_out = er
-            .resolve_governed(&ds.table, &qe, &mut li_gov, &mut mg, &budget)
+            .run(
+                ResolveRequest::records(&ds.table, &qe, &mut li_gov)
+                    .budget(budget.clone())
+                    .metrics(&mut mg),
+            )
             .expect("governed resolve");
         governed_total_ns.push(t0.elapsed().as_nanos() as u64);
         assert!(gov_out.completion.is_complete(), "budget must not trip");
@@ -220,7 +239,7 @@ fn main() {
     let snap_path = queryer_er::snapshot_path(&snap_dir, ds.table.name());
     let mut snap_li = LinkIndex::new(ds.table.len());
     let mut snap_m = DedupMetrics::default();
-    er.resolve(&ds.table, &qe, &mut snap_li, &mut snap_m)
+    er.run(ResolveRequest::records(&ds.table, &qe, &mut snap_li).metrics(&mut snap_m))
         .expect("snapshot-leg resolve");
     let mut snap_write_ns = Vec::with_capacity(reps);
     let mut snap_open_ns = Vec::with_capacity(reps);
@@ -249,7 +268,7 @@ fn main() {
     let mut li_snap = LinkIndex::new(ds.table.len());
     let mut ms = DedupMetrics::default();
     snap_er
-        .resolve(&ds.table, &qe, &mut li_snap, &mut ms)
+        .run(ResolveRequest::records(&ds.table, &qe, &mut li_snap).metrics(&mut ms))
         .expect("resolve on reopened snapshot");
     assert_eq!(ms.comparisons, last_warm.comparisons);
     assert_eq!(ms.candidate_pairs, last_warm.candidate_pairs);
@@ -258,6 +277,91 @@ fn main() {
     let snapshot_write = median_ns(snap_write_ns);
     let snapshot_open = median_ns(snap_open_ns);
     let snapshot_open_nocache = median_ns(snap_open_nocache_ns);
+
+    // Ingest leg (`--ingest`): a scripted insert → query → compact →
+    // query sequence on a *copy* of the workload, run after all pinned
+    // measurement so it cannot disturb the gated legs. It times the
+    // delta apply, the first post-ingest resolve, and the compaction,
+    // and asserts in-process that (a) links pinned before compaction
+    // keep serving afterwards (the re-resolve does zero comparisons)
+    // and (b) the compacted index equals a fresh build of the mutated
+    // table in every decision count.
+    const INGEST_OPS: usize = 64;
+    let ingest_leg = if ingest {
+        let mut table = ds.table.clone();
+        let mut live = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+        let mut m0 = DedupMetrics::default();
+        live.run(ResolveRequest::all(&table, &mut li).metrics(&mut m0))
+            .expect("pre-ingest resolve");
+        assert_eq!(m0.comparisons, last.comparisons, "pre-ingest leg drifted");
+
+        // Insert: near-duplicates of a deterministic spread of rows.
+        let ops: Vec<DeltaOp> = (0..INGEST_OPS)
+            .map(|i| DeltaOp::Insert {
+                values: table
+                    .record((i * 37 % RECORDS) as u32)
+                    .expect("source row")
+                    .values
+                    .clone(),
+            })
+            .collect();
+        for op in &ops {
+            op.apply_to_table(&mut table).expect("apply op to table");
+        }
+        let t0 = Instant::now();
+        let applied = live.apply_delta(&table, &ops).expect("apply_delta");
+        let apply_ns = t0.elapsed().as_nanos() as u64;
+        match &applied.affected {
+            Affected::Ids(ids) => {
+                li.grow(table.len());
+                li.invalidate(ids);
+            }
+            Affected::All => li = LinkIndex::new(table.len()),
+        }
+
+        // Query: the maintained Link Index re-resolves only what the
+        // batch invalidated.
+        let mut m1 = DedupMetrics::default();
+        let t0 = Instant::now();
+        live.run(ResolveRequest::all(&table, &mut li).metrics(&mut m1))
+            .expect("post-ingest resolve");
+        let post_ingest_ns = t0.elapsed().as_nanos() as u64;
+
+        // Compact, then query again: pinned decisions must survive.
+        let t0 = Instant::now();
+        live.compact(&table).expect("compact");
+        let compact_ns = t0.elapsed().as_nanos() as u64;
+        assert!(!live.has_delta(), "compact must clear the delta side");
+        let mut m2 = DedupMetrics::default();
+        live.run(ResolveRequest::all(&table, &mut li).metrics(&mut m2))
+            .expect("post-compact resolve");
+        assert_eq!(
+            m2.comparisons, 0,
+            "links pinned before compaction must keep serving after it"
+        );
+
+        // And the compacted index is decision-identical to a rebuild.
+        let oracle = TableErIndex::build(&table, &cfg);
+        let (mut li_a, mut li_b) = (LinkIndex::new(table.len()), LinkIndex::new(table.len()));
+        let (mut ma, mut mb) = (DedupMetrics::default(), DedupMetrics::default());
+        live.run(ResolveRequest::all(&table, &mut li_a).metrics(&mut ma))
+            .expect("compacted resolve");
+        oracle
+            .run(ResolveRequest::all(&table, &mut li_b).metrics(&mut mb))
+            .expect("oracle resolve");
+        assert_eq!(
+            ma.comparisons, mb.comparisons,
+            "compacted comparisons drifted"
+        );
+        assert_eq!(
+            ma.matches_found, mb.matches_found,
+            "compacted matches drifted"
+        );
+        Some((apply_ns, post_ingest_ns, compact_ns, m1))
+    } else {
+        None
+    };
 
     // `comparison_execution` is `DedupMetrics::resolution` ("Resolution"
     // in the paper's Table 6) — named here for the pipeline stage it
@@ -331,6 +435,25 @@ fn main() {
         "  \"snapshot_open_nocache_ns_median\": {snapshot_open_nocache},"
     );
     let _ = writeln!(json, "  \"snapshot_file_bytes\": {snapshot_file_bytes},");
+    // The cold-start trade-off in one field: does opening the snapshot
+    // beat rebuilding the index from the table? Informational — at this
+    // small pinned scale the build often wins; the crossover is the
+    // point of the scale curve in BENCH_scale.json.
+    let _ = writeln!(
+        json,
+        "  \"snapshot_breakeven\": {{\"index_build_ns\": {build_ns}, \
+         \"snapshot_open_ns_median\": {snapshot_open}, \"open_is_faster\": {}}},",
+        snapshot_open < build_ns
+    );
+    if let Some((apply_ns, post_ingest_ns, compact_ns, m1)) = &ingest_leg {
+        let _ = writeln!(
+            json,
+            "  \"ingest\": {{\"ops\": {INGEST_OPS}, \"apply_ns\": {apply_ns}, \
+             \"post_ingest_resolve_ns\": {post_ingest_ns}, \"compact_ns\": {compact_ns}, \
+             \"post_ingest_comparisons\": {}, \"post_ingest_matches\": {}}},",
+            m1.comparisons, m1.matches_found
+        );
+    }
     let _ = writeln!(
         json,
         "  \"governed_warm_total_ns_median\": {governed_total},"
@@ -370,8 +493,20 @@ fn main() {
     println!(
         "snapshot: write {snapshot_write} ns, open {snapshot_open} ns \
          (caches off: {snapshot_open_nocache} ns), build {build_ns} ns, \
-         file {snapshot_file_bytes} bytes",
+         file {snapshot_file_bytes} bytes, breakeven: open {} build",
+        if snapshot_open < build_ns {
+            "beats"
+        } else {
+            "loses to"
+        },
     );
+    if let Some((apply_ns, post_ingest_ns, compact_ns, _)) = &ingest_leg {
+        println!(
+            "ingest: {INGEST_OPS} inserts applied in {apply_ns} ns, \
+             post-ingest resolve {post_ingest_ns} ns, compact {compact_ns} ns \
+             (pinned links survived compaction: post-compact resolve did 0 comparisons)",
+        );
+    }
     println!(
         "governance overhead (warm): {:+.1}% ({} ns vs {} ns)",
         if warm_total > 0 {

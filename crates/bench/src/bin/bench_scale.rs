@@ -31,7 +31,7 @@
 //! non-Linux hosts.
 
 use queryer_datagen::scholarly;
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, ResolveRequest, TableErIndex};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -111,7 +111,7 @@ fn run_size(n: usize, reps: usize) -> SizeRow {
         // first-query cost, not the cross-query cache.
         er.clear_ep_cache();
         let t0 = Instant::now();
-        er.resolve(&ds.table, &qe, &mut li, &mut m)
+        er.run(ResolveRequest::records(&ds.table, &qe, &mut li).metrics(&mut m))
             .expect("unlimited resolve on the indexed table");
         totals.push(t0.elapsed().as_nanos() as u64);
         let stages = [

@@ -22,6 +22,15 @@
 //! leg serializes and the ratio hovers around 1.0, which the JSON
 //! records via `host_cores`.
 //!
+//! A final **mixed mutation leg** drains a 90% query / 10% insert
+//! stream off the same atomic-cursor shape at the sweep's widest worker
+//! count: queries run the shared-LI path under a read lock on the
+//! (table, index) pair, inserts take the write lock and fold a
+//! `DeltaOp` into the live index — the incremental-ingest path under
+//! concurrency. Its stream composition and final row count are
+//! deterministic (gated); its latencies (`ingest_p50_ns` /
+//! `ingest_p99_ns`) are informational.
+//!
 //! Usage: `bench_throughput [OUT_PATH] [--check] [--workers LIST]`
 //! (default `BENCH_throughput.json`, legs `1,2,4`). `--workers 2` or
 //! `--workers 1,2,4` overrides the leg list, as does the
@@ -30,7 +39,9 @@
 
 use parking_lot::RwLock;
 use queryer_datagen::scholarly;
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{
+    Affected, DedupMetrics, DeltaOp, ErConfig, LinkIndex, ResolveRequest, TableErIndex,
+};
 use queryer_storage::{RecordId, Table, Value};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,13 +54,20 @@ const STREAM_LEN: usize = 512;
 /// The counts `--check` pins (timings are never compared). All are
 /// leg-independent: the warm-up totals and the deterministic aggregate
 /// shape of the serial stream drain.
-const CHECKED_COUNTS: [&str; 6] = [
+const CHECKED_COUNTS: [&str; 9] = [
     "warmup_comparisons",
     "warmup_matches_found",
     "stream_queries",
     "stream_comparisons_total",
     "stream_matches_total",
     "stream_dr_rows_total",
+    // The mutation leg's stream composition and final row count are
+    // interleaving-independent (every insert appends exactly one row);
+    // its decision counts are not (record ids depend on arrival order),
+    // so only these three are gated.
+    "mutation_queries",
+    "mutation_inserts",
+    "mutation_final_records",
 ];
 
 fn median_ns(mut xs: Vec<u64>) -> u64 {
@@ -175,7 +193,7 @@ fn run_leg(
                         let mut m = DedupMetrics::default();
                         let q0 = Instant::now();
                         let res = er
-                            .resolve_shared(table, &stream[i], li, &mut m)
+                            .run(ResolveRequest::records(table, &stream[i], li).metrics(&mut m))
                             .expect("stream resolve");
                         let lat = q0.elapsed().as_nanos() as u64;
                         lock_wait += m.lock_wait;
@@ -214,6 +232,154 @@ fn run_leg(
         latencies_ns,
         lock_wait,
         results,
+    }
+}
+
+/// One item of the mixed mutation stream.
+enum MutItem {
+    Query(Vec<RecordId>),
+    Insert(Vec<Value>),
+}
+
+/// The mutation stream: 90% queries (reusing the warm stream's shapes)
+/// / 10% inserts, each insert a near-duplicate of a deterministic base
+/// row — so stream composition and the final row count are identical at
+/// every worker count even though arrival order is not.
+fn build_mutation_stream(base: &Table, queries: &[Vec<RecordId>], len: usize) -> Vec<MutItem> {
+    (0..len)
+        .map(|i| {
+            if i % 10 == 9 {
+                MutItem::Insert(
+                    base.record_unchecked((i * 53 % base.len()) as RecordId)
+                        .values
+                        .clone(),
+                )
+            } else {
+                MutItem::Query(queries[i % queries.len()].clone())
+            }
+        })
+        .collect()
+}
+
+/// Timing harvest of one mutation-leg drain.
+struct MutationRun {
+    query_lat_ns: Vec<u64>,
+    ingest_lat_ns: Vec<u64>,
+    queries: u64,
+    inserts: u64,
+    final_records: usize,
+}
+
+/// Drains the mixed stream with `workers` threads off a shared cursor:
+/// queries go through the shared-LI resolve path under a read lock on
+/// the (table, index) pair, inserts take the write lock, apply the
+/// delta to both, and invalidate the affected Link-Index entries —
+/// the engine's `ingest` rule, exercised concurrently.
+fn run_mutation_leg(
+    cfg: &ErConfig,
+    base: &Table,
+    stream: &[MutItem],
+    workers: usize,
+) -> MutationRun {
+    // One lock over the (table, er) pair: queries borrow both under it,
+    // inserts mutate both atomically — a query can never observe a
+    // table the index has not absorbed.
+    let state = RwLock::new((base.clone(), TableErIndex::build(base, cfg)));
+    let li = RwLock::new(LinkIndex::new(base.len()));
+    {
+        let s = state.read();
+        let mut m = DedupMetrics::default();
+        s.1.run(ResolveRequest::all(&s.0, &li).metrics(&mut m))
+            .expect("mutation-leg warm-up");
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                let cursor = &cursor;
+                let state = &state;
+                let li = &li;
+                s.spawn(move || {
+                    let mut q_lat = Vec::new();
+                    let mut i_lat = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= stream.len() {
+                            break;
+                        }
+                        match &stream[i] {
+                            MutItem::Query(qe) => {
+                                let t0 = Instant::now();
+                                let guard = state.read();
+                                let (table, er) = &*guard;
+                                let mut m = DedupMetrics::default();
+                                er.run(ResolveRequest::records(table, qe, li).metrics(&mut m))
+                                    .expect("mutation-leg query");
+                                q_lat.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            MutItem::Insert(values) => {
+                                let op = DeltaOp::Insert {
+                                    values: values.clone(),
+                                };
+                                let t0 = Instant::now();
+                                let mut guard = state.write();
+                                let (table, er) = &mut *guard;
+                                op.apply_to_table(table).expect("insert row");
+                                let applied = er
+                                    .apply_delta(table, std::slice::from_ref(&op))
+                                    .expect("apply delta");
+                                let mut li_w = li.write();
+                                match &applied.affected {
+                                    Affected::Ids(ids) => {
+                                        li_w.grow(table.len());
+                                        li_w.invalidate(ids);
+                                    }
+                                    Affected::All => *li_w = LinkIndex::new(table.len()),
+                                }
+                                drop(li_w);
+                                drop(guard);
+                                i_lat.push(t0.elapsed().as_nanos() as u64);
+                            }
+                        }
+                    }
+                    (q_lat, i_lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mutation worker"))
+            .collect()
+    });
+
+    let mut query_lat_ns = Vec::new();
+    let mut ingest_lat_ns = Vec::new();
+    for (q, i) in per_worker {
+        query_lat_ns.extend(q);
+        ingest_lat_ns.extend(i);
+    }
+    let (queries, inserts) = (query_lat_ns.len() as u64, ingest_lat_ns.len() as u64);
+
+    // Post-drain sanity: compaction folds the absorbed deltas and the
+    // result still resolves (decision counts are interleaving-dependent,
+    // so only well-formedness is asserted).
+    let (table, mut er) = state.into_inner();
+    er.compact(&table).expect("post-drain compact");
+    assert!(!er.has_delta());
+    let mut m = DedupMetrics::default();
+    let mut li_cold = LinkIndex::new(table.len());
+    er.run(ResolveRequest::all(&table, &mut li_cold).metrics(&mut m))
+        .expect("post-drain resolve");
+    assert!(m.matches_found > 0, "mutated table must still match");
+    let final_records = table.len();
+
+    MutationRun {
+        query_lat_ns,
+        ingest_lat_ns,
+        queries,
+        inserts,
+        final_records,
     }
 }
 
@@ -296,7 +462,7 @@ fn main() {
     let li = RwLock::new(LinkIndex::new(ds.table.len()));
     let mut warm_m = DedupMetrics::default();
     let warm = er
-        .resolve_all_shared(&ds.table, &li, &mut warm_m)
+        .run(ResolveRequest::all(&ds.table, &li).metrics(&mut warm_m))
         .expect("warm-up resolve");
     assert!(warm.completion.is_complete());
     assert!(warm_m.comparisons > 0, "warm-up must execute comparisons");
@@ -357,6 +523,36 @@ fn main() {
         });
     }
 
+    // Mixed mutation leg: 90% queries / 10% inserts off the same atomic
+    // cursor, at the sweep's widest worker count. Runs after the pinned
+    // legs on its own copy of the workload, so the gated stream counts
+    // above are untouched. Ingest latencies are informational.
+    const MUT_STREAM_LEN: usize = 256;
+    let mut_workers = worker_legs.iter().copied().max().unwrap_or(1);
+    let mut_stream = build_mutation_stream(&ds.table, &stream, MUT_STREAM_LEN);
+    let mut mut_q_lat: Vec<u64> = Vec::new();
+    let mut mut_i_lat: Vec<u64> = Vec::new();
+    let mut mutation = None;
+    for _ in 0..reps {
+        let run = run_mutation_leg(&cfg, &ds.table, &mut_stream, mut_workers);
+        mut_q_lat.extend_from_slice(&run.query_lat_ns);
+        mut_i_lat.extend_from_slice(&run.ingest_lat_ns);
+        if let Some(prev) = &mutation {
+            let prev: &MutationRun = prev;
+            assert_eq!(
+                prev.queries, run.queries,
+                "stream composition must not vary"
+            );
+            assert_eq!(
+                prev.inserts, run.inserts,
+                "stream composition must not vary"
+            );
+            assert_eq!(prev.final_records, run.final_records);
+        }
+        mutation = Some(run);
+    }
+    let mutation = mutation.expect("at least one mutation rep");
+
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -378,6 +574,22 @@ fn main() {
     );
     let _ = writeln!(json, "  \"stream_matches_total\": {stream_matches},");
     let _ = writeln!(json, "  \"stream_dr_rows_total\": {stream_dr_rows},");
+    let _ = writeln!(json, "  \"mutation_queries\": {},", mutation.queries);
+    let _ = writeln!(json, "  \"mutation_inserts\": {},", mutation.inserts);
+    let _ = writeln!(
+        json,
+        "  \"mutation_final_records\": {},",
+        mutation.final_records
+    );
+    let _ = writeln!(
+        json,
+        "  \"mutation_leg\": {{\"workers\": {mut_workers}, \"query_p50_ns\": {}, \
+         \"query_p99_ns\": {}, \"ingest_p50_ns\": {}, \"ingest_p99_ns\": {}}},",
+        percentile_ns(&mut mut_q_lat, 0.50),
+        percentile_ns(&mut mut_q_lat, 0.99),
+        percentile_ns(&mut mut_i_lat, 0.50),
+        percentile_ns(&mut mut_i_lat, 0.99),
+    );
     let _ = writeln!(json, "  \"legs\": [");
     for (i, leg) in legs.iter().enumerate() {
         let comma = if i + 1 < legs.len() { "," } else { "" };
@@ -404,6 +616,17 @@ fn main() {
             leg.workers, leg.qps_median, leg.p50_ns, leg.p99_ns, leg.lock_wait_ns_median
         );
     }
+    println!(
+        "mutation leg ({} workers, {} queries / {} inserts): query p50 {} ns p99 {} ns, \
+         ingest p50 {} ns p99 {} ns",
+        mut_workers,
+        mutation.queries,
+        mutation.inserts,
+        percentile_ns(&mut mut_q_lat, 0.50),
+        percentile_ns(&mut mut_q_lat, 0.99),
+        percentile_ns(&mut mut_i_lat, 0.50),
+        percentile_ns(&mut mut_i_lat, 0.99),
+    );
     // Scaling ratio (informational — never gated; see the module docs
     // for why counts are the only checked facts).
     let qps_of = |w: usize| legs.iter().find(|l| l.workers == w).map(|l| l.qps_median);

@@ -242,9 +242,44 @@ pub fn snapshot_caches() -> bool {
     env_flag("QUERYER_SNAPSHOT_CACHES", true)
 }
 
+/// Auto-compaction trigger of the incremental-ingest path
+/// (`QUERYER_DELTA_COMPACT_OPS`): once a live index has absorbed this
+/// many delta operations since its last full build, the engine folds
+/// the delta overlay into fresh CSR buffers (a rebuild of the mutated
+/// table). `0` disables auto-compaction — the overlay grows until
+/// `compact()` is called explicitly. Compaction never changes a
+/// decision (pinned by `crates/er/tests/ingest_equivalence.rs`); it
+/// trades one rebuild for restoring flat-CSR probe speed. See
+/// `docs/TUNING.md`.
+pub fn delta_compact_ops() -> usize {
+    env_usize("QUERYER_DELTA_COMPACT_OPS", 4096)
+}
+
+/// Whether `QueryEngine::ingest` refreshes the on-disk snapshot after a
+/// compaction when snapshots are enabled
+/// (`QUERYER_DELTA_SNAPSHOT_REFRESH`, default `false`). Off, a mutated
+/// table's stale snapshot is simply ignored on the next open (the
+/// content fingerprint no longer matches, so the engine rebuilds); on,
+/// each compaction also persists the fresh index so the next process
+/// start opens warm. See `docs/TUNING.md`.
+pub fn delta_snapshot_refresh() -> bool {
+    env_flag("QUERYER_DELTA_SNAPSHOT_REFRESH", false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_knobs_fall_back_when_unset() {
+        // Only the unset path is asserted (see below on set/restore races).
+        if std::env::var("QUERYER_DELTA_COMPACT_OPS").is_err() {
+            assert_eq!(delta_compact_ops(), 4096);
+        }
+        if std::env::var("QUERYER_DELTA_SNAPSHOT_REFRESH").is_err() {
+            assert!(!delta_snapshot_refresh());
+        }
+    }
 
     #[test]
     fn falls_back_to_default() {

@@ -336,6 +336,56 @@ impl<V: Clone> ShardedMap<V> {
             guard.hand = 0;
         }
     }
+
+    /// Removes the given keys (absent keys are ignored), locking each
+    /// shard at most once. This is the targeted-invalidation primitive
+    /// of the incremental-ingest path: a delta drops exactly the memo
+    /// entries whose neighbourhoods it touched, leaving the rest warm.
+    pub fn remove_batch(&self, keys: &[u64]) {
+        let (offsets, order) = self.group_by_shard(keys);
+        for (shard_at, shard) in self.shards.iter().enumerate() {
+            let mine = &order[offsets[shard_at] as usize..offsets[shard_at + 1] as usize];
+            if mine.is_empty() {
+                continue;
+            }
+            let mut guard = shard.lock();
+            let mut removed = false;
+            for &i in mine {
+                removed |= guard.map.remove(&keys[i as usize]).is_some();
+            }
+            if removed {
+                rebuild_ring(&mut guard, self.shard_cap);
+            }
+        }
+    }
+
+    /// Keeps only the entries for which `pred(key)` holds, locking each
+    /// shard once. Used by the ingest path to drop e.g. every cached
+    /// pair decision that touches a mutated record without enumerating
+    /// the cache's keys up front.
+    pub fn retain(&self, mut pred: impl FnMut(u64) -> bool) {
+        for s in self.shards.iter() {
+            let mut guard = s.lock();
+            let before = guard.map.len();
+            guard.map.retain(|&k, _| pred(k));
+            if guard.map.len() != before {
+                rebuild_ring(&mut guard, self.shard_cap);
+            }
+        }
+    }
+}
+
+/// Restores the CLOCK invariant (`ring` mirrors the map's keys) after
+/// entries were removed from a bounded shard. Surviving entries keep
+/// their referenced bits; the hand restarts at slot 0, which only
+/// perturbs the eviction *order*, never correctness.
+fn rebuild_ring<V>(shard: &mut Shard<V>, shard_cap: usize) {
+    if shard_cap == usize::MAX {
+        return;
+    }
+    let map = &shard.map;
+    shard.ring.retain(|k| map.contains_key(k));
+    shard.hand = 0;
 }
 
 /// Largest power of two ≤ `n` (`n ≥ 1`).
@@ -509,6 +559,44 @@ mod tests {
         for (k, got) in keys.iter().zip(&out) {
             if let Some(v) = got {
                 assert_eq!(v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_batch_and_retain_drop_only_their_keys() {
+        for bounded in [false, true] {
+            let m: ShardedMap<u64> = if bounded {
+                ShardedMap::bounded(1024)
+            } else {
+                ShardedMap::new()
+            };
+            for k in 0..100u64 {
+                m.insert_if_absent(k, k * 2);
+            }
+            // Remove a scattered subset, plus keys that were never there.
+            let gone: Vec<u64> = (0..100u64).filter(|k| k % 3 == 0).collect();
+            m.remove_batch(&gone);
+            m.remove_batch(&[5000, 6000]);
+            for k in 0..100u64 {
+                let want = (k % 3 != 0).then_some(k * 2);
+                assert_eq!(m.get(k), want, "bounded={bounded} key {k}");
+            }
+            // retain drops another slice, keeps the rest.
+            m.retain(|k| k % 5 != 1);
+            for k in 0..100u64 {
+                let want = (k % 3 != 0 && k % 5 != 1).then_some(k * 2);
+                assert_eq!(m.get(k), want, "bounded={bounded} key {k}");
+            }
+            // The survivors still accept inserts and (bounded) evictions.
+            for k in 200..2200u64 {
+                m.insert_if_absent(k, k * 2);
+                if bounded {
+                    assert!(m.len() <= 1024);
+                }
+            }
+            if let Some(v) = m.get(201) {
+                assert_eq!(v, 402);
             }
         }
     }

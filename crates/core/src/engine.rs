@@ -10,7 +10,9 @@ use crate::planner::{PlanOutput, Planner};
 use crate::result::QueryResult;
 use parking_lot::{Mutex, RwLock};
 use queryer_common::FxHashMap;
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{
+    AppliedDelta, DedupMetrics, DeltaOp, ErConfig, LinkIndex, ResolveRequest, TableErIndex,
+};
 use queryer_sql::{parse_select, plan_select, LogicalPlan, SchemaProvider, SelectStatement};
 use queryer_storage::{RecordId, Table};
 use std::sync::Arc;
@@ -164,6 +166,149 @@ impl QueryEngine {
         }
     }
 
+    /// Applies a batch of row mutations to a registered table and folds
+    /// them into its *live* ER index — the incremental-ingest path. No
+    /// full rebuild: the index grows an LSM-style delta side served
+    /// merged with the base, and only the cached resolve state whose
+    /// block neighbourhoods the batch touched is invalidated (see
+    /// [`queryer_er::Affected`]); everything else stays warm.
+    ///
+    /// The whole batch is validated up front (id ranges, row arity) and
+    /// applied atomically: a validation error leaves table, index and
+    /// Link Index untouched. Queries in flight keep the table/index
+    /// pair their context cloned (copy-on-write); queries planned after
+    /// `ingest` returns see the mutated data.
+    ///
+    /// Once the delta side accumulates
+    /// [`queryer_common::knobs::delta_compact_ops`] pending ops
+    /// (`QUERYER_DELTA_COMPACT_OPS`, `0` = never), the index is
+    /// compacted — folded into fresh base buffers — automatically;
+    /// [`QueryEngine::compact`] does it on demand. With
+    /// `QUERYER_DELTA_SNAPSHOT_REFRESH=1` and snapshots enabled, a
+    /// compaction-clean index is re-persisted best-effort.
+    pub fn ingest(&mut self, name: &str, ops: &[DeltaOp]) -> Result<AppliedDelta> {
+        let idx = self.table_idx(name)?;
+        let rt = &mut self.tables[idx];
+
+        // Up-front validation so the table mutations below cannot fail
+        // partway: id in range at its point in the batch, row arity.
+        let n_cols = rt.table.schema().fields().len();
+        let mut running = rt.table.len();
+        for op in ops {
+            match op {
+                DeltaOp::Insert { values } => {
+                    if values.len() != n_cols {
+                        return Err(CoreError::Plan(format!(
+                            "ingest into '{name}': insert arity {} != {n_cols} columns",
+                            values.len()
+                        )));
+                    }
+                    running += 1;
+                }
+                DeltaOp::Update { id, values } => {
+                    if values.len() != n_cols {
+                        return Err(CoreError::Plan(format!(
+                            "ingest into '{name}': update arity {} != {n_cols} columns",
+                            values.len()
+                        )));
+                    }
+                    if (*id as usize) >= running {
+                        return Err(CoreError::Plan(format!(
+                            "ingest into '{name}': update id {id} out of range"
+                        )));
+                    }
+                }
+                DeltaOp::Delete { id } => {
+                    if (*id as usize) >= running {
+                        return Err(CoreError::Plan(format!(
+                            "ingest into '{name}': delete id {id} out of range"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Mutate the rows. Copy-on-write: in-flight query contexts keep
+        // the Arc they cloned; contexts made after this see the new rows.
+        let table = Arc::make_mut(&mut rt.table);
+        for op in ops {
+            op.apply_to_table(table)?;
+        }
+
+        // Fold the same batch into the ER index. If the index Arc is
+        // shared (a query context still holds it) the delta cannot be
+        // applied in place; rebuild a fresh index instead — same served
+        // view, full cost, and the in-flight query keeps its old pair.
+        let compact_cap = queryer_common::knobs::delta_compact_ops();
+        let applied = match Arc::get_mut(&mut rt.er) {
+            Some(er) => {
+                let applied = er.apply_delta(table, ops)?;
+                if compact_cap != 0 && er.pending_delta_ops() >= compact_cap {
+                    er.compact(table)?;
+                }
+                applied
+            }
+            None => {
+                rt.er = Arc::new(TableErIndex::build(table, &self.cfg));
+                AppliedDelta {
+                    affected: queryer_er::Affected::All,
+                    pending_ops: 0,
+                }
+            }
+        };
+
+        // Link Index maintenance mirrors the index invalidation scope:
+        // targeted unresolve for the affected ids, full reset otherwise.
+        {
+            let mut li = rt.li.write();
+            match &applied.affected {
+                queryer_er::Affected::Ids(ids) => {
+                    li.grow(rt.table.len());
+                    li.invalidate(ids);
+                }
+                queryer_er::Affected::All => *li = LinkIndex::new(rt.table.len()),
+            }
+        }
+
+        // Derived engine state: stats are recomputed (they sample the
+        // live index), batch cleanings and join percentages are stale.
+        rt.stats = compute_table_stats(&rt.table, &rt.er);
+        *rt.batch.lock() = None;
+
+        if queryer_common::knobs::delta_snapshot_refresh()
+            && queryer_common::knobs::snapshot_mode().enabled()
+            && !rt.er.has_delta()
+        {
+            let dir = queryer_common::knobs::snapshot_dir();
+            let path = queryer_er::snapshot::snapshot_path(&dir, rt.table.name());
+            let li = rt.li.read();
+            let _ = queryer_er::write_index_snapshot(&path, &rt.er, &li, &rt.table);
+        }
+
+        self.join_pct_cache
+            .lock()
+            .retain(|k, _| k.0 != idx && k.2 != idx);
+        Ok(applied)
+    }
+
+    /// Folds a table's pending ingest delta into fresh base buffers
+    /// (decision-identical, required before snapshotting). A no-op when
+    /// no delta is live; falls back to a rebuild when the index Arc is
+    /// still shared with an in-flight query context.
+    pub fn compact(&mut self, name: &str) -> Result<()> {
+        let idx = self.table_idx(name)?;
+        let rt = &mut self.tables[idx];
+        match Arc::get_mut(&mut rt.er) {
+            Some(er) => er.compact(&rt.table)?,
+            None => {
+                if rt.er.has_delta() {
+                    rt.er = Arc::new(TableErIndex::build(&rt.table, &self.cfg));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Registers a table parsed from CSV text (header row, inferred
     /// all-string schema).
     pub fn register_csv_str(&mut self, name: &str, csv: &str) -> Result<usize> {
@@ -306,7 +451,7 @@ impl QueryEngine {
         // invariant: batch cleaning resolves the table its own index was
         // built from, so the governed resolve cannot report a mismatch.
         rt.er
-            .resolve_all_shared(&rt.table, &li, &mut metrics)
+            .run(ResolveRequest::all(&rt.table, &*li).metrics(&mut metrics))
             .expect("resolve against the table's own index");
         let all: Vec<RecordId> = (0..rt.table.len() as RecordId).collect();
         let cluster_map = rt.er.cluster_map(&li.read(), &all);

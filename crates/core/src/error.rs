@@ -15,6 +15,9 @@ pub enum CoreError {
     /// deployment asked to *notice* a missing/stale/corrupt snapshot
     /// instead of silently absorbing a rebuild.
     Snapshot(queryer_storage::SnapshotError),
+    /// An ER-layer resolve or ingest operation failed (poisoned index,
+    /// invalid delta batch, table mismatch, worker panic).
+    Resolve(queryer_er::ResolveError),
 }
 
 impl fmt::Display for CoreError {
@@ -24,6 +27,7 @@ impl fmt::Display for CoreError {
             CoreError::Sql(e) => write!(f, "sql error: {e}"),
             CoreError::Plan(m) => write!(f, "plan error: {m}"),
             CoreError::Snapshot(e) => write!(f, "snapshot required but unusable: {e}"),
+            CoreError::Resolve(e) => write!(f, "resolve error: {e}"),
         }
     }
 }
@@ -35,6 +39,7 @@ impl std::error::Error for CoreError {
             CoreError::Sql(e) => Some(e),
             CoreError::Plan(_) => None,
             CoreError::Snapshot(e) => Some(e),
+            CoreError::Resolve(e) => Some(e),
         }
     }
 }
@@ -48,6 +53,12 @@ impl From<queryer_storage::StorageError> for CoreError {
 impl From<queryer_sql::SqlError> for CoreError {
     fn from(e: queryer_sql::SqlError) -> Self {
         CoreError::Sql(e)
+    }
+}
+
+impl From<queryer_er::ResolveError> for CoreError {
+    fn from(e: queryer_er::ResolveError) -> Self {
+        CoreError::Resolve(e)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::operators::{drain, ExecContext, Operator};
 use crate::tuple::{EntityRef, Tuple};
-use queryer_er::DedupMetrics;
+use queryer_er::{DedupMetrics, ResolveRequest};
 use queryer_storage::RecordId;
 use std::sync::Arc;
 
@@ -70,7 +70,7 @@ pub fn resolve_to_tuples(ctx: &Arc<ExecContext>, table_idx: usize, qe: &[RecordI
     // (same ctx slot), so the lengths always agree, and an unlimited
     // budget never reports WorkerPanicked unless a kernel truly died.
     let outcome = er
-        .resolve_shared(table, qe, &ctx.li[table_idx], &mut er_metrics)
+        .run(ResolveRequest::records(table, qe, &*ctx.li[table_idx]).metrics(&mut er_metrics))
         .expect("resolve against the table's own index");
 
     let cluster_of = {

@@ -7,7 +7,7 @@
 
 use crate::tuple::join_key;
 use queryer_common::FxHashSet;
-use queryer_er::{DedupMetrics, LinkIndex, TableErIndex};
+use queryer_er::{DedupMetrics, LinkIndex, ResolveRequest, TableErIndex};
 use queryer_storage::{RecordId, Table, Value};
 
 /// Records eagerly cleaned at load time for the df estimate.
@@ -44,7 +44,7 @@ pub fn compute_table_stats(table: &Table, er: &TableErIndex) -> TableStats {
     let mut metrics = DedupMetrics::default();
     // invariant: stats sample the table its own index was built from.
     let outcome = er
-        .resolve(table, &sample, &mut li, &mut metrics)
+        .run(ResolveRequest::records(table, &sample, &mut li).metrics(&mut metrics))
         .expect("resolve against the table's own index");
     let clusters: FxHashSet<RecordId> = er.cluster_map(&li, &outcome.dr).into_values().collect();
     TableStats {

@@ -1,0 +1,225 @@
+//! Engine-level incremental ingest: `QueryEngine::ingest` mutates a
+//! registered table in place, folds the batch into the live ER index,
+//! and queries planned afterwards see the new rows — no re-register,
+//! no full rebuild on the happy path.
+//!
+//! The auto-compaction knob (`QUERYER_DELTA_COMPACT_OPS`) is
+//! process-global environment, so every test here serializes on one
+//! mutex and this file is the only test binary that sets the delta
+//! knobs.
+
+use parking_lot::Mutex;
+use queryer_core::engine::QueryEngine;
+use queryer_core::CoreError;
+use queryer_er::{Affected, DeltaOp, ErConfig};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the env lock and restores `QUERYER_DELTA_COMPACT_OPS` on drop
+/// so a panicking assertion can't leak a tiny cap into another test.
+struct CompactCap<'a> {
+    _guard: parking_lot::MutexGuard<'a, ()>,
+}
+
+impl CompactCap<'_> {
+    fn new(cap: Option<usize>) -> Self {
+        let guard = ENV_LOCK.lock();
+        match cap {
+            Some(c) => std::env::set_var("QUERYER_DELTA_COMPACT_OPS", c.to_string()),
+            None => std::env::remove_var("QUERYER_DELTA_COMPACT_OPS"),
+        }
+        CompactCap { _guard: guard }
+    }
+}
+
+impl Drop for CompactCap<'_> {
+    fn drop(&mut self) {
+        std::env::remove_var("QUERYER_DELTA_COMPACT_OPS");
+    }
+}
+
+/// Dirty publications: duplicate clusters {0,1}, {2,3}, {5,6} and two
+/// singletons (same catalog as `engine_integration.rs`).
+const PUBS: &str = "\
+id,title,authors,venue,year
+0,collective entity resolution,allan blake,edbt,2008
+1,collective entity resolution,a. blake,extending database technology,2008
+2,entity resolution on big data,jane davids,sigmod,2017
+3,entity resolution on big data,j. davids,sigmod,2017
+4,query optimization survey,maria lopez,vldb,2015
+5,consumer data matching,lisa davidson,edbt,2015
+6,consumer data matching,l. davidson,edbt,2015
+7,streaming joins at scale,omar haddad,vldb,2019
+";
+
+fn engine() -> QueryEngine {
+    let mut e = QueryEngine::new(ErConfig::default());
+    e.register_csv_str("P", PUBS).unwrap();
+    e
+}
+
+const EDBT_DEDUP: &str = "SELECT DEDUP title, year FROM P WHERE venue = 'edbt'";
+const EDBT_PLAIN: &str = "SELECT title FROM P WHERE venue = 'edbt'";
+
+#[test]
+fn inserted_duplicate_joins_its_cluster() {
+    let _env = CompactCap::new(None);
+    let mut e = engine();
+    assert_eq!(e.execute(EDBT_DEDUP).unwrap().rows.len(), 2);
+
+    // A near-copy of record 0 arrives; plain SQL must surface the raw
+    // row, DEDUP must fold it into cluster {0,1}.
+    let row = e.table("P").unwrap().record(0).unwrap().values.clone();
+    e.ingest("P", &[DeltaOp::Insert { values: row }]).unwrap();
+
+    assert_eq!(e.table("P").unwrap().len(), 9);
+    assert!(e.er_index("P").unwrap().has_delta(), "delta side is live");
+    assert_eq!(e.execute(EDBT_PLAIN).unwrap().rows.len(), 4);
+    assert_eq!(
+        e.execute(EDBT_DEDUP).unwrap().rows.len(),
+        2,
+        "the inserted duplicate must group with its cluster, not add a row"
+    );
+}
+
+#[test]
+fn update_merges_and_delete_shrinks() {
+    let _env = CompactCap::new(None);
+    let mut e = engine();
+    let vldb = "SELECT DEDUP title FROM P WHERE venue = 'vldb'";
+    assert_eq!(e.execute(vldb).unwrap().rows.len(), 2);
+
+    // Record 4 becomes a near-copy of record 7: the two vldb singletons
+    // collapse into one cluster.
+    e.ingest(
+        "P",
+        &[DeltaOp::Update {
+            id: 4,
+            values: vec![
+                "4".into(),
+                "streaming joins at scale".into(),
+                "o. haddad".into(),
+                "vldb".into(),
+                "2019".into(),
+            ],
+        }],
+    )
+    .unwrap();
+    assert_eq!(e.execute(vldb).unwrap().rows.len(), 1);
+
+    // Deleting record 6 nulls the row: plain SQL stops matching it and
+    // cluster {5,6} degrades to the singleton {5}.
+    e.ingest("P", &[DeltaOp::Delete { id: 6 }]).unwrap();
+    assert_eq!(e.execute(EDBT_PLAIN).unwrap().rows.len(), 2);
+    assert_eq!(e.execute(EDBT_DEDUP).unwrap().rows.len(), 2);
+}
+
+#[test]
+fn auto_compaction_triggers_at_the_cap() {
+    let _env = CompactCap::new(Some(2));
+    let mut e = engine();
+    let row = e.table("P").unwrap().record(2).unwrap().values.clone();
+    e.ingest(
+        "P",
+        &[
+            DeltaOp::Insert {
+                values: row.clone(),
+            },
+            DeltaOp::Insert { values: row },
+        ],
+    )
+    .unwrap();
+    let er = e.er_index("P").unwrap();
+    assert!(!er.has_delta(), "2 pending ops >= cap 2 must auto-compact");
+    assert_eq!(er.pending_delta_ops(), 0);
+    assert_eq!(e.table("P").unwrap().len(), 10);
+    assert_eq!(
+        e.execute("SELECT DEDUP title FROM P WHERE venue = 'sigmod'")
+            .unwrap()
+            .rows
+            .len(),
+        1,
+        "both inserted copies fold into cluster {{2,3}}"
+    );
+}
+
+#[test]
+fn explicit_compact_is_decision_identical() {
+    let _env = CompactCap::new(Some(0)); // never auto-compact
+    let mut e = engine();
+    let row = e.table("P").unwrap().record(0).unwrap().values.clone();
+    e.ingest("P", &[DeltaOp::Insert { values: row }]).unwrap();
+    assert!(e.er_index("P").unwrap().has_delta());
+
+    let before = e.execute(EDBT_DEDUP).unwrap().canonical_rows();
+    e.compact("P").unwrap();
+    assert!(!e.er_index("P").unwrap().has_delta());
+    assert_eq!(
+        e.execute(EDBT_DEDUP).unwrap().canonical_rows(),
+        before,
+        "compaction must not change a query result"
+    );
+}
+
+#[test]
+fn shared_index_falls_back_to_rebuild() {
+    let _env = CompactCap::new(None);
+    let mut e = engine();
+    // An in-flight query context still holds the index Arc: the delta
+    // cannot be folded in place, so ingest rebuilds a fresh index and
+    // reports everything affected.
+    let held = e.er_index("P").unwrap();
+    let row = e.table("P").unwrap().record(0).unwrap().values.clone();
+    let applied = e.ingest("P", &[DeltaOp::Insert { values: row }]).unwrap();
+    assert!(matches!(applied.affected, Affected::All));
+
+    let fresh = e.er_index("P").unwrap();
+    assert!(!std::sync::Arc::ptr_eq(&held, &fresh), "index was replaced");
+    assert_eq!(held.n_records(), 8, "the held index still serves old rows");
+    assert_eq!(fresh.n_records(), 9);
+    assert!(!fresh.has_delta(), "a rebuild starts delta-free");
+    assert_eq!(e.execute(EDBT_DEDUP).unwrap().rows.len(), 2);
+}
+
+#[test]
+fn invalid_batches_are_rejected_atomically() {
+    let _env = CompactCap::new(None);
+    let mut e = engine();
+
+    // Second op is bad: nothing from the batch may stick.
+    let good = e.table("P").unwrap().record(0).unwrap().values.clone();
+    let err = e
+        .ingest(
+            "P",
+            &[
+                DeltaOp::Insert { values: good },
+                DeltaOp::Insert {
+                    values: vec!["wrong arity".into()],
+                },
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Plan(_)), "got {err:?}");
+    assert_eq!(e.table("P").unwrap().len(), 8, "batch must not half-apply");
+    assert!(!e.er_index("P").unwrap().has_delta());
+
+    let err = e.ingest("P", &[DeltaOp::Delete { id: 99 }]).unwrap_err();
+    assert!(matches!(err, CoreError::Plan(_)), "got {err:?}");
+
+    let err = e
+        .ingest(
+            "P",
+            &[DeltaOp::Update {
+                id: 8, // out of range — the table has ids 0..=7
+                values: e.table("P").unwrap().record(0).unwrap().values.clone(),
+            }],
+        )
+        .unwrap_err();
+    assert!(matches!(err, CoreError::Plan(_)), "got {err:?}");
+
+    let err = e.ingest("NOPE", &[]).unwrap_err();
+    assert!(matches!(err, CoreError::Plan(_)), "got {err:?}");
+
+    // And the engine still answers queries after every rejection.
+    assert_eq!(e.execute(EDBT_DEDUP).unwrap().rows.len(), 2);
+}

@@ -7,7 +7,7 @@ use queryer_common::knobs::proptest_cases;
 use queryer_common::FxHashSet;
 use queryer_core::engine::{ExecMode, QueryEngine};
 use queryer_datagen::{openaire, person, scholarly};
-use queryer_er::ErConfig;
+use queryer_er::{ErConfig, ResolveRequest};
 use queryer_storage::RecordId;
 
 /// Dataset size for the quality gates, scaled by `QUERYER_PROPTEST_CASES`
@@ -35,7 +35,8 @@ fn full_clean_quality(ds: &queryer_datagen::Dataset, name: &str) -> (f64, f64) {
     // Access the LI indirectly: compare via a fresh resolve on the index.
     let mut li = queryer_er::LinkIndex::new(ds.table.len());
     let mut m = queryer_er::DedupMetrics::default();
-    er.resolve_all(&ds.table, &mut li, &mut m).unwrap();
+    er.run(ResolveRequest::all(&ds.table, &mut li).metrics(&mut m))
+        .unwrap();
     let cluster = er.cluster_map(&li, &all);
     let pc = ds
         .truth

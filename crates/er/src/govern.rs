@@ -282,6 +282,16 @@ pub enum ResolveError {
     /// A previous panic unwound through the index's cache maintenance;
     /// the index refuses further resolves. Rebuild it.
     Poisoned,
+    /// A delta batch handed to
+    /// [`TableErIndex::apply_delta`](crate::TableErIndex::apply_delta)
+    /// does not line up with the table it claims to describe — e.g. an
+    /// insert whose id is not the next dense id, an update of an
+    /// out-of-range record, or a final record count that differs from
+    /// the mutated table's. The index is left untouched.
+    InvalidDelta {
+        /// What was wrong with the batch.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -297,6 +307,9 @@ impl fmt::Display for ResolveError {
             }
             ResolveError::Poisoned => {
                 f.write_str("index poisoned by a panic during cache maintenance; rebuild it")
+            }
+            ResolveError::InvalidDelta { reason } => {
+                write!(f, "invalid delta batch: {reason}")
             }
         }
     }

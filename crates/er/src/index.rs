@@ -122,7 +122,7 @@ impl Default for AttrMeta {
 }
 
 impl AttrMeta {
-    fn of(text: &str) -> Self {
+    pub(crate) fn of(text: &str) -> Self {
         let bytes = text.as_bytes();
         let plen = bytes.len().min(4);
         let mut prefix = [0u8; 4];
@@ -300,6 +300,12 @@ pub struct TableErIndex {
     /// during resolve never set this — workers publish only complete
     /// cache entries, so the index stays sound (see `crate::govern`).
     pub(crate) poisoned: AtomicBool,
+    /// The incremental-ingest delta side ([`crate::delta`]): overlays
+    /// shadowing exactly the rows mutations touched, `None` until the
+    /// first [`TableErIndex::apply_delta`] and again after
+    /// [`TableErIndex::compact`]. Every accessor below merges it with
+    /// the CSR base; the no-delta hot path costs one branch.
+    pub(crate) delta: Option<Box<crate::delta::DeltaIndex>>,
 }
 
 impl TableErIndex {
@@ -437,6 +443,7 @@ impl TableErIndex {
             cbs_adj,
             resolve_cache: ResolveCache::for_config(cfg),
             poisoned: AtomicBool::new(false),
+            delta: None,
         })
     }
 
@@ -457,89 +464,144 @@ impl TableErIndex {
         self.skip_col
     }
 
-    /// Number of records in the indexed table.
+    /// Number of records in the indexed table (including records
+    /// inserted through the delta side).
     pub fn n_records(&self) -> usize {
-        self.n_records
+        match &self.delta {
+            Some(d) => d.n_records,
+            None => self.n_records,
+        }
     }
 
     /// Number of blocks — the paper's |TBI| (Table 7).
     pub fn n_blocks(&self) -> usize {
-        self.raw_blocks.n_rows()
+        match &self.delta {
+            Some(d) => d.n_blocks,
+            None => self.raw_blocks.n_rows(),
+        }
     }
 
     /// Number of blocks that survive Block Purging.
     pub fn n_unpurged_blocks(&self) -> usize {
-        self.purged.iter().filter(|&&p| !p).count()
+        match &self.delta {
+            Some(d) => d.n_unpurged,
+            None => self.purged.iter().filter(|&&p| !p).count(),
+        }
     }
 
     /// The table-level BP threshold.
     pub fn purge_threshold(&self) -> u64 {
-        self.purge_threshold
+        match &self.delta {
+            Some(d) => d.purge_threshold,
+            None => self.purge_threshold,
+        }
     }
 
     /// Block id for a token, if the token occurs in the table.
     pub fn block_of_key(&self, token: &str) -> Option<BlockId> {
-        self.key_to_block.get(token).copied()
+        if let Some(&b) = self.key_to_block.get(token) {
+            return Some(b);
+        }
+        self.delta
+            .as_ref()
+            .and_then(|d| d.new_key_to_block.get(token).copied())
     }
 
     /// The token of a block.
     pub fn block_key(&self, b: BlockId) -> &str {
-        &self.keys[b as usize]
+        match &self.delta {
+            Some(d) => d.key_of(self, b),
+            None => &self.keys[b as usize],
+        }
     }
 
     /// Full (pre meta-blocking) contents of a block.
     #[inline]
     pub fn raw_block(&self, b: BlockId) -> &[RecordId] {
-        self.raw_blocks.row(b as usize)
+        match &self.delta {
+            Some(d) => d.raw_row(self, b),
+            None => self.raw_blocks.row(b as usize),
+        }
     }
 
     /// Post BP+BF contents of a block (empty when purged).
     #[inline]
     pub fn filtered_block(&self, b: BlockId) -> &[RecordId] {
-        self.filtered_blocks.row(b as usize)
+        match &self.delta {
+            Some(d) => d.filtered_row(self, b),
+            None => self.filtered_blocks.row(b as usize),
+        }
     }
 
     /// Whether BP removed this block.
     pub fn is_purged(&self, b: BlockId) -> bool {
-        self.purged[b as usize]
+        match &self.delta {
+            Some(d) => d.purged[b as usize],
+            None => self.purged[b as usize],
+        }
     }
 
     /// ITBI lookup: all blocks of a record, ascending by size.
     #[inline]
     pub fn blocks_of(&self, id: RecordId) -> &[BlockId] {
-        self.entity_blocks.row(id as usize)
+        match &self.delta {
+            Some(d) => d.blocks_row(self, id),
+            None => self.entity_blocks.row(id as usize),
+        }
     }
 
     /// Blocks the record retains after BP+BF (prefix of `blocks_of`).
     #[inline]
     pub fn retained_blocks(&self, id: RecordId) -> &[BlockId] {
-        self.entity_retained.row(id as usize)
+        match &self.delta {
+            Some(d) => d.retained_row(self, id),
+            None => self.entity_retained.row(id as usize),
+        }
     }
 
     /// Whether `id` retains block `b` (binary search on the filtered
     /// contents, which are sorted by record id).
     pub fn retains(&self, id: RecordId, b: BlockId) -> bool {
-        self.filtered_blocks
-            .row(b as usize)
-            .binary_search(&id)
-            .is_ok()
+        self.filtered_block(b).binary_search(&id).is_ok()
     }
 
     /// Total block assignments Σ|b| over raw blocks.
     pub fn total_assignments(&self) -> u64 {
-        self.raw_blocks.total_len() as u64
+        match &self.delta {
+            Some(d) => (0..d.n_blocks)
+                .map(|b| d.raw_row(self, b as BlockId).len() as u64)
+                .sum(),
+            None => self.raw_blocks.total_len() as u64,
+        }
     }
 
     /// Total comparisons ‖B‖ = Σ‖b‖ over raw blocks.
     pub fn total_comparisons(&self) -> u64 {
-        self.raw_blocks.rows().map(|b| cardinality(b.len())).sum()
+        match &self.delta {
+            Some(d) => (0..d.n_blocks)
+                .map(|b| cardinality(d.raw_row(self, b as BlockId).len()))
+                .sum(),
+            None => self.raw_blocks.rows().map(|b| cardinality(b.len())).sum(),
+        }
     }
 
     /// The record's interned comparison profile (pre-lowercased
     /// attributes + sorted token symbols) — the Comparison-Execution
-    /// hot-path view.
+    /// hot-path view. Symbols minted for delta-only tokens sit above
+    /// [`TableErIndex::interner`]'s range; the kernels compare symbols
+    /// only for equality, which stays exact across base and delta
+    /// records (a token textually present in the base always reuses
+    /// its base symbol).
     #[inline]
     pub fn profile(&self, id: RecordId) -> InternedProfile<'_> {
+        if let Some(d) = &self.delta {
+            if let Some(attrs) = d.row_attrs.get(&id) {
+                return InternedProfile {
+                    attrs,
+                    tokens: d.row_tokens.get(&id).map(Vec::as_slice).unwrap_or(&[]),
+                };
+            }
+        }
         let base = id as usize * self.n_cols;
         InternedProfile {
             attrs: &self.lower_attrs[base..base + self.n_cols],
@@ -550,6 +612,11 @@ impl TableErIndex {
     /// Sorted interned profile-token symbols of a record.
     #[inline]
     pub fn profile_tokens(&self, id: RecordId) -> &[u32] {
+        if let Some(d) = &self.delta {
+            if let Some(tokens) = d.row_tokens.get(&id) {
+                return tokens;
+            }
+        }
         self.profile_tokens.get(id as usize)
     }
 
@@ -557,13 +624,34 @@ impl TableErIndex {
     /// schema column aligned with [`TableErIndex::profile`]'s `attrs`.
     #[inline]
     pub fn attr_meta(&self, id: RecordId) -> &[AttrMeta] {
+        if let Some(d) = &self.delta {
+            if let Some(meta) = d.row_meta.get(&id) {
+                return meta;
+            }
+        }
         let base = id as usize * self.n_cols;
         &self.attr_meta[base..base + self.n_cols]
     }
 
     /// The profile-token interner (diagnostics and foreign probes).
+    /// With a live delta, tokens first seen through mutations carry
+    /// symbols at or above `interner().len()` and are not resolvable
+    /// here; [`TableErIndex::resolve_token`] covers both ranges.
     pub fn interner(&self) -> &TokenInterner {
         &self.interner
+    }
+
+    /// Resolves a profile-token symbol to its text across both the
+    /// base interner and the delta-minted extension range.
+    pub fn resolve_token(&self, sym: u32) -> &str {
+        if (sym as usize) < self.interner.len() {
+            return self.interner.resolve(sym);
+        }
+        let d = self
+            .delta
+            .as_ref()
+            .expect("symbols above the interner range exist only with a live delta");
+        &d.ext_tokens[sym as usize - self.interner.len()]
     }
 
     /// Scratch-based co-occurrence counting: fills `scratch` with the
@@ -579,6 +667,42 @@ impl TableErIndex {
         id: RecordId,
         scratch: &'s mut CooccurrenceScratch,
     ) -> &'s [(RecordId, u32)] {
+        if let Some(d) = &self.delta {
+            if let Some(row) = d.cbs_rows.get(&id) {
+                scratch.out.clear();
+                scratch.out.extend_from_slice(row);
+                return &scratch.out;
+            }
+            if let Some(adj) = &self.cbs_adj {
+                // Not dirty in any applied delta: the base partial row
+                // is still exact under the merged view.
+                scratch.out.clear();
+                scratch.out.extend_from_slice(adj.row(id as usize));
+                return &scratch.out;
+            }
+            // No partials: count live over the merged blocking graph.
+            if scratch.counts.len() < d.n_records {
+                scratch.counts.resize(d.n_records, 0);
+            }
+            scratch.out.clear();
+            for &b in d.retained_row(self, id) {
+                for &other in d.filtered_row(self, b) {
+                    if other != id {
+                        let c = &mut scratch.counts[other as usize];
+                        if *c == 0 {
+                            scratch.out.push((other, 0));
+                        }
+                        *c += 1;
+                    }
+                }
+            }
+            for (rid, cnt) in &mut scratch.out {
+                let c = &mut scratch.counts[*rid as usize];
+                *cnt = *c;
+                *c = 0;
+            }
+            return &scratch.out;
+        }
         if let Some(adj) = &self.cbs_adj {
             scratch.out.clear();
             scratch.out.extend_from_slice(adj.row(id as usize));
@@ -595,9 +719,17 @@ impl TableErIndex {
 
     /// Zero-copy view of `id`'s CBS partials (neighbour + common-block
     /// count, first-touch order), when the index was built with Edge
-    /// Pruning and a cache-enabled `ErConfig::ep_cache`.
+    /// Pruning and a cache-enabled `ErConfig::ep_cache`. With a live
+    /// delta, records whose neighbourhood a mutation touched serve
+    /// their eagerly re-materialized delta row instead.
     #[inline]
     pub fn cbs_neighbourhood(&self, id: RecordId) -> Option<&[(RecordId, u32)]> {
+        self.cbs_adj.as_ref()?;
+        if let Some(d) = &self.delta {
+            if let Some(row) = d.cbs_rows.get(&id) {
+                return Some(row);
+            }
+        }
         self.cbs_adj.as_ref().map(|adj| adj.row(id as usize))
     }
 
@@ -1096,11 +1228,12 @@ fn build_cbs_adjacency(
     Ok(adj)
 }
 
-/// `n(n-1)/2`.
+/// `n(n-1)/2`. Zero for the empty block (deltas can drain a block that
+/// a from-scratch build would simply not have).
 #[inline]
 pub fn cardinality(n: usize) -> u64 {
     let n = n as u64;
-    n * (n - 1) / 2
+    n * n.saturating_sub(1) / 2
 }
 
 #[cfg(test)]

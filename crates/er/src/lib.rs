@@ -130,6 +130,7 @@
 
 pub mod blocking;
 pub mod config;
+pub mod delta;
 pub mod edge_pruning;
 pub mod govern;
 pub mod index;
@@ -138,6 +139,7 @@ pub mod link_index;
 pub mod matching;
 pub mod metrics;
 pub mod purging;
+pub mod request;
 pub mod resolver;
 pub mod similarity;
 pub mod snapshot;
@@ -148,6 +150,7 @@ pub use config::{
     BlockingKind, EdgePruningScope, EpCacheMode, ErConfig, MetaBlockingConfig, SimilarityKind,
     WeightScheme,
 };
+pub use delta::{Affected, AppliedDelta, DeltaOp};
 pub use govern::{Completion, ResolveBudget, ResolveError, ResolveStage};
 pub use index::{AttrMeta, BlockId, CooccurrenceScratch, InternedProfile, TableErIndex};
 pub use kernel::{CompareKernel, CompiledMatcher, KernelScratch, QuerySide};
@@ -155,6 +158,7 @@ pub use link_index::{LinkDelta, LinkIndex};
 pub use matching::{Matcher, TokenizerScratch};
 pub use metrics::DedupMetrics;
 pub use queryer_common::CancelToken;
+pub use request::{LiMode, ResolveRequest, ResolveTarget};
 pub use resolver::ResolveOutcome;
 pub use snapshot::{
     content_fingerprint, open_index_snapshot, open_index_snapshot_with_caches, snapshot_path,

@@ -109,6 +109,54 @@ impl LinkIndex {
         seen
     }
 
+    /// Extends coverage to a table that has grown to `n` records; the
+    /// new tail starts unresolved and linkless. Shrinking is not a thing
+    /// — deletes keep their dense id as an all-NULL row.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.resolved.len() {
+            self.resolved.resize(n, false);
+        }
+    }
+
+    /// Drops everything the index claims about `ids`: their resolved
+    /// flags and every link incident to them (both directions, so the
+    /// adjacency stays symmetric). A record that *loses* an edge this
+    /// way is unresolved too — its stored link-set is no longer the
+    /// complete answer a resolved mark promises, so the next query must
+    /// recompute it. This is the ingest path's targeted invalidation —
+    /// everything not incident to an invalidated id stays warm.
+    pub fn invalidate(&mut self, ids: &[RecordId]) {
+        let set: FxHashSet<RecordId> = ids.iter().copied().collect();
+        for &id in &set {
+            if (id as usize) < self.resolved.len() {
+                self.resolved[id as usize] = false;
+            }
+            if let Some(ns) = self.adj.remove(&id) {
+                for n in ns {
+                    if set.contains(&n) {
+                        // Pair between two invalidated ids: both sides'
+                        // lists are dropped whole; count it exactly once
+                        // (at the smaller endpoint, order-independent).
+                        if id < n {
+                            self.n_links -= 1;
+                        }
+                        continue;
+                    }
+                    self.n_links -= 1;
+                    if (n as usize) < self.resolved.len() {
+                        self.resolved[n as usize] = false;
+                    }
+                    if let Some(back) = self.adj.get_mut(&n) {
+                        back.retain(|&x| x != id);
+                        if back.is_empty() {
+                            self.adj.remove(&n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Forgets everything (used by the "Without LI" ablation of Fig. 11).
     pub fn clear(&mut self) {
         self.resolved.iter_mut().for_each(|r| *r = false);

@@ -1,0 +1,163 @@
+//! The unified resolve entry point: one [`ResolveRequest`] describes
+//! *what* to resolve (a query entity set or the whole table), *how* the
+//! Link Index is accessed (exclusive `&mut` or a shared `RwLock`), and
+//! the optional trimmings (a [`ResolveBudget`], a [`DedupMetrics`]
+//! sink) — executed by [`TableErIndex::run`].
+//!
+//! This replaces the historical seven-way `resolve*` method matrix
+//! (point/all × exclusive/shared × governed/ungoverned), which scaled
+//! multiplicatively with every new axis. The old names survive as thin
+//! `#[deprecated]` shims that build the equivalent request, so every
+//! path through them is *the* path: one entry check, one round loop,
+//! decision-identical by construction.
+//!
+//! ```
+//! use queryer_er::{ErConfig, LinkIndex, ResolveRequest, TableErIndex};
+//! use queryer_storage::{Schema, Table};
+//!
+//! let mut table = Table::new("people", Schema::of_strings(&["id", "name"]));
+//! table.push_row(vec!["0".into(), "jo ann smith".into()]).unwrap();
+//! table.push_row(vec!["1".into(), "jo ann smith".into()]).unwrap();
+//! let idx = TableErIndex::build(&table, &ErConfig::default());
+//! let mut li = LinkIndex::new(table.len());
+//!
+//! // Point query, exclusive LI:
+//! let out = idx.run(ResolveRequest::records(&table, &[0], &mut li)).unwrap();
+//! assert_eq!(out.dr, vec![0, 1]);
+//!
+//! // Whole table, with metrics:
+//! let mut m = queryer_er::DedupMetrics::default();
+//! let out = idx
+//!     .run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+//!     .unwrap();
+//! assert!(out.completion.is_complete());
+//! ```
+
+use crate::govern::{ResolveBudget, ResolveError};
+use crate::index::TableErIndex;
+use crate::link_index::LinkIndex;
+use crate::metrics::DedupMetrics;
+use crate::resolver::ResolveOutcome;
+use parking_lot::RwLock;
+use queryer_storage::{RecordId, Table};
+
+/// What a resolve targets: an explicit query entity set, or every
+/// record of the table (the batch-ER building block).
+#[derive(Debug, Clone, Copy)]
+pub enum ResolveTarget<'a> {
+    /// Resolve these query entities (duplicates found transitively per
+    /// the config).
+    Records(&'a [RecordId]),
+    /// Resolve the whole table.
+    All,
+}
+
+/// How the resolve touches the Link Index: the historical exclusive
+/// `&mut` path, or the concurrent-serving shared path (short-lived read
+/// locks + one delta commit). Both `&mut LinkIndex` and
+/// `&RwLock<LinkIndex>` convert [`Into`] this, so call sites just pass
+/// whichever they hold.
+pub enum LiMode<'a> {
+    /// Direct mutable access; bit-identical to the pre-concurrency
+    /// resolve path.
+    Exclusive(&'a mut LinkIndex),
+    /// Lock-striped access for N concurrent resolvers over one shared
+    /// index.
+    Shared(&'a RwLock<LinkIndex>),
+}
+
+impl<'a> From<&'a mut LinkIndex> for LiMode<'a> {
+    fn from(li: &'a mut LinkIndex) -> Self {
+        LiMode::Exclusive(li)
+    }
+}
+
+impl<'a> From<&'a RwLock<LinkIndex>> for LiMode<'a> {
+    fn from(li: &'a RwLock<LinkIndex>) -> Self {
+        LiMode::Shared(li)
+    }
+}
+
+/// One resolve call, fully described: target, Link-Index access mode,
+/// and optional budget / metrics sink. Build with
+/// [`ResolveRequest::records`] or [`ResolveRequest::all`], refine with
+/// the builder methods, execute with [`TableErIndex::run`].
+pub struct ResolveRequest<'a> {
+    pub(crate) table: &'a Table,
+    pub(crate) target: ResolveTarget<'a>,
+    pub(crate) li: LiMode<'a>,
+    pub(crate) budget: Option<ResolveBudget>,
+    pub(crate) metrics: Option<&'a mut DedupMetrics>,
+}
+
+impl<'a> ResolveRequest<'a> {
+    /// A request resolving the query entities `qe` of `table`. `li`
+    /// accepts `&mut LinkIndex` (exclusive) or `&RwLock<LinkIndex>`
+    /// (shared/concurrent).
+    pub fn records(table: &'a Table, qe: &'a [RecordId], li: impl Into<LiMode<'a>>) -> Self {
+        Self {
+            table,
+            target: ResolveTarget::Records(qe),
+            li: li.into(),
+            budget: None,
+            metrics: None,
+        }
+    }
+
+    /// A request resolving every record of `table` (batch ER).
+    pub fn all(table: &'a Table, li: impl Into<LiMode<'a>>) -> Self {
+        Self {
+            table,
+            target: ResolveTarget::All,
+            li: li.into(),
+            budget: None,
+            metrics: None,
+        }
+    }
+
+    /// Governs the resolve with `budget` (deadline / comparison cap /
+    /// cancel token). Without this the run is unlimited — the
+    /// historical ungoverned path bit-for-bit.
+    pub fn budget(mut self, budget: ResolveBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Accumulates stage timings and counters into `metrics`. Without
+    /// this a scratch sink is used and discarded.
+    pub fn metrics(mut self, metrics: &'a mut DedupMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+impl TableErIndex {
+    /// Executes a [`ResolveRequest`] — the one resolve entry point.
+    /// Every historical `resolve*` method is a shim over this; see the
+    /// [module docs](crate::request) for examples and the
+    /// deprecation rationale.
+    pub fn run(&self, req: ResolveRequest<'_>) -> Result<ResolveOutcome, ResolveError> {
+        let ResolveRequest {
+            table,
+            target,
+            li,
+            budget,
+            metrics,
+        } = req;
+        let budget = budget.unwrap_or_default();
+        let mut scratch = DedupMetrics::default();
+        let metrics = metrics.unwrap_or(&mut scratch);
+        let all: Vec<RecordId>;
+        let qe: &[RecordId] = match target {
+            ResolveTarget::Records(qe) => qe,
+            ResolveTarget::All => {
+                all = (0..table.len() as RecordId).collect();
+                &all
+            }
+        };
+        match li {
+            LiMode::Exclusive(li) => self.run_exclusive(table, qe, li, metrics, &budget),
+            LiMode::Shared(lock) => self.run_shared(table, qe, lock, metrics, &budget),
+        }
+    }
+}

@@ -19,6 +19,7 @@ use crate::kernel::{CompiledMatcher, KernelScratch, QuerySide};
 use crate::link_index::{LinkDelta, LinkIndex};
 use crate::matching::{Matcher, TokenizerScratch};
 use crate::metrics::DedupMetrics;
+use crate::request::ResolveRequest;
 use parking_lot::{RwLock, RwLockReadGuard};
 use queryer_common::failpoints;
 use queryer_common::{pack_pair, FxHashMap, FxHashSet, PairSet, Stopwatch};
@@ -227,6 +228,7 @@ impl TableErIndex {
     /// counts. Entities already resolved in the LI are served from it
     /// ("we only need to compute the link-sets of those entities in QE_E
     /// that are not already in LI_E", Sec. 6.1).
+    #[deprecated(note = "use `run(ResolveRequest::records(table, qe, li).metrics(metrics))`")]
     pub fn resolve(
         &self,
         table: &Table,
@@ -234,15 +236,16 @@ impl TableErIndex {
         li: &mut LinkIndex,
         metrics: &mut DedupMetrics,
     ) -> Result<ResolveOutcome, ResolveError> {
-        self.resolve_governed(table, qe, li, metrics, &ResolveBudget::unlimited())
+        self.run(ResolveRequest::records(table, qe, li).metrics(metrics))
     }
 
-    /// [`TableErIndex::resolve`] under a [`ResolveBudget`]: the loop
-    /// polls the budget at round starts, the bulk Edge-Pruning sweep
-    /// polls it between worker chunks, and Comparison-Execution runs in
-    /// budget-clamped batches — so an exhausted budget or an external
-    /// cancel stops work at the next chunk boundary and the call returns
-    /// a partial-but-valid outcome whose [`ResolveOutcome::completion`]
+    /// [`TableErIndex::run`] with an exclusive-`&mut` Link Index — see
+    /// the [`crate::request`] module. The loop polls the budget at
+    /// round starts, the bulk Edge-Pruning sweep polls it between
+    /// worker chunks, and Comparison-Execution runs in budget-clamped
+    /// batches — so an exhausted budget or an external cancel stops
+    /// work at the next chunk boundary and the call returns a
+    /// partial-but-valid outcome whose [`ResolveOutcome::completion`]
     /// reports the stage and comparison count.
     ///
     /// Partial-run guarantees (pinned by `tests/budget_equivalence.rs`):
@@ -252,7 +255,7 @@ impl TableErIndex {
     /// subset of the full run's links; and a truncated round never marks
     /// its frontier resolved, so re-resolving with more budget converges
     /// to the full answer.
-    pub fn resolve_governed(
+    pub(crate) fn run_exclusive(
         &self,
         table: &Table,
         qe: &[RecordId],
@@ -273,6 +276,25 @@ impl TableErIndex {
         })
     }
 
+    /// Budgeted point-query resolve with an exclusive Link Index.
+    #[deprecated(
+        note = "use `run(ResolveRequest::records(table, qe, li).budget(..).metrics(metrics))`"
+    )]
+    pub fn resolve_governed(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &mut LinkIndex,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.run(
+            ResolveRequest::records(table, qe, li)
+                .budget(budget.clone())
+                .metrics(metrics),
+        )
+    }
+
     /// [`TableErIndex::resolve`] against a *shared* Link Index — the
     /// concurrent-serving entry point. N threads may call this for N
     /// different queries over one `Arc<TableErIndex>` and one
@@ -291,6 +313,7 @@ impl TableErIndex {
     /// `tests/concurrent_equivalence.rs`). A query that discovers
     /// nothing new (the warm, fully-resolved common case) skips the
     /// write lock entirely, so warm reads scale with reader concurrency.
+    #[deprecated(note = "use `run(ResolveRequest::records(table, qe, li).metrics(metrics))`")]
     pub fn resolve_shared(
         &self,
         table: &Table,
@@ -298,18 +321,18 @@ impl TableErIndex {
         li: &RwLock<LinkIndex>,
         metrics: &mut DedupMetrics,
     ) -> Result<ResolveOutcome, ResolveError> {
-        self.resolve_shared_governed(table, qe, li, metrics, &ResolveBudget::unlimited())
+        self.run(ResolveRequest::records(table, qe, li).metrics(metrics))
     }
 
-    /// [`TableErIndex::resolve_shared`] under a [`ResolveBudget`] — the
-    /// same polling points and partial-run guarantees as
-    /// [`TableErIndex::resolve_governed`], with one addition: a
-    /// truncated round's marks never enter the delta, so a budget-
-    /// stopped commit publishes only complete link-sets and retrying
-    /// with more budget converges exactly as on the exclusive path. On
-    /// error (worker panic, poisoned index) nothing is committed — a
-    /// failed query leaves the shared LI untouched.
-    pub fn resolve_shared_governed(
+    /// [`TableErIndex::run`] with a shared `RwLock` Link Index, under a
+    /// [`ResolveBudget`] — the same polling points and partial-run
+    /// guarantees as [`TableErIndex::run_exclusive`], with one
+    /// addition: a truncated round's marks never enter the delta, so a
+    /// budget-stopped commit publishes only complete link-sets and
+    /// retrying with more budget converges exactly as on the exclusive
+    /// path. On error (worker panic, poisoned index) nothing is
+    /// committed — a failed query leaves the shared LI untouched.
+    pub(crate) fn run_shared(
         &self,
         table: &Table,
         qe: &[RecordId],
@@ -366,16 +389,34 @@ impl TableErIndex {
         })
     }
 
-    /// [`TableErIndex::resolve_all`] against a shared Link Index — see
-    /// [`TableErIndex::resolve_shared`].
+    /// Budgeted point-query resolve against a shared Link Index.
+    #[deprecated(
+        note = "use `run(ResolveRequest::records(table, qe, li).budget(..).metrics(metrics))`"
+    )]
+    pub fn resolve_shared_governed(
+        &self,
+        table: &Table,
+        qe: &[RecordId],
+        li: &RwLock<LinkIndex>,
+        metrics: &mut DedupMetrics,
+        budget: &ResolveBudget,
+    ) -> Result<ResolveOutcome, ResolveError> {
+        self.run(
+            ResolveRequest::records(table, qe, li)
+                .budget(budget.clone())
+                .metrics(metrics),
+        )
+    }
+
+    /// Whole-table resolve against a shared Link Index.
+    #[deprecated(note = "use `run(ResolveRequest::all(table, li).metrics(metrics))`")]
     pub fn resolve_all_shared(
         &self,
         table: &Table,
         li: &RwLock<LinkIndex>,
         metrics: &mut DedupMetrics,
     ) -> Result<ResolveOutcome, ResolveError> {
-        let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
-        self.resolve_shared(table, &all, li, metrics)
+        self.run(ResolveRequest::all(table, li).metrics(metrics))
     }
 
     /// Entry checks shared by every resolve flavour.
@@ -554,17 +595,18 @@ impl TableErIndex {
     }
 
     /// Resolves the entire table (the batch-ER building block).
+    #[deprecated(note = "use `run(ResolveRequest::all(table, li).metrics(metrics))`")]
     pub fn resolve_all(
         &self,
         table: &Table,
         li: &mut LinkIndex,
         metrics: &mut DedupMetrics,
     ) -> Result<ResolveOutcome, ResolveError> {
-        self.resolve_all_governed(table, li, metrics, &ResolveBudget::unlimited())
+        self.run(ResolveRequest::all(table, li).metrics(metrics))
     }
 
-    /// [`TableErIndex::resolve_all`] under a [`ResolveBudget`] — see
-    /// [`TableErIndex::resolve_governed`].
+    /// Budgeted whole-table resolve with an exclusive Link Index.
+    #[deprecated(note = "use `run(ResolveRequest::all(table, li).budget(..).metrics(metrics))`")]
     pub fn resolve_all_governed(
         &self,
         table: &Table,
@@ -572,8 +614,11 @@ impl TableErIndex {
         metrics: &mut DedupMetrics,
         budget: &ResolveBudget,
     ) -> Result<ResolveOutcome, ResolveError> {
-        let all: Vec<RecordId> = (0..table.len() as RecordId).collect();
-        self.resolve_governed(table, &all, li, metrics, budget)
+        self.run(
+            ResolveRequest::all(table, li)
+                .budget(budget.clone())
+                .metrics(metrics),
+        )
     }
 
     /// Order-preserving first-occurrence dedup of frontier candidates,
@@ -1537,7 +1582,9 @@ mod tests {
         let idx = TableErIndex::build(&table, cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&table, qe, &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::records(&table, qe, &mut li).metrics(&mut m))
+            .unwrap();
         (out, m, li)
     }
 
@@ -1590,7 +1637,9 @@ mod tests {
 
         let mut li_cold = LinkIndex::new(table.len());
         let mut m_cold = DedupMetrics::default();
-        let out_cold = idx.resolve_all(&table, &mut li_cold, &mut m_cold).unwrap();
+        let out_cold = idx
+            .run(ResolveRequest::all(&table, &mut li_cold).metrics(&mut m_cold))
+            .unwrap();
         assert_eq!(m_cold.ep_cache_hits, 0, "nothing cached before query 1");
         assert!(m_cold.ep_cache_misses > 0);
         assert_eq!(m_cold.decision_cache_hits, 0);
@@ -1601,7 +1650,9 @@ mod tests {
         // must match the cold pass exactly.
         let mut li_warm = LinkIndex::new(table.len());
         let mut m_warm = DedupMetrics::default();
-        let out_warm = idx.resolve_all(&table, &mut li_warm, &mut m_warm).unwrap();
+        let out_warm = idx
+            .run(ResolveRequest::all(&table, &mut li_warm).metrics(&mut m_warm))
+            .unwrap();
         assert_eq!(out_warm.dr, out_cold.dr);
         assert_eq!(out_warm.new_links, out_cold.new_links);
         assert_eq!(m_warm.comparisons, m_cold.comparisons);
@@ -1621,7 +1672,8 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve(&table, &[0], &mut li, &mut m).unwrap();
+        idx.run(ResolveRequest::records(&table, &[0], &mut li).metrics(&mut m))
+            .unwrap();
         let (_, survivors, _) = idx.resolve_cache_sizes();
         assert_eq!(
             survivors as u64, m.entities_processed,
@@ -1638,7 +1690,8 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li, &mut m).unwrap();
+        idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+            .unwrap();
         assert_eq!(idx.resolve_cache_sizes(), (0, 0, 0));
         assert_eq!(m.ep_cache_hits + m.ep_cache_misses, 0);
         assert_eq!(m.decision_cache_hits + m.decision_cache_misses, 0);
@@ -1651,10 +1704,13 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m1 = DedupMetrics::default();
-        idx.resolve(&table, &[0, 1], &mut li, &mut m1).unwrap();
+        idx.run(ResolveRequest::records(&table, &[0, 1], &mut li).metrics(&mut m1))
+            .unwrap();
         assert!(m1.comparisons > 0);
         let mut m2 = DedupMetrics::default();
-        let out2 = idx.resolve(&table, &[0, 1], &mut li, &mut m2).unwrap();
+        let out2 = idx
+            .run(ResolveRequest::records(&table, &[0, 1], &mut li).metrics(&mut m2))
+            .unwrap();
         assert_eq!(
             m2.comparisons, 0,
             "resolved entities must be served from LI"
@@ -1677,14 +1733,18 @@ mod tests {
         let idx = TableErIndex::build(&t, &cfg);
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0], &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::records(&t, &[0], &mut li).metrics(&mut m))
+            .unwrap();
         assert_eq!(out.dr, vec![0, 1, 2], "C reachable only through B");
 
         cfg.transitive = false;
         let idx = TableErIndex::build(&t, &cfg);
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0], &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::records(&t, &[0], &mut li).metrics(&mut m))
+            .unwrap();
         assert_eq!(out.dr, vec![0, 1], "no expansion without transitivity");
     }
 
@@ -1696,12 +1756,14 @@ mod tests {
 
         let mut li_batch = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li_batch, &mut m).unwrap();
+        idx.run(ResolveRequest::all(&table, &mut li_batch).metrics(&mut m))
+            .unwrap();
 
         let mut li_inc = LinkIndex::new(table.len());
         for q in 0..table.len() as RecordId {
             let mut m = DedupMetrics::default();
-            idx.resolve(&table, &[q], &mut li_inc, &mut m).unwrap();
+            idx.run(ResolveRequest::records(&table, &[q], &mut li_inc).metrics(&mut m))
+                .unwrap();
         }
         for a in 0..table.len() as RecordId {
             for b in 0..table.len() as RecordId {
@@ -1734,12 +1796,15 @@ mod tests {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li_par = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li_par, &mut m).unwrap();
+        idx.run(ResolveRequest::all(&table, &mut li_par).metrics(&mut m))
+            .unwrap();
 
         let idx_seq = TableErIndex::build(&table, &ErConfig::default());
         let mut li_seq = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx_seq.resolve_all(&table, &mut li_seq, &mut m).unwrap();
+        idx_seq
+            .run(ResolveRequest::all(&table, &mut li_seq).metrics(&mut m))
+            .unwrap();
         assert_eq!(li_par.link_count(), li_seq.link_count());
     }
 
@@ -1767,7 +1832,9 @@ mod tests {
             .unwrap();
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let err = idx.resolve(&short, &[0], &mut li, &mut m).unwrap_err();
+        let err = idx
+            .run(ResolveRequest::records(&short, &[0], &mut li).metrics(&mut m))
+            .unwrap_err();
         assert_eq!(
             err,
             ResolveError::TableMismatch {
@@ -1788,7 +1855,11 @@ mod tests {
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_governed(&table, &[0, 1, 2, 3, 4], &mut li, &mut m, &budget)
+            .run(
+                ResolveRequest::records(&table, &[0, 1, 2, 3, 4], &mut li)
+                    .budget(budget.clone())
+                    .metrics(&mut m),
+            )
             .unwrap();
         assert_eq!(
             out.completion,
@@ -1810,7 +1881,11 @@ mod tests {
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_governed(&table, &[0, 1, 2, 3, 4], &mut li, &mut m, &budget)
+            .run(
+                ResolveRequest::records(&table, &[0, 1, 2, 3, 4], &mut li)
+                    .budget(budget.clone())
+                    .metrics(&mut m),
+            )
             .unwrap();
         assert!(!out.completion.is_complete());
         assert_eq!(m.comparisons, 0);
@@ -1824,13 +1899,18 @@ mod tests {
         let idx = TableErIndex::build(&table, &ErConfig::default());
         let mut li_full = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        idx.resolve_all(&table, &mut li_full, &mut m).unwrap();
+        idx.run(ResolveRequest::all(&table, &mut li_full).metrics(&mut m))
+            .unwrap();
         for cap in 0..=m.comparisons {
             let budget = ResolveBudget::unlimited().with_max_comparisons(cap);
             let mut li = LinkIndex::new(table.len());
             let mut mb = DedupMetrics::default();
             let out = idx
-                .resolve_all_governed(&table, &mut li, &mut mb, &budget)
+                .run(
+                    ResolveRequest::all(&table, &mut li)
+                        .budget(budget.clone())
+                        .metrics(&mut mb),
+                )
                 .unwrap();
             assert!(mb.comparisons <= cap, "cap {cap} exceeded");
             for a in 0..table.len() as RecordId {
@@ -1857,9 +1937,92 @@ mod tests {
         let idx = TableErIndex::build(&t, &ErConfig::default());
         let mut li = LinkIndex::new(t.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&t, &[0, 1], &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::records(&t, &[0, 1], &mut li).metrics(&mut m))
+            .unwrap();
         assert_eq!(out.dr, vec![0, 1]);
         assert_eq!(m.comparisons, 0, "all-null records share no blocks");
         assert_eq!(li.link_count(), 0);
+    }
+
+    /// Every deprecated `resolve*` shim must produce exactly what the
+    /// equivalent [`ResolveRequest`] produces — same DR, same links,
+    /// same comparison count. Pins the delegation, so the shims can
+    /// never drift from the one real entry point.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_run() {
+        let table = dirty_table();
+        let cfg = ErConfig::default();
+        let idx = TableErIndex::build(&table, &cfg);
+        let budget = ResolveBudget::unlimited();
+        let qe: Vec<RecordId> = vec![0, 1];
+
+        let reference = |req_of: &dyn Fn(&mut LinkIndex, &mut DedupMetrics) -> ResolveOutcome| {
+            let mut li = LinkIndex::new(table.len());
+            let mut m = DedupMetrics::default();
+            let out = req_of(&mut li, &mut m);
+            (out.dr, li.link_count(), m.comparisons, m.matches_found)
+        };
+
+        // Point-query exclusive: resolve / resolve_governed vs run.
+        let want = reference(&|li, m| {
+            idx.run(ResolveRequest::records(&table, &qe, li).metrics(m))
+                .unwrap()
+        });
+        let got = reference(&|li, m| idx.resolve(&table, &qe, li, m).unwrap());
+        assert_eq!(got, want, "resolve shim drifted");
+        let got = reference(&|li, m| idx.resolve_governed(&table, &qe, li, m, &budget).unwrap());
+        assert_eq!(got, want, "resolve_governed shim drifted");
+
+        // Point-query shared: resolve_shared / resolve_shared_governed.
+        let shared_want = {
+            let li = RwLock::new(LinkIndex::new(table.len()));
+            let mut m = DedupMetrics::default();
+            let out = idx
+                .run(ResolveRequest::records(&table, &qe, &li).metrics(&mut m))
+                .unwrap();
+            let links = li.read().link_count();
+            (out.dr, links, m.comparisons)
+        };
+        let li = RwLock::new(LinkIndex::new(table.len()));
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve_shared(&table, &qe, &li, &mut m).unwrap();
+        assert_eq!(
+            (out.dr, li.read().link_count(), m.comparisons),
+            shared_want,
+            "resolve_shared shim drifted"
+        );
+        let li = RwLock::new(LinkIndex::new(table.len()));
+        let mut m = DedupMetrics::default();
+        let out = idx
+            .resolve_shared_governed(&table, &qe, &li, &mut m, &budget)
+            .unwrap();
+        assert_eq!(
+            (out.dr, li.read().link_count(), m.comparisons),
+            shared_want,
+            "resolve_shared_governed shim drifted"
+        );
+
+        // Whole-table: resolve_all / resolve_all_governed /
+        // resolve_all_shared vs run(All).
+        let want = reference(&|li, m| idx.run(ResolveRequest::all(&table, li).metrics(m)).unwrap());
+        let got = reference(&|li, m| idx.resolve_all(&table, li, m).unwrap());
+        assert_eq!(got, want, "resolve_all shim drifted");
+        let got = reference(&|li, m| idx.resolve_all_governed(&table, li, m, &budget).unwrap());
+        assert_eq!(got, want, "resolve_all_governed shim drifted");
+        let li = RwLock::new(LinkIndex::new(table.len()));
+        let mut m = DedupMetrics::default();
+        let out = idx.resolve_all_shared(&table, &li, &mut m).unwrap();
+        assert_eq!(
+            (
+                out.dr,
+                li.read().link_count(),
+                m.comparisons,
+                m.matches_found
+            ),
+            want,
+            "resolve_all_shared shim drifted"
+        );
     }
 }

@@ -212,6 +212,12 @@ pub fn write_index_snapshot(
     li: &LinkIndex,
     table: &Table,
 ) -> Result<(), SnapshotError> {
+    if index.has_delta() {
+        // The payload below serializes the base CSR buffers; with a
+        // live ingest delta those no longer describe the served view
+        // (and the fingerprint would go stale anyway). Compact first.
+        return Err(SnapshotError::PendingDelta);
+    }
     let mut snap = SnapshotWriter::new(content_fingerprint(table, &index.cfg));
 
     let mut w = PayloadWriter::new();
@@ -769,6 +775,7 @@ pub fn open_index_snapshot_with_caches(
         cbs_adj,
         resolve_cache,
         poisoned: AtomicBool::new(false),
+        delta: None,
     };
     Ok((index, li))
 }

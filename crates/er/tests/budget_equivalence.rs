@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
 use queryer_er::{
     CancelToken, Completion, DedupMetrics, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig,
-    ResolveBudget, TableErIndex, WeightScheme,
+    ResolveBudget, ResolveRequest, TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 use std::time::{Duration, Instant};
@@ -119,7 +119,7 @@ proptest! {
         let mut li_plain = LinkIndex::new(table.len());
         let mut m_plain = DedupMetrics::default();
         let out_plain = plain_idx
-            .resolve_all(&table, &mut li_plain, &mut m_plain)
+            .run(ResolveRequest::all(&table, &mut li_plain).metrics(&mut m_plain))
             .unwrap();
         prop_assert_eq!(out_plain.completion, Completion::Complete);
         prop_assert_eq!(m_plain.pairs_uncompared, 0);
@@ -137,7 +137,7 @@ proptest! {
             let mut li = LinkIndex::new(table.len());
             let mut m = DedupMetrics::default();
             let out = idx
-                .resolve_all_governed(&table, &mut li, &mut m, &budget)
+                .run(ResolveRequest::all(&table, &mut li).budget(budget.clone()).metrics(&mut m))
                 .unwrap();
             prop_assert_eq!(out.completion, Completion::Complete, "budget {:?}", budget);
             prop_assert_eq!(&out.dr, &out_plain.dr);
@@ -168,7 +168,7 @@ proptest! {
         let mut li_full = LinkIndex::new(table.len());
         let mut m_full = DedupMetrics::default();
         full_idx
-            .resolve_all(&table, &mut li_full, &mut m_full)
+            .run(ResolveRequest::all(&table, &mut li_full).metrics(&mut m_full))
             .unwrap();
 
         let cap = m_full.comparisons * cap_pct / 100;
@@ -177,7 +177,7 @@ proptest! {
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_all_governed(&table, &mut li, &mut m, &budget)
+            .run(ResolveRequest::all(&table, &mut li).budget(budget.clone()).metrics(&mut m))
             .unwrap();
 
         prop_assert!(m.comparisons <= cap, "cap {} exceeded: {}", cap, m.comparisons);
@@ -224,7 +224,7 @@ proptest! {
         let mut li_full = LinkIndex::new(table.len());
         let mut m_full = DedupMetrics::default();
         let out_full = full_idx
-            .resolve_all(&table, &mut li_full, &mut m_full)
+            .run(ResolveRequest::all(&table, &mut li_full).metrics(&mut m_full))
             .unwrap();
 
         let idx = TableErIndex::build(&table, &cfg);
@@ -235,7 +235,7 @@ proptest! {
             let budget = ResolveBudget::unlimited().with_max_comparisons(cap);
             let mut m = DedupMetrics::default();
             let out = idx
-                .resolve_all_governed(&table, &mut li, &mut m, &budget)
+                .run(ResolveRequest::all(&table, &mut li).budget(budget.clone()).metrics(&mut m))
                 .unwrap();
             prop_assert!(m.comparisons <= cap);
             if out.completion.is_complete() {
@@ -271,11 +271,10 @@ proptest! {
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_all_governed(
-                &table,
-                &mut li,
-                &mut m,
-                &ResolveBudget::unlimited().with_cancel(token),
+            .run(
+                ResolveRequest::all(&table, &mut li)
+                    .budget(ResolveBudget::unlimited().with_cancel(token))
+                    .metrics(&mut m),
             )
             .unwrap();
         prop_assert!(matches!(out.completion, Completion::Cancelled { comparisons_done: 0, .. }));
@@ -285,11 +284,10 @@ proptest! {
         // Already-expired deadline: Budget at the first poll, zero work.
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_all_governed(
-                &table,
-                &mut li,
-                &mut m,
-                &ResolveBudget::unlimited().with_deadline_at(Instant::now()),
+            .run(
+                ResolveRequest::all(&table, &mut li)
+                    .budget(ResolveBudget::unlimited().with_deadline_at(Instant::now()))
+                    .metrics(&mut m),
             )
             .unwrap();
         prop_assert!(matches!(out.completion, Completion::Budget { comparisons_done: 0, .. }));
@@ -299,14 +297,14 @@ proptest! {
         // The aborted attempts must not have perturbed the index: a full
         // resolve now equals a full resolve on a fresh index.
         let mut m = DedupMetrics::default();
-        let out = idx.resolve_all(&table, &mut li, &mut m).unwrap();
+        let out = idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m)).unwrap();
         prop_assert_eq!(out.completion, Completion::Complete);
 
         let fresh = TableErIndex::build(&table, &cfg);
         let mut li_fresh = LinkIndex::new(table.len());
         let mut m_fresh = DedupMetrics::default();
         let out_fresh = fresh
-            .resolve_all(&table, &mut li_fresh, &mut m_fresh)
+            .run(ResolveRequest::all(&table, &mut li_fresh).metrics(&mut m_fresh))
             .unwrap();
         prop_assert_eq!(&out.dr, &out_fresh.dr);
         prop_assert_eq!(m.comparisons, m_fresh.comparisons);
@@ -332,7 +330,7 @@ proptest! {
         let mut li_full = LinkIndex::new(table.len());
         let mut m_full = DedupMetrics::default();
         full_idx
-            .resolve_all(&table, &mut li_full, &mut m_full)
+            .run(ResolveRequest::all(&table, &mut li_full).metrics(&mut m_full))
             .unwrap();
 
         let idx = TableErIndex::build(&table, &cfg);
@@ -347,11 +345,10 @@ proptest! {
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
         let out = idx
-            .resolve_all_governed(
-                &table,
-                &mut li,
-                &mut m,
-                &ResolveBudget::unlimited().with_cancel(token),
+            .run(
+                ResolveRequest::all(&table, &mut li)
+                    .budget(ResolveBudget::unlimited().with_cancel(token))
+                    .metrics(&mut m),
             )
             .unwrap();
         canceller.join().unwrap();
@@ -391,7 +388,7 @@ fn pinned_workload_unlimited_governed_matches_baseline() {
     let mut li_plain = LinkIndex::new(ds.table.len());
     let mut m_plain = DedupMetrics::default();
     let out_plain = idx
-        .resolve_all(&ds.table, &mut li_plain, &mut m_plain)
+        .run(ResolveRequest::all(&ds.table, &mut li_plain).metrics(&mut m_plain))
         .unwrap();
     assert_eq!(m_plain.comparisons, 21384, "pinned comparison count");
     assert_eq!(m_plain.matches_found, 201, "pinned match count");
@@ -405,7 +402,11 @@ fn pinned_workload_unlimited_governed_matches_baseline() {
     let mut li = LinkIndex::new(ds.table.len());
     let mut m = DedupMetrics::default();
     let out = idx
-        .resolve_all_governed(&ds.table, &mut li, &mut m, &budget)
+        .run(
+            ResolveRequest::all(&ds.table, &mut li)
+                .budget(budget.clone())
+                .metrics(&mut m),
+        )
         .unwrap();
     assert_eq!(out.completion, Completion::Complete);
     assert_eq!(m.comparisons, 21384);

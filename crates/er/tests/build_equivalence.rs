@@ -18,7 +18,7 @@
 use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
 use queryer_er::blocking::build_blocks;
-use queryer_er::{DedupMetrics, EpCacheMode, ErConfig, LinkIndex, TableErIndex};
+use queryer_er::{DedupMetrics, EpCacheMode, ErConfig, LinkIndex, ResolveRequest, TableErIndex};
 use queryer_storage::{RecordId, Schema, Table, Value};
 
 /// Small vocabulary so random records actually share blocking tokens.
@@ -157,10 +157,14 @@ fn assert_same_decisions(reference: &TableErIndex, parallel: &TableErIndex, tabl
     let qe: Vec<RecordId> = (0..table.len() as RecordId).collect();
     let mut li_a = LinkIndex::new(table.len());
     let mut m_a = DedupMetrics::default();
-    let out_a = reference.resolve(table, &qe, &mut li_a, &mut m_a).unwrap();
+    let out_a = reference
+        .run(ResolveRequest::records(table, &qe, &mut li_a).metrics(&mut m_a))
+        .unwrap();
     let mut li_b = LinkIndex::new(table.len());
     let mut m_b = DedupMetrics::default();
-    let out_b = parallel.resolve(table, &qe, &mut li_b, &mut m_b).unwrap();
+    let out_b = parallel
+        .run(ResolveRequest::records(table, &qe, &mut li_b).metrics(&mut m_b))
+        .unwrap();
     assert_eq!(out_a.dr, out_b.dr);
     assert_eq!(out_a.new_links, out_b.new_links);
     assert_eq!(m_a.candidate_pairs, m_b.candidate_pairs);

@@ -19,7 +19,7 @@ use queryer_common::knobs::proptest_cases;
 use queryer_common::PairSet;
 use queryer_er::{
     DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig,
-    TableErIndex, WeightScheme,
+    ResolveRequest, TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 
@@ -152,7 +152,9 @@ fn run_sequence(
     let mut traces = Vec::with_capacity(queries.len());
     for qe in queries {
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(table, qe, &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::records(table, qe, &mut li).metrics(&mut m))
+            .unwrap();
         traces.push(QueryTrace {
             dr: out.dr,
             new_links: out.new_links,
@@ -282,8 +284,12 @@ fn capped_caches_identical_and_bounded() {
         for (i, qe) in queries.iter().enumerate() {
             let mut m_u = DedupMetrics::default();
             let mut m_c = DedupMetrics::default();
-            let out_u = unbounded.resolve(&table, qe, &mut li_u, &mut m_u).unwrap();
-            let out_c = capped.resolve(&table, qe, &mut li_c, &mut m_c).unwrap();
+            let out_u = unbounded
+                .run(ResolveRequest::records(&table, qe, &mut li_u).metrics(&mut m_u))
+                .unwrap();
+            let out_c = capped
+                .run(ResolveRequest::records(&table, qe, &mut li_c).metrics(&mut m_c))
+                .unwrap();
             assert_eq!(out_c.dr, out_u.dr, "query {i} mode {mode:?}");
             assert_eq!(out_c.new_links, out_u.new_links, "query {i}");
             assert_eq!(m_c.comparisons, m_u.comparisons, "query {i}");
@@ -344,7 +350,7 @@ proptest! {
         let mut traces = Vec::new();
         for qe in &qs {
             let mut m = DedupMetrics::default();
-            let out = capped.resolve(&table, qe, &mut li, &mut m).unwrap();
+            let out = capped.run(ResolveRequest::records(&table, qe, &mut li).metrics(&mut m)).unwrap();
             traces.push(QueryTrace {
                 dr: out.dr,
                 new_links: out.new_links,
@@ -431,7 +437,7 @@ proptest! {
         let mut warm_traces = Vec::new();
         for qe in &qs {
             let mut m = DedupMetrics::default();
-            let out = idx.resolve(&table, qe, &mut li, &mut m).unwrap();
+            let out = idx.run(ResolveRequest::records(&table, qe, &mut li).metrics(&mut m)).unwrap();
             prop_assert_eq!(m.ep_cache_misses, 0, "survivor lists must all be hot");
             prop_assert_eq!(m.decision_cache_misses, 0, "decisions must all be hot");
             warm_traces.push(QueryTrace {

@@ -31,7 +31,9 @@
 use parking_lot::RwLock;
 use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
-use queryer_er::{DedupMetrics, ErConfig, LinkDelta, LinkIndex, ResolveOutcome, TableErIndex};
+use queryer_er::{
+    DedupMetrics, ErConfig, LinkDelta, LinkIndex, ResolveOutcome, ResolveRequest, TableErIndex,
+};
 use queryer_storage::{RecordId, Table};
 use std::collections::BTreeSet;
 use std::thread;
@@ -83,7 +85,7 @@ fn serial_reference(
         .iter()
         .map(|qe| {
             let mut m = DedupMetrics::default();
-            idx.resolve(table, qe, &mut li, &mut m)
+            idx.run(ResolveRequest::records(table, qe, &mut li).metrics(&mut m))
                 .expect("serial reference resolve")
         })
         .collect();
@@ -105,7 +107,7 @@ fn concurrent_run(
                 s.spawn(move || {
                     let mut m = DedupMetrics::default();
                     let out = idx
-                        .resolve_shared(table, qe, li, &mut m)
+                        .run(ResolveRequest::records(table, qe, li).metrics(&mut m))
                         .expect("concurrent shared resolve");
                     (out, m)
                 })
@@ -178,7 +180,7 @@ fn fully_overlapping_warmups_are_decision_identical_to_sequential() {
     let mut li_ref = LinkIndex::new(table.len());
     let mut m_ref = DedupMetrics::default();
     let out_ref = idx
-        .resolve_all(&table, &mut li_ref, &mut m_ref)
+        .run(ResolveRequest::all(&table, &mut li_ref).metrics(&mut m_ref))
         .expect("sequential warm-up");
 
     // Concurrent warm-up: four threads, each resolving the whole table
@@ -195,7 +197,7 @@ fn fully_overlapping_warmups_are_decision_identical_to_sequential() {
                 s.spawn(move || {
                     let mut m = DedupMetrics::default();
                     let out = idx
-                        .resolve_all_shared(table, li, &mut m)
+                        .run(ResolveRequest::all(table, li).metrics(&mut m))
                         .expect("concurrent warm-up");
                     (out, m)
                 })
@@ -236,7 +238,7 @@ fn single_shared_resolve_matches_exclusive() {
         let mut li_ex = LinkIndex::new(table.len());
         let mut m_ex = DedupMetrics::default();
         let out_ex = idx
-            .resolve(&table, qe, &mut li_ex, &mut m_ex)
+            .run(ResolveRequest::records(&table, qe, &mut li_ex).metrics(&mut m_ex))
             .expect("exclusive resolve");
 
         // Fresh index so cross-query caches warmed by the exclusive run
@@ -245,7 +247,7 @@ fn single_shared_resolve_matches_exclusive() {
         let li = RwLock::new(LinkIndex::new(table.len()));
         let mut m_sh = DedupMetrics::default();
         let out_sh = idx2
-            .resolve_shared(&table, qe, &li, &mut m_sh)
+            .run(ResolveRequest::records(&table, qe, &li).metrics(&mut m_sh))
             .expect("shared resolve");
 
         assert_eq!(out_sh.dr, out_ex.dr);
@@ -413,7 +415,7 @@ mod faults {
         let mut li_ref = LinkIndex::new(table.len());
         let mut m_ref = DedupMetrics::default();
         idx_ref
-            .resolve_all(&table, &mut li_ref, &mut m_ref)
+            .run(ResolveRequest::all(&table, &mut li_ref).metrics(&mut m_ref))
             .expect("reference warm-up");
         let ref_fp = fingerprint(&li_ref);
 
@@ -428,7 +430,7 @@ mod faults {
                     let table = &table;
                     s.spawn(move || {
                         let mut m = DedupMetrics::default();
-                        idx.resolve_all_shared(table, li, &mut m)
+                        idx.run(ResolveRequest::all(table, li).metrics(&mut m))
                             .expect_err("armed worker must fail the resolve")
                     })
                 })
@@ -463,7 +465,7 @@ mod faults {
                 let table = &table;
                 s.spawn(move || {
                     let mut m = DedupMetrics::default();
-                    idx.resolve_all_shared(table, li, &mut m)
+                    idx.run(ResolveRequest::all(table, li).metrics(&mut m))
                         .expect("retry after disarm");
                 });
             }

@@ -20,7 +20,7 @@ use queryer_common::PairSet;
 use queryer_er::edge_pruning::{bulk_node_thresholds, EdgePruner};
 use queryer_er::{
     DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig,
-    TableErIndex, WeightScheme,
+    ResolveRequest, TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 
@@ -349,11 +349,11 @@ proptest! {
 
         let mut li_bulk = LinkIndex::new(table.len());
         let mut m_bulk = DedupMetrics::default();
-        let out_bulk = bulk_idx.resolve(&table, &qe, &mut li_bulk, &mut m_bulk).unwrap();
+        let out_bulk = bulk_idx.run(ResolveRequest::records(&table, &qe, &mut li_bulk).metrics(&mut m_bulk)).unwrap();
 
         let mut li_lazy = LinkIndex::new(table.len());
         let mut m_lazy = DedupMetrics::default();
-        let out_lazy = lazy_idx.resolve(&table, &qe, &mut li_lazy, &mut m_lazy).unwrap();
+        let out_lazy = lazy_idx.run(ResolveRequest::records(&table, &qe, &mut li_lazy).metrics(&mut m_lazy)).unwrap();
 
         prop_assert_eq!(&out_bulk.dr, &out_lazy.dr, "DR sets diverged (qe {:?})", &qe);
         prop_assert_eq!(out_bulk.new_links, out_lazy.new_links);

@@ -28,8 +28,8 @@
 use parking_lot::Mutex;
 use queryer_common::failpoints::{self, FailAction};
 use queryer_er::{
-    DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, ResolveError, ResolveStage,
-    TableErIndex,
+    DedupMetrics, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, ResolveError, ResolveRequest,
+    ResolveStage, TableErIndex,
 };
 use queryer_storage::{RecordId, Table};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,7 +86,9 @@ struct Decisions {
 fn resolve_decisions(idx: &TableErIndex, table: &Table) -> Decisions {
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
-    let out = idx.resolve_all(table, &mut li, &mut m).unwrap();
+    let out = idx
+        .run(ResolveRequest::all(table, &mut li).metrics(&mut m))
+        .unwrap();
     let n = table.len() as RecordId;
     let mut links = Vec::with_capacity((n * n) as usize);
     for a in 0..n {
@@ -123,7 +125,9 @@ fn assert_worker_panic_isolated(site: &str, config: &ErConfig, stage: ResolveSta
     failpoints::arm(site, FailAction::Panic);
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
-    let err = idx.resolve_all(&table, &mut li, &mut m).unwrap_err();
+    let err = idx
+        .run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+        .unwrap_err();
     assert_eq!(
         err,
         ResolveError::WorkerPanicked { stage },
@@ -246,7 +250,7 @@ fn resolver_thread_panic_leaves_index_clean() {
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
     let unwound = catch_unwind(AssertUnwindSafe(|| {
-        let _ = idx.resolve_all(&table, &mut li, &mut m);
+        let _ = idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m));
     }));
     assert!(unwound.is_err(), "armed resolve.round must panic");
     assert!(!idx.is_poisoned());
@@ -265,7 +269,8 @@ fn interrupted_cache_clear_poisons_the_index() {
     // Warm the caches so the clear actually has state to tear down.
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
-    idx.resolve_all(&table, &mut li, &mut m).unwrap();
+    idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+        .unwrap();
 
     // "cache.clear" sits between the EP-threshold clear and the resolve
     // cache clears — a panic there leaves the hierarchy half-cleared,
@@ -278,7 +283,9 @@ fn interrupted_cache_clear_poisons_the_index() {
     failpoints::disarm("cache.clear");
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
-    let err = idx.resolve_all(&table, &mut li, &mut m).unwrap_err();
+    let err = idx
+        .run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+        .unwrap_err();
     assert_eq!(err, ResolveError::Poisoned);
 
     // A completed clear on a healthy index does not poison.

@@ -1,0 +1,536 @@
+//! Incremental-ingest equivalence: a live [`TableErIndex`] that absorbed
+//! any interleaving of insert/update/delete deltas and queries must be
+//! **decision-identical to rebuild-from-scratch** after every delta —
+//! same DR sets, same links, same comparison/candidate/match counts.
+//!
+//! Two serving shapes are pinned after every batch:
+//!
+//! * *fresh-LI batch resolve* — the live (base ∪ delta) index resolving
+//!   the whole mutated table into an empty Link Index equals a fresh
+//!   `TableErIndex::build` of the mutated table doing the same;
+//! * *maintained-LI resolve* — the engine-shaped path: the Link Index
+//!   survives the delta with only the affected ids invalidated
+//!   ([`Affected`]), then a resolve converges to the same links as the
+//!   oracle's from-empty resolve.
+//!
+//! Explicit cases cover the sharp edges — duplicate insert (a
+//! byte-identical record must *link*, never dedup at ingest), delete of
+//! a matched record, an update that changes a record's blocks, the
+//! empty batch, no-op `compact()` (bit-identical snapshot bytes), and
+//! pinned decisions surviving compaction — and a property test drives
+//! random op/query interleavings across weight schemes, EP scopes,
+//! meta-blocking configs, thread counts, and cache modes.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaks read clearer as assignments
+
+use proptest::prelude::*;
+use queryer_common::knobs::proptest_cases;
+use queryer_er::{
+    Affected, DedupMetrics, DeltaOp, EdgePruningScope, EpCacheMode, ErConfig, LinkIndex,
+    MetaBlockingConfig, ResolveRequest, TableErIndex, WeightScheme,
+};
+use queryer_storage::{RecordId, Schema, Table, Value};
+
+/// Small vocabulary so random records actually share blocking tokens.
+const VOCAB: [&str; 12] = [
+    "entity",
+    "resolution",
+    "collective",
+    "query",
+    "driven",
+    "deep",
+    "learning",
+    "data",
+    "big",
+    "edbt",
+    "vldb",
+    "2008",
+];
+
+fn cell() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..4)
+}
+
+fn rows() -> impl Strategy<Value = Vec<(Vec<usize>, Vec<usize>)>> {
+    proptest::collection::vec((cell(), cell()), 2..16)
+}
+
+/// One op spec: `(kind, target, title words, venue words)`. Kinds are
+/// biased toward duplicate-heavy mutations: 0 = insert a byte-identical
+/// copy of an existing row, 1–2 = insert fresh, 3–4 = update, 5 = delete.
+type OpSpec = (usize, usize, Vec<usize>, Vec<usize>);
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    (0usize..6, 0usize..64, cell(), cell())
+}
+
+/// Delta batches, each applied (and checked) as one `apply_delta` call.
+fn batches() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    proptest::collection::vec(proptest::collection::vec(op_spec(), 1..5), 1..4)
+}
+
+fn render(words: &[usize]) -> Value {
+    if words.is_empty() {
+        Value::Null
+    } else {
+        let text: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+        Value::str(text.join(" "))
+    }
+}
+
+fn build_table(rows: &[(Vec<usize>, Vec<usize>)]) -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    for (i, (a, b)) in rows.iter().enumerate() {
+        t.push_row(vec![format!("{i}").into(), render(a), render(b)])
+            .unwrap();
+    }
+    t
+}
+
+fn scheme_of(w: usize) -> WeightScheme {
+    match w % 3 {
+        0 => WeightScheme::Cbs,
+        1 => WeightScheme::Ecbs,
+        _ => WeightScheme::Js,
+    }
+}
+
+fn scope_of(s: usize) -> EdgePruningScope {
+    if s.is_multiple_of(2) {
+        EdgePruningScope::NodeCentric
+    } else {
+        EdgePruningScope::Global
+    }
+}
+
+fn meta_of(m: usize) -> MetaBlockingConfig {
+    match m % 5 {
+        0 => MetaBlockingConfig::All,
+        1 => MetaBlockingConfig::BpEp,
+        2 => MetaBlockingConfig::BpBf,
+        3 => MetaBlockingConfig::Bp,
+        _ => MetaBlockingConfig::None,
+    }
+}
+
+const MODES: [EpCacheMode; 3] = [EpCacheMode::Off, EpCacheMode::On, EpCacheMode::Prewarm];
+
+fn cfg_of(scheme: usize, scope: usize, meta: usize, mode: usize, threads: usize) -> ErConfig {
+    let mut cfg = ErConfig::default().with_meta(meta_of(meta));
+    cfg.weight_scheme = scheme_of(scheme);
+    cfg.ep_scope = scope_of(scope);
+    cfg.ep_cache = MODES[mode % MODES.len()];
+    cfg.ep_threads = threads;
+    cfg.parallelism = threads;
+    cfg
+}
+
+/// Materializes one op spec against the table's *current* state and
+/// applies it to the table, so ids stay valid at their point in the
+/// batch exactly like a caller driving [`DeltaOp::apply_to_table`].
+fn make_op(spec: &OpSpec, table: &mut Table) -> DeltaOp {
+    let (kind, target, a, b) = spec;
+    let n = table.len();
+    let op = match kind {
+        0 => DeltaOp::Insert {
+            values: table
+                .record((*target % n) as RecordId)
+                .unwrap()
+                .values
+                .clone(),
+        },
+        1 | 2 => DeltaOp::Insert {
+            values: vec![format!("{n}").into(), render(a), render(b)],
+        },
+        3 | 4 => DeltaOp::Update {
+            id: (*target % n) as RecordId,
+            values: vec![format!("{}", *target % n).into(), render(a), render(b)],
+        },
+        _ => DeltaOp::Delete {
+            id: (*target % n) as RecordId,
+        },
+    };
+    op.apply_to_table(table).unwrap();
+    op
+}
+
+fn link_matrix(li: &LinkIndex, n: usize) -> Vec<bool> {
+    let n = n as RecordId;
+    let mut m = Vec::with_capacity((n * n) as usize);
+    for a in 0..n {
+        for b in 0..n {
+            m.push(li.are_linked(a, b));
+        }
+    }
+    m
+}
+
+/// Resolves the whole table into a fresh Link Index and returns the
+/// observable outcome: DR, link matrix, decision counts.
+fn full_resolve(idx: &TableErIndex, table: &Table) -> (Vec<RecordId>, Vec<bool>, u64, u64, u64) {
+    let mut li = LinkIndex::new(table.len());
+    let mut m = DedupMetrics::default();
+    let out = idx
+        .run(ResolveRequest::all(table, &mut li).metrics(&mut m))
+        .unwrap();
+    (
+        out.dr,
+        link_matrix(&li, table.len()),
+        m.comparisons,
+        m.candidate_pairs,
+        m.matches_found,
+    )
+}
+
+/// The tentpole invariant: the live index equals a from-scratch rebuild
+/// of the mutated table in every decision-observable way, and the
+/// maintained Link Index converges to the oracle's links.
+fn assert_rebuild_equivalent(
+    idx: &TableErIndex,
+    table: &Table,
+    cfg: &ErConfig,
+    maintained_li: &mut LinkIndex,
+) {
+    let oracle = TableErIndex::build(table, cfg);
+    let (dr_o, links_o, cmp_o, cand_o, match_o) = full_resolve(&oracle, table);
+    let (dr_l, links_l, cmp_l, cand_l, match_l) = full_resolve(idx, table);
+    assert_eq!(dr_l, dr_o, "DR diverged from rebuild");
+    assert_eq!(links_l, links_o, "links diverged from rebuild");
+    assert_eq!(cmp_l, cmp_o, "comparison count diverged from rebuild");
+    assert_eq!(cand_l, cand_o, "candidate pairs diverged from rebuild");
+    assert_eq!(match_l, match_o, "match count diverged from rebuild");
+
+    // Engine-shaped path: the Link Index survived the delta with only
+    // affected ids invalidated; resolving now must converge to the
+    // oracle's links — targeted invalidation dropped enough.
+    let mut m = DedupMetrics::default();
+    let out = idx
+        .run(ResolveRequest::all(table, &mut *maintained_li).metrics(&mut m))
+        .unwrap();
+    assert_eq!(out.dr, dr_o, "maintained-LI DR diverged");
+    assert_eq!(
+        link_matrix(maintained_li, table.len()),
+        links_o,
+        "maintained-LI links diverged: targeted invalidation kept stale state"
+    );
+}
+
+/// Applies the engine's Link-Index maintenance rule for one delta.
+fn maintain_li(li: &mut LinkIndex, affected: &Affected, n: usize) {
+    match affected {
+        Affected::Ids(ids) => {
+            li.grow(n);
+            li.invalidate(ids);
+        }
+        Affected::All => *li = LinkIndex::new(n),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: proptest_cases(12),
+        ..ProptestConfig::default()
+    })]
+
+    /// Random interleavings of delta batches and resolves are
+    /// decision-identical to rebuild-from-scratch after every batch,
+    /// across schemes × scopes × meta configs × thread counts × cache
+    /// modes.
+    #[test]
+    fn interleaved_deltas_equal_rebuild(
+        rows in rows(),
+        batches in batches(),
+        scheme in 0usize..3,
+        scope in 0usize..2,
+        meta in 0usize..5,
+        mode in 0usize..3,
+        threads in 1usize..5,
+        probe in 0usize..64,
+    ) {
+        let cfg = cfg_of(scheme, scope, meta, mode, threads);
+        let mut table = build_table(&rows);
+        let mut idx = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+
+        // Warm the maintained LI with a pre-delta point query, so the
+        // deltas hit cached EP state and existing links, not a blank
+        // slate.
+        let qe = [(probe % table.len()) as RecordId];
+        let mut m = DedupMetrics::default();
+        idx.run(ResolveRequest::records(&table, &qe, &mut li).metrics(&mut m))
+            .unwrap();
+
+        for batch in &batches {
+            let ops: Vec<DeltaOp> = batch.iter().map(|s| make_op(s, &mut table)).collect();
+            let applied = idx.apply_delta(&table, &ops).unwrap();
+            maintain_li(&mut li, &applied.affected, table.len());
+            assert_rebuild_equivalent(&idx, &table, &cfg, &mut li);
+
+            // Interleaved point queries between batches, compared
+            // like-for-like against an oracle with the same query
+            // history (point and batch resolves may legitimately keep
+            // different edges under Global EP scope, so the oracle must
+            // run the same sequence, not a different one).
+            let qe = [(probe % table.len()) as RecordId];
+            let oracle = TableErIndex::build(&table, &cfg);
+
+            // Cold path: both indexes resolve the point query from a
+            // blank LI — pins the delta-aware blocking/EP point path.
+            let mut li_f = LinkIndex::new(table.len());
+            let mut m = DedupMetrics::default();
+            let out_f = idx
+                .run(ResolveRequest::records(&table, &qe, &mut li_f).metrics(&mut m))
+                .unwrap();
+            let mut li_fo = LinkIndex::new(table.len());
+            let mut m_o = DedupMetrics::default();
+            let out_fo = oracle
+                .run(ResolveRequest::records(&table, &qe, &mut li_fo).metrics(&mut m_o))
+                .unwrap();
+            prop_assert_eq!(out_f.dr, out_fo.dr, "cold point-query DR diverged after delta");
+            prop_assert_eq!(
+                m.comparisons, m_o.comparisons,
+                "cold point-query comparisons diverged after delta"
+            );
+
+            // Warm path: the maintained LI just completed a full
+            // resolve, so the oracle's equivalent history is a full
+            // resolve into its own LI first, then the point query.
+            let mut m = DedupMetrics::default();
+            let out = idx
+                .run(ResolveRequest::records(&table, &qe, &mut li).metrics(&mut m))
+                .unwrap();
+            let mut li_o = LinkIndex::new(table.len());
+            let mut m_o = DedupMetrics::default();
+            oracle
+                .run(ResolveRequest::all(&table, &mut li_o).metrics(&mut m_o))
+                .unwrap();
+            let out_o = oracle
+                .run(ResolveRequest::records(&table, &qe, &mut li_o).metrics(&mut m_o))
+                .unwrap();
+            prop_assert_eq!(out.dr, out_o.dr, "warm point-query DR diverged after delta");
+        }
+    }
+
+    /// Compaction folds the delta into fresh base buffers without
+    /// changing a single decision: resolve outcomes before and after
+    /// `compact()` are identical, and the maintained LI needs no work.
+    #[test]
+    fn compaction_is_decision_invisible(
+        rows in rows(),
+        batch in proptest::collection::vec(op_spec(), 1..5),
+        scheme in 0usize..3,
+        meta in 0usize..5,
+    ) {
+        let cfg = cfg_of(scheme, 0, meta, 1, 2);
+        let mut table = build_table(&rows);
+        let mut idx = TableErIndex::build(&table, &cfg);
+        let mut li = LinkIndex::new(table.len());
+
+        let ops: Vec<DeltaOp> = batch.iter().map(|s| make_op(s, &mut table)).collect();
+        let applied = idx.apply_delta(&table, &ops).unwrap();
+        maintain_li(&mut li, &applied.affected, table.len());
+
+        let before = full_resolve(&idx, &table);
+        // Pin the maintained LI's links before compaction...
+        let mut m = DedupMetrics::default();
+        idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m)).unwrap();
+        let links_before = link_matrix(&li, table.len());
+
+        idx.compact(&table).unwrap();
+        prop_assert!(!idx.has_delta());
+        prop_assert_eq!(idx.pending_delta_ops(), 0);
+
+        let after = full_resolve(&idx, &table);
+        prop_assert_eq!(before, after, "compaction changed decisions");
+
+        // ...and they survive compaction: re-resolving does zero work.
+        let mut m = DedupMetrics::default();
+        idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m)).unwrap();
+        prop_assert_eq!(m.comparisons, 0, "compaction invalidated pinned links");
+        prop_assert_eq!(link_matrix(&li, table.len()), links_before);
+    }
+}
+
+fn dup_table() -> Table {
+    let mut t = Table::new("p", Schema::of_strings(&["id", "title", "venue"]));
+    let rows = [
+        ("0", "collective entity resolution", "edbt"),
+        ("1", "collective entity resolution", "edbt"),
+        ("2", "query driven entity resolution", "vldb"),
+        ("3", "deep learning for vision", "cvpr"),
+    ];
+    for (id, title, venue) in rows {
+        t.push_row(vec![id.into(), title.into(), venue.into()])
+            .unwrap();
+    }
+    t
+}
+
+/// A byte-identical insert must *link* to the original at resolve time —
+/// ingest never dedups rows, the ER layer decides.
+#[test]
+fn duplicate_insert_links_not_dedups() {
+    let cfg = ErConfig::default();
+    let mut table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let mut li = LinkIndex::new(table.len());
+
+    let n_before = table.len();
+    let op = DeltaOp::Insert {
+        values: table.record(0).unwrap().values.clone(),
+    };
+    op.apply_to_table(&mut table).unwrap();
+    assert_eq!(table.len(), n_before + 1, "ingest must keep the row");
+    let applied = idx.apply_delta(&table, &[op]).unwrap();
+    maintain_li(&mut li, &applied.affected, table.len());
+
+    let new_id = n_before as RecordId;
+    let mut m = DedupMetrics::default();
+    let out = idx
+        .run(ResolveRequest::records(&table, &[new_id], &mut li).metrics(&mut m))
+        .unwrap();
+    assert!(li.are_linked(0, new_id), "identical rows must link");
+    assert!(li.are_linked(1, new_id), "transitively too");
+    assert_eq!(out.dr, vec![0, 1, new_id]);
+    assert_rebuild_equivalent(&idx, &table, &cfg, &mut li);
+}
+
+/// Deleting a record that had matched: its links are dropped, its former
+/// partner stays resolvable, and the live index equals a rebuild of the
+/// nulled table.
+#[test]
+fn delete_of_matched_record() {
+    let cfg = ErConfig::default();
+    let mut table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let mut li = LinkIndex::new(table.len());
+
+    let mut m = DedupMetrics::default();
+    idx.run(ResolveRequest::records(&table, &[0], &mut li).metrics(&mut m))
+        .unwrap();
+    assert!(li.are_linked(0, 1));
+
+    let op = DeltaOp::Delete { id: 1 };
+    op.apply_to_table(&mut table).unwrap();
+    assert!(
+        table.record(1).unwrap().values.iter().all(Value::is_null),
+        "delete nulls the row in place"
+    );
+    let applied = idx.apply_delta(&table, &[op]).unwrap();
+    match &applied.affected {
+        Affected::Ids(ids) => {
+            assert!(
+                ids.contains(&0) && ids.contains(&1),
+                "both endpoints affected"
+            )
+        }
+        Affected::All => {}
+    }
+    maintain_li(&mut li, &applied.affected, table.len());
+    assert!(!li.are_linked(0, 1), "links to a deleted record must drop");
+    assert_rebuild_equivalent(&idx, &table, &cfg, &mut li);
+}
+
+/// An update that moves a record to entirely different blocks: old links
+/// die, new links form, decisions equal a rebuild.
+#[test]
+fn update_that_changes_blocks() {
+    let cfg = ErConfig::default();
+    let mut table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let mut li = LinkIndex::new(table.len());
+
+    let mut m = DedupMetrics::default();
+    idx.run(ResolveRequest::records(&table, &[0], &mut li).metrics(&mut m))
+        .unwrap();
+    assert!(li.are_linked(0, 1));
+
+    // Record 1 stops being a "collective entity resolution" paper and
+    // becomes a byte-duplicate of the vision paper.
+    let op = DeltaOp::Update {
+        id: 1,
+        values: table.record(3).unwrap().values.clone(),
+    };
+    op.apply_to_table(&mut table).unwrap();
+    let applied = idx.apply_delta(&table, &[op]).unwrap();
+    maintain_li(&mut li, &applied.affected, table.len());
+    assert!(!li.are_linked(0, 1), "stale link must not survive the move");
+
+    let mut m = DedupMetrics::default();
+    idx.run(ResolveRequest::records(&table, &[1], &mut li).metrics(&mut m))
+        .unwrap();
+    assert!(li.are_linked(1, 3), "record links in its new blocks");
+    assert_rebuild_equivalent(&idx, &table, &cfg, &mut li);
+}
+
+/// The empty batch is a true no-op: no delta side is created, nothing
+/// is invalidated.
+#[test]
+fn empty_delta_is_noop() {
+    let cfg = ErConfig::default();
+    let table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let applied = idx.apply_delta(&table, &[]).unwrap();
+    assert_eq!(applied.affected.ids(), Some(&[][..]));
+    assert_eq!(applied.pending_ops, 0);
+    assert!(!idx.has_delta(), "empty batch must not open a delta side");
+}
+
+/// `compact()` with no live delta must be bit-identical: the snapshot
+/// bytes of the index are unchanged.
+#[test]
+fn noop_compact_is_bit_identical() {
+    let cfg = ErConfig::default();
+    let table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let li = LinkIndex::new(table.len());
+
+    let dir = std::env::temp_dir().join(format!("queryer_ingest_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let before = dir.join("before.qsnap");
+    let after = dir.join("after.qsnap");
+    queryer_er::write_index_snapshot(&before, &idx, &li, &table).unwrap();
+    idx.compact(&table).unwrap();
+    queryer_er::write_index_snapshot(&after, &idx, &li, &table).unwrap();
+    assert_eq!(
+        std::fs::read(&before).unwrap(),
+        std::fs::read(&after).unwrap(),
+        "no-op compact must leave the index bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A live delta refuses to snapshot (the base buffers alone would not
+/// round-trip the served view); compaction clears the refusal.
+#[test]
+fn snapshot_refuses_live_delta() {
+    let cfg = ErConfig::default();
+    let mut table = dup_table();
+    let mut idx = TableErIndex::build(&table, &cfg);
+    let li = LinkIndex::new(table.len());
+
+    let op = DeltaOp::Insert {
+        values: table.record(0).unwrap().values.clone(),
+    };
+    op.apply_to_table(&mut table).unwrap();
+    idx.apply_delta(&table, &[op]).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("queryer_ingest_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.qsnap");
+    let li_grown = {
+        let mut l = LinkIndex::new(table.len());
+        l.grow(table.len());
+        l
+    };
+    drop(li);
+    let err = queryer_er::write_index_snapshot(&path, &idx, &li_grown, &table).unwrap_err();
+    assert!(
+        matches!(err, queryer_er::SnapshotError::PendingDelta),
+        "snapshot of a live delta must refuse, got {err:?}"
+    );
+
+    idx.compact(&table).unwrap();
+    queryer_er::write_index_snapshot(&path, &idx, &li_grown, &table).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

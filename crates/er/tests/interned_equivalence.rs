@@ -20,8 +20,8 @@ use queryer_er::config::EdgePruningScope;
 use queryer_er::edge_pruning::{prune_global, EdgePruner};
 use queryer_er::index::{BlockId, CooccurrenceScratch};
 use queryer_er::{
-    BlockingKind, DedupMetrics, ErConfig, LinkIndex, Matcher, MetaBlockingConfig, SimilarityKind,
-    TableErIndex,
+    BlockingKind, DedupMetrics, ErConfig, LinkIndex, Matcher, MetaBlockingConfig, ResolveRequest,
+    SimilarityKind, TableErIndex,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 
@@ -306,7 +306,7 @@ proptest! {
 
         let mut li_hot = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve(&table, &qe, &mut li_hot, &mut m).unwrap();
+        let out = idx.run(ResolveRequest::records(&table, &qe, &mut li_hot).metrics(&mut m)).unwrap();
         prop_assert_eq!(m.qbi_tokenized_records, 0, "hot path must not tokenize");
 
         idx.clear_ep_cache();

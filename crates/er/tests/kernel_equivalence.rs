@@ -23,7 +23,8 @@ type ResolveKey = (Vec<RecordId>, Vec<(RecordId, RecordId)>, u64, u64, u64);
 use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
 use queryer_er::{
-    DedupMetrics, ErConfig, KernelScratch, LinkIndex, Matcher, SimilarityKind, TableErIndex,
+    DedupMetrics, ErConfig, KernelScratch, LinkIndex, Matcher, ResolveRequest, SimilarityKind,
+    TableErIndex,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 
@@ -175,7 +176,9 @@ fn parallel_executor_matches_sequential() {
         let idx = TableErIndex::build(&table, &cfg);
         let mut li = LinkIndex::new(table.len());
         let mut m = DedupMetrics::default();
-        let out = idx.resolve_all(&table, &mut li, &mut m).unwrap();
+        let out = idx
+            .run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+            .unwrap();
         if workers > 1 {
             assert!(
                 m.candidate_pairs >= 1024,
@@ -276,7 +279,7 @@ proptest! {
             let idx = TableErIndex::build(&table, &cfg);
             let mut li = LinkIndex::new(table.len());
             let mut m = DedupMetrics::default();
-            let out = idx.resolve(&table, &qe, &mut li, &mut m).unwrap();
+            let out = idx.run(ResolveRequest::records(&table, &qe, &mut li).metrics(&mut m)).unwrap();
             let mut links: Vec<(RecordId, RecordId)> = Vec::new();
             for a in 0..table.len() as RecordId {
                 for b in (a + 1)..table.len() as RecordId {

@@ -5,7 +5,7 @@ use queryer_common::knobs::proptest_cases;
 use queryer_er::similarity::{
     jaccard_sorted, jaro, jaro_winkler, levenshtein, levenshtein_sim, overlap_sorted,
 };
-use queryer_er::{DedupMetrics, ErConfig, LinkIndex, TableErIndex, UnionFind};
+use queryer_er::{DedupMetrics, ErConfig, LinkIndex, ResolveRequest, TableErIndex, UnionFind};
 use queryer_storage::{Schema, Table};
 
 fn word() -> impl Strategy<Value = String> {
@@ -144,16 +144,16 @@ proptest! {
         let er = TableErIndex::build(&t, &cfg);
 
         let mut li_batch = LinkIndex::new(rows);
-        er.resolve_all(&t, &mut li_batch, &mut DedupMetrics::default())
+        er.run(ResolveRequest::all(&t, &mut li_batch).metrics(&mut DedupMetrics::default()))
             .unwrap();
 
         let mut li_inc = LinkIndex::new(rows);
         let pivot = rows * split / 10;
         let first: Vec<u32> = (0..pivot as u32).collect();
         let second: Vec<u32> = (pivot as u32..rows as u32).collect();
-        er.resolve(&t, &first, &mut li_inc, &mut DedupMetrics::default())
+        er.run(ResolveRequest::records(&t, &first, &mut li_inc).metrics(&mut DedupMetrics::default()))
             .unwrap();
-        er.resolve(&t, &second, &mut li_inc, &mut DedupMetrics::default())
+        er.run(ResolveRequest::records(&t, &second, &mut li_inc).metrics(&mut DedupMetrics::default()))
             .unwrap();
 
         for a in 0..rows as u32 {

@@ -32,8 +32,8 @@ use proptest::prelude::*;
 use queryer_common::knobs::proptest_cases;
 use queryer_er::{
     open_index_snapshot, open_index_snapshot_with_caches, write_index_snapshot, DedupMetrics,
-    EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig, SimilarityKind,
-    SnapshotError, TableErIndex, WeightScheme,
+    EdgePruningScope, EpCacheMode, ErConfig, LinkIndex, MetaBlockingConfig, ResolveRequest,
+    SimilarityKind, SnapshotError, TableErIndex, WeightScheme,
 };
 use queryer_storage::{RecordId, Schema, Table, Value};
 use std::path::PathBuf;
@@ -212,7 +212,7 @@ proptest! {
             .collect();
         if !warm.is_empty() {
             let mut m = DedupMetrics::default();
-            idx1.resolve(&table, &warm, &mut li1, &mut m).unwrap();
+            idx1.run(ResolveRequest::records(&table, &warm, &mut li1).metrics(&mut m)).unwrap();
         }
 
         let path = fresh_path("roundtrip");
@@ -229,9 +229,9 @@ proptest! {
             .filter(|&r| query_mask & (1 << (r % 8)) != 0)
             .collect();
         let mut m1 = DedupMetrics::default();
-        let out1 = idx1.resolve(&table, &qe, &mut li1, &mut m1).unwrap();
+        let out1 = idx1.run(ResolveRequest::records(&table, &qe, &mut li1).metrics(&mut m1)).unwrap();
         let mut m2 = DedupMetrics::default();
-        let out2 = idx2.resolve(&table, &qe, &mut li2, &mut m2).unwrap();
+        let out2 = idx2.run(ResolveRequest::records(&table, &qe, &mut li2).metrics(&mut m2)).unwrap();
         prop_assert_eq!(&out1.dr, &out2.dr, "DR diverged after reopen");
         prop_assert_eq!(out1.new_links, out2.new_links);
         prop_assert_eq!(count_triple(&m1), count_triple(&m2));
@@ -249,7 +249,7 @@ proptest! {
             open_index_snapshot_with_caches(&path, &table, &cfg, false)
                 .expect("caches-off snapshot open");
         let mut m3 = DedupMetrics::default();
-        let out3 = idx3.resolve(&table, &qe, &mut li3, &mut m3).unwrap();
+        let out3 = idx3.run(ResolveRequest::records(&table, &qe, &mut li3).metrics(&mut m3)).unwrap();
         prop_assert_eq!(&out1.dr, &out3.dr, "DR diverged on caches-off reopen");
         prop_assert_eq!(out1.new_links, out3.new_links);
         prop_assert_eq!(count_triple(&m1), count_triple(&m3));
@@ -291,7 +291,9 @@ fn empty_and_single_record_tables_round_trip() {
             "{n}-record image diverged"
         );
         let mut m = DedupMetrics::default();
-        let out = idx2.resolve_all(&table, &mut li2, &mut m).unwrap();
+        let out = idx2
+            .run(ResolveRequest::all(&table, &mut li2).metrics(&mut m))
+            .unwrap();
         assert_eq!(out.dr.len(), n);
     }
 }
@@ -328,7 +330,8 @@ fn small_snapshot() -> (Table, ErConfig, Vec<u8>) {
     let idx = TableErIndex::build(&table, &cfg);
     let mut li = LinkIndex::new(table.len());
     let mut m = DedupMetrics::default();
-    idx.resolve_all(&table, &mut li, &mut m).unwrap();
+    idx.run(ResolveRequest::all(&table, &mut li).metrics(&mut m))
+        .unwrap();
     let image = snapshot_bytes(&idx, &li, &table, "small");
     (table, cfg, image)
 }
@@ -422,14 +425,16 @@ fn drift_detected_as_stale_parallelism_retune_is_not_drift() {
     let mut li_fresh = LinkIndex::new(table.len());
     let mut m_fresh = DedupMetrics::default();
     let out_fresh = idx_fresh
-        .resolve_all(&table, &mut li_fresh, &mut m_fresh)
+        .run(ResolveRequest::all(&table, &mut li_fresh).metrics(&mut m_fresh))
         .unwrap();
     // The snapshot carries the original run's links; resolve from a
     // fresh Link Index view to compare pure decisions.
     let mut li2 = LinkIndex::new(table.len());
     idx2.clear_ep_cache();
     let mut m2 = DedupMetrics::default();
-    let out2 = idx2.resolve_all(&table, &mut li2, &mut m2).unwrap();
+    let out2 = idx2
+        .run(ResolveRequest::all(&table, &mut li2).metrics(&mut m2))
+        .unwrap();
     assert_eq!(out_fresh.dr, out2.dr);
     assert_eq!(count_triple(&m_fresh), count_triple(&m2));
 }
@@ -450,7 +455,7 @@ fn pinned_workload_recovers_identically_after_corruption() {
     let mut baseline_li = LinkIndex::new(ds.table.len());
     let mut baseline_m = DedupMetrics::default();
     let baseline = baseline_idx
-        .resolve_all(&ds.table, &mut baseline_li, &mut baseline_m)
+        .run(ResolveRequest::all(&ds.table, &mut baseline_li).metrics(&mut baseline_m))
         .unwrap();
     assert_eq!(baseline_m.comparisons, 21384, "pinned workload drifted");
     assert_eq!(baseline_m.matches_found, 201, "pinned workload drifted");
@@ -474,7 +479,9 @@ fn pinned_workload_recovers_identically_after_corruption() {
     let rebuilt = TableErIndex::build(&ds.table, &cfg);
     let mut li_r = LinkIndex::new(ds.table.len());
     let mut m_r = DedupMetrics::default();
-    let out_r = rebuilt.resolve_all(&ds.table, &mut li_r, &mut m_r).unwrap();
+    let out_r = rebuilt
+        .run(ResolveRequest::all(&ds.table, &mut li_r).metrics(&mut m_r))
+        .unwrap();
     assert_eq!(m_r.comparisons, 21384);
     assert_eq!(m_r.matches_found, 201);
     assert_eq!(out_r.dr, baseline.dr);
@@ -484,7 +491,9 @@ fn pinned_workload_recovers_identically_after_corruption() {
     let (opened, mut li_o) =
         open_index_snapshot(&path, &ds.table, &cfg).expect("intact snapshot must open");
     let mut m_o = DedupMetrics::default();
-    let out_o = opened.resolve_all(&ds.table, &mut li_o, &mut m_o).unwrap();
+    let out_o = opened
+        .run(ResolveRequest::all(&ds.table, &mut li_o).metrics(&mut m_o))
+        .unwrap();
     assert_eq!(m_o.comparisons, 21384);
     assert_eq!(m_o.matches_found, 201);
     assert_eq!(out_o.dr, baseline.dr);
@@ -541,7 +550,9 @@ mod faults {
         write_index_snapshot(&path, &idx, &li, &table).expect("clean rewrite");
         let (opened, mut li2) = open_index_snapshot(&path, &table, &cfg).expect("reopen");
         let mut m = DedupMetrics::default();
-        opened.resolve_all(&table, &mut li2, &mut m).unwrap();
+        opened
+            .run(ResolveRequest::all(&table, &mut li2).metrics(&mut m))
+            .unwrap();
         assert!(m.comparisons > 0);
     }
 

@@ -101,6 +101,10 @@ pub enum SnapshotError {
         /// Which section failed validation.
         section: String,
     },
+    /// The in-memory state carries un-compacted incremental changes
+    /// (a live ingest delta), so a snapshot of its base buffers would
+    /// not round-trip the served view. Compact first, then snapshot.
+    PendingDelta,
     /// An I/O error while reading or writing the snapshot.
     Io {
         /// What was being attempted.
@@ -129,6 +133,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Corrupt { section } => {
                 write!(f, "snapshot: section '{section}' failed validation")
             }
+            SnapshotError::PendingDelta => write!(
+                f,
+                "snapshot: index has un-compacted incremental changes; compact before writing"
+            ),
             SnapshotError::Io { context, source } => {
                 write!(f, "snapshot: i/o error while {context}: {source}")
             }

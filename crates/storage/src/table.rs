@@ -75,6 +75,27 @@ impl Table {
         Ok(id)
     }
 
+    /// Replaces the values of an existing row in place, keeping its id.
+    /// Deletions are modelled as an all-NULL overwrite (a row that emits
+    /// no blocking keys), so ids stay dense and every downstream index
+    /// keeps its record-id addressing.
+    pub fn set_row(&mut self, id: RecordId, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                actual: values.len(),
+            });
+        }
+        if (id as usize) >= self.records.len() {
+            return Err(StorageError::NotFound(format!(
+                "record {id} in table '{}'",
+                self.name
+            )));
+        }
+        self.records[id as usize] = Record::new(id, values);
+        Ok(())
+    }
+
     /// Pre-allocates room for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
         self.records.reserve(additional);
